@@ -1,0 +1,233 @@
+//! SNOW — the Strong Network Of Web servers (Section 5.2).
+//!
+//! SNOW demonstrates the fault-management building block: the web-server
+//! cluster uses the token-based group membership protocol to establish which
+//! servers participate, and attaches the queue of outstanding HTTP requests
+//! to the token so that **one — and only one — server replies to each
+//! request**, without any external load balancer.
+//!
+//! The model here drives a real [`MembershipCluster`]; the HTTP request
+//! queue is carried in the token payload; whichever node currently holds the
+//! token serves the request at the head of the queue. Node crashes are
+//! tolerated: requests that were still queued are re-attached by the harness
+//! (clients retry), and the exactly-once property is asserted over the
+//! complete service log (experiment E13).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rain_membership::{MemberConfig, MembershipCluster};
+use rain_sim::{NodeId, SimDuration};
+
+/// The service log entry for one HTTP request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Served {
+    /// The request id.
+    pub request: u64,
+    /// The server that replied.
+    pub by: NodeId,
+}
+
+fn encode_queue(queue: &[u64]) -> Vec<u8> {
+    queue.iter().flat_map(|r| r.to_le_bytes()).collect()
+}
+
+fn decode_queue(payload: &[u8]) -> Vec<u64> {
+    payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunks")))
+        .collect()
+}
+
+/// The SNOW web-server cluster.
+pub struct SnowCluster {
+    membership: MembershipCluster,
+    servers: usize,
+    /// Requests submitted but not yet attached to the token.
+    lobby: Vec<u64>,
+    /// Requests known to be in the token's queue (so lost tokens can be
+    /// re-filled by client retries).
+    in_flight: Vec<u64>,
+    /// The service log: who served what, in service order.
+    served: Vec<Served>,
+    /// How many requests each request id has been served (for the
+    /// exactly-once assertion).
+    serve_counts: BTreeMap<u64, u32>,
+    /// How many requests each server answered (for load statistics).
+    per_server: BTreeMap<NodeId, u64>,
+}
+
+impl SnowCluster {
+    /// Create a SNOW cluster of `servers` nodes.
+    pub fn new(servers: usize, config: MemberConfig, seed: u64) -> Self {
+        SnowCluster {
+            membership: MembershipCluster::new(servers, servers, config, seed),
+            servers,
+            lobby: Vec::new(),
+            in_flight: Vec::new(),
+            served: Vec::new(),
+            serve_counts: BTreeMap::new(),
+            per_server: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying membership cluster (for fault injection).
+    pub fn membership_mut(&mut self) -> &mut MembershipCluster {
+        &mut self.membership
+    }
+
+    /// Submit an HTTP request to the cluster.
+    pub fn submit(&mut self, request: u64) {
+        self.lobby.push(request);
+    }
+
+    /// The service log so far.
+    pub fn served(&self) -> &[Served] {
+        &self.served
+    }
+
+    /// Requests answered by each server.
+    pub fn per_server(&self) -> &BTreeMap<NodeId, u64> {
+        &self.per_server
+    }
+
+    /// True if every request in the log was served exactly once.
+    pub fn exactly_once(&self) -> bool {
+        self.serve_counts.values().all(|&c| c == 1)
+    }
+
+    /// True if every submitted request has been served.
+    pub fn all_served(&self, submitted: &[u64]) -> bool {
+        submitted.iter().all(|r| self.serve_counts.contains_key(r))
+    }
+
+    fn holder(&mut self) -> Option<NodeId> {
+        let servers = self.servers;
+        (0..servers).map(NodeId).find(|&id| {
+            self.membership.node(id).is_holder()
+                && self.membership.sim_mut().network().node_up(id)
+        })
+    }
+
+    /// Advance the cluster: run the membership protocol in small slices and
+    /// let the token holder serve queued requests.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let slice = SimDuration::from_millis(20);
+        let mut elapsed = SimDuration::ZERO;
+        while elapsed < duration {
+            self.membership.run_for(slice);
+            elapsed = elapsed + slice;
+            let Some(holder) = self.holder() else {
+                continue;
+            };
+            // Read the queue the token carries right now.
+            let mut queue = decode_queue(
+                self.membership
+                    .node(holder)
+                    .held_payload()
+                    .unwrap_or_default(),
+            );
+            // Client retries: if the token was regenerated its payload is
+            // empty — re-attach everything known to be outstanding.
+            for r in &self.in_flight {
+                if !queue.contains(r) && !self.serve_counts.contains_key(r) {
+                    queue.push(*r);
+                }
+            }
+            // Newly submitted requests join the queue.
+            for r in self.lobby.drain(..) {
+                queue.push(r);
+                self.in_flight.push(r);
+            }
+            // The holder serves the request at the head of the queue.
+            if !queue.is_empty() {
+                let request = queue.remove(0);
+                if !self.serve_counts.contains_key(&request) {
+                    self.served.push(Served {
+                        request,
+                        by: holder,
+                    });
+                    *self.serve_counts.entry(request).or_insert(0) += 1;
+                    *self.per_server.entry(holder).or_insert(0) += 1;
+                    self.in_flight.retain(|&r| r != request);
+                }
+            }
+            self.membership
+                .node_mut(holder)
+                .set_held_payload(encode_queue(&queue));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_membership::Detection;
+
+    fn snow(n: usize, seed: u64) -> SnowCluster {
+        let config = MemberConfig {
+            detection: Detection::Aggressive,
+            ..MemberConfig::default()
+        };
+        SnowCluster::new(n, config, seed)
+    }
+
+    #[test]
+    fn every_request_is_served_exactly_once_without_faults() {
+        let mut s = snow(4, 1);
+        s.run_for(SimDuration::from_secs(1));
+        let requests: Vec<u64> = (0..50).collect();
+        for &r in &requests {
+            s.submit(r);
+        }
+        s.run_for(SimDuration::from_secs(10));
+        assert!(s.all_served(&requests), "served {}", s.served().len());
+        assert!(s.exactly_once());
+    }
+
+    #[test]
+    fn service_is_spread_across_the_cluster_by_the_rotating_token() {
+        let mut s = snow(4, 2);
+        s.run_for(SimDuration::from_secs(1));
+        for r in 0..80 {
+            s.submit(r);
+        }
+        s.run_for(SimDuration::from_secs(20));
+        assert!(s.exactly_once());
+        // No external load balancer, yet more than one server ends up
+        // answering requests because the token (and the queue) rotates.
+        assert!(
+            s.per_server().len() >= 2,
+            "service distribution: {:?}",
+            s.per_server()
+        );
+    }
+
+    #[test]
+    fn requests_survive_a_server_crash_and_are_never_served_twice() {
+        let mut s = snow(4, 3);
+        s.run_for(SimDuration::from_secs(1));
+        let first_batch: Vec<u64> = (0..30).collect();
+        for &r in &first_batch {
+            s.submit(r);
+        }
+        s.run_for(SimDuration::from_millis(600));
+        // Crash one server mid-service (it may even be the token holder).
+        s.membership_mut().crash(NodeId(2));
+        let served_by_2_at_crash = s.per_server().get(&NodeId(2)).copied().unwrap_or(0);
+        let second_batch: Vec<u64> = (30..60).collect();
+        for &r in &second_batch {
+            s.submit(r);
+        }
+        s.run_for(SimDuration::from_secs(30));
+        let all: Vec<u64> = (0..60).collect();
+        assert!(s.all_served(&all), "served {}", s.served().len());
+        assert!(s.exactly_once());
+        // The crashed server answered nothing after the crash.
+        assert_eq!(
+            s.per_server().get(&NodeId(2)).copied().unwrap_or(0),
+            served_by_2_at_crash
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Arithmetic in GF(2^8), used by the Reed-Solomon baseline.
+//!
+//! The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the primitive
+//! polynomial `0x11d` that is conventional for storage-oriented
+//! Reed-Solomon codes. Multiplication and division go through log/exp
+//! tables built once at start-up.
+
+/// The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+/// Precomputed log/exp tables for GF(2^8).
+#[derive(Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl std::fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gf256").finish()
+    }
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Build the log/exp tables.
+    pub fn new() -> Self {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= PRIMITIVE_POLY;
+            }
+        }
+        // Duplicate the table so that exp[a + b] never needs a modulo.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Field addition (XOR).
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse. Panics on zero.
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert_ne!(a, 0, "zero has no inverse in GF(256)");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// Field division `a / b`. Panics if `b == 0`.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert_ne!(b, 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + 255 - self.log[b as usize] as usize]
+        }
+    }
+
+    /// Exponentiation `a^e`.
+    pub fn pow(&self, a: u8, mut e: u32) -> u8 {
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let mut result = 1u8;
+        let mut base = a;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = self.mul(result, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// The generator element alpha = 2.
+    #[inline]
+    pub fn generator(&self) -> u8 {
+        2
+    }
+
+    /// `dst[i] ^= c * src[i]` for all i — the core Reed-Solomon kernel.
+    pub fn mul_acc_slice(&self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len());
+        if c == 0 {
+            return;
+        }
+        if c == 1 {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d ^= *s;
+            }
+            return;
+        }
+        let log_c = self.log[c as usize] as usize;
+        for (d, s) in dst.iter_mut().zip(src) {
+            if *s != 0 {
+                *d ^= self.exp[log_c + self.log[*s as usize] as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(1, a), a);
+            assert_eq!(gf.mul(a, 0), 0);
+            assert_eq!(gf.mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_and_associative_spot_checks() {
+        let gf = Gf256::new();
+        for a in [3u8, 17, 99, 200, 255] {
+            for b in [5u8, 42, 128, 254] {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in [7u8, 33, 201] {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_is_correct_for_all_nonzero() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn distributive_law_spot_checks() {
+        let gf = Gf256::new();
+        for a in [2u8, 9, 77, 190] {
+            for b in [1u8, 58, 213] {
+                for c in [4u8, 131, 255] {
+                    assert_eq!(gf.mul(a, b ^ c), gf.mul(a, b) ^ gf.mul(a, c));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let gf = Gf256::new();
+        let g = gf.generator();
+        let mut seen = [false; 256];
+        let mut x = 1u8;
+        for _ in 0..255 {
+            assert!(!seen[x as usize], "generator order < 255");
+            seen[x as usize] = true;
+            x = gf.mul(x, g);
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = Gf256::new();
+        let mut acc = 1u8;
+        for e in 0..20u32 {
+            assert_eq!(gf.pow(3, e), acc);
+            acc = gf.mul(acc, 3);
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn div_is_inverse_of_mul() {
+        let gf = Gf256::new();
+        for a in [0u8, 1, 7, 100, 255] {
+            for b in [1u8, 3, 99, 254] {
+                assert_eq!(gf.div(gf.mul(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_acc_slice_matches_scalar_path() {
+        let gf = Gf256::new();
+        let src: Vec<u8> = (0..32).map(|i| (i * 13 + 1) as u8).collect();
+        let mut dst = vec![0xABu8; 32];
+        let mut expected = dst.clone();
+        gf.mul_acc_slice(&mut dst, &src, 0x5c);
+        for (e, s) in expected.iter_mut().zip(&src) {
+            *e ^= gf.mul(*s, 0x5c);
+        }
+        assert_eq!(dst, expected);
+    }
+}

@@ -1,0 +1,311 @@
+//! Dense matrices over GF(2^8) and over GF(2), used by the Reed-Solomon code
+//! and by the generic Gaussian-elimination decoder of the array-code
+//! framework.
+
+use crate::gf256::Gf256;
+
+/// A dense row-major matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GfMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl GfMatrix {
+    /// All-zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        GfMatrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix with `rows x cols` entries: `m[i][j] = alpha_i^j`
+    /// where `alpha_i` are distinct field elements `i`.
+    pub fn vandermonde(gf: &Gf256, rows: usize, cols: usize) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, gf.pow(i as u8, j as u32));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Read entry `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Write entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, gf: &Gf256, other: &GfMatrix) -> GfMatrix {
+        assert_eq!(self.cols, other.rows, "dimension mismatch");
+        let mut out = GfMatrix::zero(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) ^ gf.mul(a, other.get(k, j));
+                    out.set(i, j, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Build a new matrix from a subset of this matrix's rows.
+    pub fn select_rows(&self, rows: &[usize]) -> GfMatrix {
+        let mut out = GfMatrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Invert a square matrix via Gauss-Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    pub fn invert(&self, gf: &Gf256) -> Option<GfMatrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = GfMatrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalise the pivot row.
+            let p = a.get(col, col);
+            let pinv = gf.inv(p);
+            for c in 0..n {
+                a.set(col, c, gf.mul(a.get(col, c), pinv));
+                inv.set(col, c, gf.mul(inv.get(col, c), pinv));
+            }
+            // Eliminate the column from all other rows.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor == 0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = a.get(r, c) ^ gf.mul(factor, a.get(col, c));
+                    a.set(r, c, v);
+                    let v = inv.get(r, c) ^ gf.mul(factor, inv.get(col, c));
+                    inv.set(r, c, v);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+}
+
+/// Solve a sparse GF(2) linear system by Gaussian elimination.
+///
+/// `equations[i]` is the set of unknown indices appearing in equation `i`
+/// (already reduced: known terms must have been folded into `rhs[i]`), and
+/// `rhs[i]` is the corresponding right-hand side byte vector. On success the
+/// returned vector holds one value buffer per unknown.
+///
+/// This is the generic fallback decoder for the array codes: the matrices
+/// involved are tiny (a handful of unknowns), so the cubic cost is
+/// irrelevant next to the byte-vector XOR work on the right-hand sides.
+pub fn solve_gf2_sparse(
+    num_unknowns: usize,
+    equations: &[Vec<usize>],
+    rhs: &[Vec<u8>],
+) -> Option<Vec<Vec<u8>>> {
+    assert_eq!(equations.len(), rhs.len());
+    if num_unknowns == 0 {
+        return Some(Vec::new());
+    }
+    let width = rhs.first().map(|r| r.len()).unwrap_or(0);
+    // Represent each equation as a bitmask over unknowns (<= 64 unknowns is
+    // plenty for every code in this crate; fall back to Vec<bool> otherwise).
+    assert!(
+        num_unknowns <= 128,
+        "solve_gf2_sparse supports at most 128 unknowns"
+    );
+    let mut masks: Vec<u128> = equations
+        .iter()
+        .map(|eq| {
+            let mut m = 0u128;
+            for &u in eq {
+                assert!(u < num_unknowns);
+                m ^= 1u128 << u;
+            }
+            m
+        })
+        .collect();
+    let mut values: Vec<Vec<u8>> = rhs.to_vec();
+
+    let mut pivot_of_unknown: Vec<Option<usize>> = vec![None; num_unknowns];
+    let mut used_rows = vec![false; masks.len()];
+
+    for unknown in 0..num_unknowns {
+        let bit = 1u128 << unknown;
+        // Find an unused row containing this unknown.
+        let row = (0..masks.len()).find(|&r| !used_rows[r] && masks[r] & bit != 0);
+        let row = match row {
+            Some(r) => r,
+            None => continue, // may still be resolvable if unused unknown
+        };
+        used_rows[row] = true;
+        pivot_of_unknown[unknown] = Some(row);
+        // Eliminate this unknown from all other rows.
+        for r in 0..masks.len() {
+            if r != row && masks[r] & bit != 0 {
+                masks[r] ^= masks[row];
+                let (a, b) = if r < row {
+                    let (lo, hi) = values.split_at_mut(row);
+                    (&mut lo[r], &hi[0])
+                } else {
+                    let (lo, hi) = values.split_at_mut(r);
+                    (&mut hi[0], &lo[row])
+                };
+                for (x, y) in a.iter_mut().zip(b.iter()) {
+                    *x ^= *y;
+                }
+            }
+        }
+    }
+
+    // Back-substitution is implicit (full Gauss-Jordan above); read out each
+    // unknown from its pivot row, which must now contain only that unknown.
+    let mut out = vec![vec![0u8; width]; num_unknowns];
+    for unknown in 0..num_unknowns {
+        let row = pivot_of_unknown[unknown]?;
+        if masks[row] != 1u128 << unknown {
+            // Row still mentions other unknowns: the system was singular.
+            return None;
+        }
+        out[unknown] = values[row].clone();
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_inverts_to_identity() {
+        let gf = Gf256::new();
+        let id = GfMatrix::identity(5);
+        assert_eq!(id.invert(&gf).unwrap(), id);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let gf = Gf256::new();
+        // Vandermonde over distinct points is invertible.
+        let m = GfMatrix::vandermonde(&gf, 6, 6);
+        let inv = m.invert(&gf).expect("vandermonde must be invertible");
+        let prod = inv.mul(&gf, &m);
+        assert_eq!(prod, GfMatrix::identity(6));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let gf = Gf256::new();
+        let mut m = GfMatrix::zero(3, 3);
+        // Two identical rows -> singular.
+        for c in 0..3 {
+            m.set(0, c, c as u8 + 1);
+            m.set(1, c, c as u8 + 1);
+            m.set(2, c, (c as u8 + 1) * 3);
+        }
+        assert!(m.invert(&gf).is_none());
+    }
+
+    #[test]
+    fn select_rows_extracts_submatrix() {
+        let gf = Gf256::new();
+        let m = GfMatrix::vandermonde(&gf, 5, 3);
+        let sub = m.select_rows(&[0, 4]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.row(1), m.row(4));
+    }
+
+    #[test]
+    fn gf2_solver_solves_simple_chain() {
+        // x0 ^ x1 = [1], x1 = [2]  =>  x0 = [3], x1 = [2]
+        let eqs = vec![vec![0, 1], vec![1]];
+        let rhs = vec![vec![1u8], vec![2u8]];
+        let sol = solve_gf2_sparse(2, &eqs, &rhs).unwrap();
+        assert_eq!(sol[0], vec![3u8]);
+        assert_eq!(sol[1], vec![2u8]);
+    }
+
+    #[test]
+    fn gf2_solver_detects_underdetermined_system() {
+        // x0 ^ x1 = [1] alone cannot pin down both unknowns.
+        let eqs = vec![vec![0, 1]];
+        let rhs = vec![vec![1u8]];
+        assert!(solve_gf2_sparse(2, &eqs, &rhs).is_none());
+    }
+
+    #[test]
+    fn gf2_solver_handles_redundant_equations() {
+        // x0 = [5], x0 = [5] (duplicate), x1 ^ x0 = [7]
+        let eqs = vec![vec![0], vec![0], vec![0, 1]];
+        let rhs = vec![vec![5u8], vec![5u8], vec![7u8]];
+        let sol = solve_gf2_sparse(2, &eqs, &rhs).unwrap();
+        assert_eq!(sol[0], vec![5u8]);
+        assert_eq!(sol[1], vec![2u8]);
+    }
+}

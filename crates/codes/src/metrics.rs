@@ -1,0 +1,73 @@
+//! Cost accounting for the code-complexity experiments.
+//!
+//! Section 4.1 of the paper claims that the B-Code and X-Code are *optimal*
+//! in the number of encoding/decoding operations and in the number of parity
+//! updates per small write, compared to other MDS schemes. This module
+//! provides the analytic cost model used by experiment E10 to reproduce that
+//! comparison; the Criterion benches measure the same quantities in wall
+//! time.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytic cost of using a code on a block of a given size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodeCost {
+    /// Total bytes of original data the cost refers to.
+    pub data_len: usize,
+    /// Byte-XOR operations needed to compute all parity from the data
+    /// (GF(2^8) multiply-accumulates are counted as XOR-equivalents times
+    /// [`CodeCost::GF_MUL_XOR_EQUIVALENT`] for Reed-Solomon).
+    pub encode_xor_bytes: u64,
+    /// Byte-XOR operations to recover from a worst-case `n - k` erasure.
+    pub decode_xor_bytes: u64,
+    /// Average number of parity *cells* that must be updated when a single
+    /// data cell is modified (the paper's "update complexity"). The optimal
+    /// value for an `(n, n-2)` MDS code is 2.
+    pub update_parities_per_data_cell: f64,
+    /// Storage overhead: total encoded bytes divided by data bytes.
+    pub storage_overhead: f64,
+}
+
+impl CodeCost {
+    /// How many byte-XOR operations a GF(2^8) table-lookup multiply-accumulate
+    /// is charged as. A log/exp-table multiply touches ~3 table entries and an
+    /// add; 4 is a conventional, slightly conservative equivalence used only
+    /// to put Reed-Solomon on the same axis as the XOR-only codes.
+    pub const GF_MUL_XOR_EQUIVALENT: u64 = 4;
+
+    /// Encode cost normalised per byte of original data.
+    pub fn encode_xors_per_data_byte(&self) -> f64 {
+        self.encode_xor_bytes as f64 / self.data_len as f64
+    }
+
+    /// Decode cost normalised per byte of original data.
+    pub fn decode_xors_per_data_byte(&self) -> f64 {
+        self.decode_xor_bytes as f64 / self.data_len as f64
+    }
+}
+
+/// Trait implemented by codes that can describe their analytic cost without
+/// touching data. Kept separate from [`crate::ErasureCode`] so the cost model
+/// can also be queried for parameter sweeps without instantiating buffers.
+pub trait CostModel {
+    /// Analytic cost for `data_len` bytes of original data.
+    fn analytic_cost(&self, data_len: usize) -> CodeCost;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalised_costs_divide_by_data_len() {
+        let c = CodeCost {
+            data_len: 1000,
+            encode_xor_bytes: 3000,
+            decode_xor_bytes: 1500,
+            update_parities_per_data_cell: 2.0,
+            storage_overhead: 1.5,
+        };
+        assert!((c.encode_xors_per_data_byte() - 3.0).abs() < 1e-12);
+        assert!((c.decode_xors_per_data_byte() - 1.5).abs() < 1e-12);
+    }
+}

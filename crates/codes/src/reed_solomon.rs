@@ -1,0 +1,235 @@
+//! Systematic Reed-Solomon erasure code over GF(2^8).
+//!
+//! The paper cites Reed-Solomon as the classical MDS code (Section 4.1) and
+//! the array codes are motivated as XOR-only alternatives to it. This
+//! implementation is the baseline for the encoding/decoding-complexity
+//! comparison (experiment E10) and an alternative code for the storage layer.
+//!
+//! Construction: a Vandermonde matrix over GF(2^8) is reduced so that its
+//! top `k x k` block is the identity (systematic form); the remaining
+//! `n - k` rows generate the parity symbols. Any `k` rows of the resulting
+//! generator matrix are linearly independent, so any `k` surviving symbols
+//! reconstruct the data by inverting the corresponding `k x k` submatrix.
+
+use crate::error::CodeError;
+use crate::gf256::Gf256;
+use crate::matrix::GfMatrix;
+use crate::metrics::{CodeCost, CostModel};
+use crate::traits::{validate_data_len, validate_shares, CodeKind, ErasureCode};
+
+/// A systematic `(n, k)` Reed-Solomon erasure code over GF(2^8).
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    n: usize,
+    k: usize,
+    gf: Gf256,
+    /// `n x k` generator matrix in systematic form.
+    generator: GfMatrix,
+}
+
+impl ReedSolomon {
+    /// Create an `(n, k)` code. Requires `1 <= k < n <= 255`.
+    pub fn new(n: usize, k: usize) -> Result<Self, CodeError> {
+        if k == 0 || k >= n || n > 255 {
+            return Err(CodeError::UnsupportedParameters {
+                reason: format!("Reed-Solomon requires 1 <= k < n <= 255, got n={n}, k={k}"),
+            });
+        }
+        let gf = Gf256::new();
+        // Start from an n x k Vandermonde matrix and put it in systematic
+        // form by right-multiplying with the inverse of its top k x k block.
+        let vand = GfMatrix::vandermonde(&gf, n, k);
+        let top: Vec<usize> = (0..k).collect();
+        let top_inv = vand
+            .select_rows(&top)
+            .invert(&gf)
+            .expect("top block of a Vandermonde matrix over distinct points is invertible");
+        let generator = vand.mul(&gf, &top_inv);
+        Ok(ReedSolomon { n, k, gf, generator })
+    }
+
+    /// Access the generator matrix (used by tests).
+    pub fn generator(&self) -> &GfMatrix {
+        &self.generator
+    }
+}
+
+impl ErasureCode for ReedSolomon {
+    fn kind(&self) -> CodeKind {
+        CodeKind::ReedSolomon
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn k(&self) -> usize {
+        self.k
+    }
+
+    fn data_len_unit(&self) -> usize {
+        self.k
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        validate_data_len(data.len(), self.k)?;
+        let symbol_len = data.len() / self.k;
+        let data_symbol = |i: usize| &data[i * symbol_len..(i + 1) * symbol_len];
+
+        let mut shares = Vec::with_capacity(self.n);
+        for row in 0..self.n {
+            if row < self.k {
+                // Systematic part: identity rows copy the data straight through.
+                shares.push(data_symbol(row).to_vec());
+                continue;
+            }
+            let mut out = vec![0u8; symbol_len];
+            for col in 0..self.k {
+                let coeff = self.generator.get(row, col);
+                self.gf.mul_acc_slice(&mut out, data_symbol(col), coeff);
+            }
+            shares.push(out);
+        }
+        Ok(shares)
+    }
+
+    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
+        let symbol_len = validate_shares(shares, self.n, self.k)?;
+
+        // Fast path: all systematic symbols present.
+        if shares.iter().take(self.k).all(|s| s.is_some()) {
+            let mut out = Vec::with_capacity(self.k * symbol_len);
+            for share in shares.iter().take(self.k) {
+                out.extend_from_slice(share.as_ref().unwrap());
+            }
+            return Ok(out);
+        }
+
+        // General path: pick any k surviving rows, invert the corresponding
+        // submatrix of the generator, and multiply.
+        let available: Vec<usize> = (0..self.n).filter(|&i| shares[i].is_some()).collect();
+        let chosen = &available[..self.k];
+        let sub = self.generator.select_rows(chosen);
+        let inv = sub.invert(&self.gf).ok_or_else(|| CodeError::DecodeFailure {
+            reason: "selected generator rows are singular (should be impossible for RS)".into(),
+        })?;
+
+        let mut out = vec![0u8; self.k * symbol_len];
+        for (data_idx, out_chunk) in out.chunks_mut(symbol_len).enumerate() {
+            for (j, &row) in chosen.iter().enumerate() {
+                let coeff = inv.get(data_idx, j);
+                let share = shares[row].as_ref().unwrap();
+                self.gf.mul_acc_slice(out_chunk, share, coeff);
+            }
+        }
+        Ok(out)
+    }
+
+    fn cost(&self, data_len: usize) -> CodeCost {
+        let symbol_len = (data_len / self.k).max(1) as u64;
+        let parity_rows = (self.n - self.k) as u64;
+        // Each parity symbol byte needs k GF multiply-accumulates.
+        let mul_acc = parity_rows * self.k as u64 * symbol_len;
+        let encode = mul_acc * CodeCost::GF_MUL_XOR_EQUIVALENT;
+        // Worst-case decode re-derives k symbols, each needing k mul-accs.
+        let decode = (self.k * self.k) as u64 * symbol_len * CodeCost::GF_MUL_XOR_EQUIVALENT;
+        CodeCost {
+            data_len,
+            encode_xor_bytes: encode,
+            decode_xor_bytes: decode,
+            update_parities_per_data_cell: (self.n - self.k) as f64,
+            storage_overhead: self.n as f64 / self.k as f64,
+        }
+    }
+}
+
+impl CostModel for ReedSolomon {
+    fn analytic_cost(&self, data_len: usize) -> CodeCost {
+        self.cost(data_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_data(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        (0..len).map(|_| rng.gen()).collect()
+    }
+
+    #[test]
+    fn systematic_prefix_is_the_data() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let data: Vec<u8> = (0..4 * 5).map(|i| i as u8).collect();
+        let shares = code.encode(&data).unwrap();
+        for i in 0..4 {
+            assert_eq!(shares[i], data[i * 5..(i + 1) * 5]);
+        }
+    }
+
+    #[test]
+    fn recovers_from_any_two_erasures_6_4() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let data = random_data(&mut rng, 4 * 64);
+        let shares = code.encode(&data).unwrap();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                let mut partial: Vec<Option<Vec<u8>>> =
+                    shares.iter().cloned().map(Some).collect();
+                partial[a] = None;
+                partial[b] = None;
+                assert_eq!(code.decode(&partial).unwrap(), data, "erased {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_from_any_max_erasure_10_8() {
+        let code = ReedSolomon::new(10, 8).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let data = random_data(&mut rng, 8 * 32);
+        let shares = code.encode(&data).unwrap();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let mut partial: Vec<Option<Vec<u8>>> =
+                    shares.iter().cloned().map(Some).collect();
+                partial[a] = None;
+                partial[b] = None;
+                assert_eq!(code.decode(&partial).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(ReedSolomon::new(4, 0).is_err());
+        assert!(ReedSolomon::new(4, 4).is_err());
+        assert!(ReedSolomon::new(300, 4).is_err());
+    }
+
+    #[test]
+    fn too_many_erasures_is_an_error() {
+        let code = ReedSolomon::new(5, 3).unwrap();
+        let data = vec![9u8; 3 * 4];
+        let shares = code.encode(&data).unwrap();
+        let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+        partial[0] = None;
+        partial[1] = None;
+        partial[2] = None;
+        assert!(matches!(
+            code.decode(&partial),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn cost_is_higher_than_xor_codes_for_same_rate() {
+        // Sanity for E10: RS (6,4) should cost more XOR-equivalents per byte
+        // than a 2-XOR-per-byte array code.
+        let rs = ReedSolomon::new(6, 4).unwrap();
+        let cost = rs.cost(4 * 1024);
+        assert!(cost.encode_xors_per_data_byte() > 2.0);
+    }
+}

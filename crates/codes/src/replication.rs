@@ -1,0 +1,198 @@
+//! Baseline redundancy schemes from classical RAID: mirroring and single
+//! parity. The paper (Section 1.2) contrasts these "one degree of fault
+//! tolerance" options with the array codes; they serve as baselines in the
+//! storage and cost experiments.
+
+use crate::array::{ArrayCode, ArrayLayout, Cell};
+use crate::error::CodeError;
+use crate::metrics::{CodeCost, CostModel};
+use crate::traits::{validate_data_len, validate_shares, CodeKind, ErasureCode};
+
+/// RAID-1-style mirroring: every node stores a full copy of the data.
+/// Tolerates `n - 1` erasures at a storage overhead of `n`.
+#[derive(Debug, Clone)]
+pub struct Mirroring {
+    copies: usize,
+}
+
+impl Mirroring {
+    /// Create a mirroring scheme with `copies >= 1` replicas.
+    pub fn new(copies: usize) -> Self {
+        assert!(copies >= 1, "at least one copy required");
+        Mirroring { copies }
+    }
+}
+
+impl ErasureCode for Mirroring {
+    fn kind(&self) -> CodeKind {
+        CodeKind::Mirroring
+    }
+
+    fn n(&self) -> usize {
+        self.copies
+    }
+
+    fn k(&self) -> usize {
+        1
+    }
+
+    fn data_len_unit(&self) -> usize {
+        1
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        validate_data_len(data.len(), 1)?;
+        Ok(vec![data.to_vec(); self.copies])
+    }
+
+    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
+        validate_shares(shares, self.copies, 1)?;
+        Ok(shares
+            .iter()
+            .flatten()
+            .next()
+            .expect("validate_shares guarantees at least one survivor")
+            .clone())
+    }
+
+    fn cost(&self, data_len: usize) -> CodeCost {
+        CodeCost {
+            data_len,
+            // Copying is charged as one "xor-equivalent" per byte per extra copy.
+            encode_xor_bytes: (self.copies as u64 - 1) * data_len as u64,
+            decode_xor_bytes: 0,
+            update_parities_per_data_cell: (self.copies - 1) as f64,
+            storage_overhead: self.copies as f64,
+        }
+    }
+}
+
+impl CostModel for Mirroring {
+    fn analytic_cost(&self, data_len: usize) -> CodeCost {
+        self.cost(data_len)
+    }
+}
+
+/// RAID-4/5-style single parity: `n - 1` data symbols plus one XOR parity.
+/// Tolerates exactly one erasure.
+#[derive(Debug, Clone)]
+pub struct SingleParity {
+    inner: ArrayCode,
+}
+
+impl SingleParity {
+    /// Create an `(n, n-1)` single-parity code with `n >= 2` symbols.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "single parity needs at least 2 symbols");
+        let layout = ArrayLayout {
+            columns: n,
+            k: n - 1,
+            column_cells: (0..n)
+                .map(|c| {
+                    if c < n - 1 {
+                        vec![Cell::Data(c)]
+                    } else {
+                        vec![Cell::Parity(0)]
+                    }
+                })
+                .collect(),
+            equations: vec![(0..n - 1).collect()],
+        };
+        SingleParity {
+            inner: ArrayCode::new(layout).expect("static layout is valid"),
+        }
+    }
+}
+
+impl ErasureCode for SingleParity {
+    fn kind(&self) -> CodeKind {
+        CodeKind::SingleParity
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn k(&self) -> usize {
+        self.inner.k()
+    }
+
+    fn data_len_unit(&self) -> usize {
+        self.inner.data_len_unit()
+    }
+
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        self.inner.encode(data)
+    }
+
+    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
+        self.inner.decode(shares)
+    }
+
+    fn cost(&self, data_len: usize) -> CodeCost {
+        self.inner.analytic_cost(data_len)
+    }
+}
+
+impl CostModel for SingleParity {
+    fn analytic_cost(&self, data_len: usize) -> CodeCost {
+        self.inner.analytic_cost(data_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirroring_survives_all_but_one_loss() {
+        let code = Mirroring::new(4);
+        let data = b"hello RAIN".to_vec();
+        let shares = code.encode(&data).unwrap();
+        let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+        partial[0] = None;
+        partial[1] = None;
+        partial[3] = None;
+        assert_eq!(code.decode(&partial).unwrap(), data);
+    }
+
+    #[test]
+    fn mirroring_fails_when_everything_is_lost() {
+        let code = Mirroring::new(3);
+        let partial: Vec<Option<Vec<u8>>> = vec![None, None, None];
+        assert!(matches!(
+            code.decode(&partial),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn single_parity_recovers_any_single_erasure() {
+        let code = SingleParity::new(5);
+        let data: Vec<u8> = (0..4 * 7).map(|i| i as u8).collect();
+        let shares = code.encode(&data).unwrap();
+        for lost in 0..5 {
+            let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
+            partial[lost] = None;
+            assert_eq!(code.decode(&partial).unwrap(), data, "lost column {lost}");
+        }
+    }
+
+    #[test]
+    fn single_parity_cannot_recover_two_erasures() {
+        let code = SingleParity::new(5);
+        let data: Vec<u8> = (0..4 * 3).map(|i| i as u8).collect();
+        let shares = code.encode(&data).unwrap();
+        let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+        partial[0] = None;
+        partial[1] = None;
+        assert!(code.decode(&partial).is_err());
+    }
+
+    #[test]
+    fn storage_overheads_match_definitions() {
+        assert!((Mirroring::new(3).cost(100).storage_overhead - 3.0).abs() < 1e-9);
+        let sp = SingleParity::new(5);
+        assert!((sp.cost(100).storage_overhead - 5.0 / 4.0).abs() < 1e-9);
+    }
+}

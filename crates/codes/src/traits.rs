@@ -1,0 +1,140 @@
+//! The common erasure-code interface used by the storage layer.
+
+use crate::error::CodeError;
+use crate::metrics::CodeCost;
+
+/// Identifies which family a code object belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CodeKind {
+    /// The paper's B-Code: an `(n, n-2)` lowest-density MDS array code.
+    BCode,
+    /// The X-Code: a `(p, p-2)` MDS array code with optimal encoding.
+    XCode,
+    /// EVENODD: a `(p+2, p)` MDS array code.
+    EvenOdd,
+    /// Reed-Solomon over GF(2^8) (MDS, but not XOR-only).
+    ReedSolomon,
+    /// Full replication (RAID-1 style mirroring).
+    Mirroring,
+    /// Single parity (RAID-4/5 style), tolerates one erasure.
+    SingleParity,
+}
+
+/// An `(n, k)` erasure code: `k` symbols of original data are represented by
+/// `n` symbols of encoded data, and the original can be recovered from any
+/// `k` of them (for the MDS codes in this crate).
+///
+/// The trait is object-safe so the storage layer can swap codes at runtime.
+pub trait ErasureCode: Send + Sync {
+    /// Which code family this is.
+    fn kind(&self) -> CodeKind;
+
+    /// Total number of encoded symbols produced ("columns" for array codes).
+    fn n(&self) -> usize;
+
+    /// Number of symbols sufficient for reconstruction.
+    fn k(&self) -> usize;
+
+    /// Number of erasures tolerated (`n - k` for MDS codes).
+    fn fault_tolerance(&self) -> usize {
+        self.n() - self.k()
+    }
+
+    /// The input length must be a positive multiple of this unit (in bytes).
+    fn data_len_unit(&self) -> usize;
+
+    /// Encode `data` into `n` equally sized shares.
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError>;
+
+    /// Reconstruct the original data from surviving shares.
+    ///
+    /// `shares` must have exactly `n` entries; missing symbols are `None`.
+    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError>;
+
+    /// Analytic cost model for encoding/decoding/updating `data_len` bytes.
+    fn cost(&self, data_len: usize) -> CodeCost;
+
+    /// True if the code is Maximum Distance Separable (`m = n - k` erasures
+    /// are always recoverable). All codes in this crate except none are MDS,
+    /// but the flag lets baselines opt out.
+    fn is_mds(&self) -> bool {
+        true
+    }
+}
+
+/// Validate a share vector: right count, consistent lengths, enough
+/// survivors. Returns the common share length.
+pub(crate) fn validate_shares(
+    shares: &[Option<Vec<u8>>],
+    n: usize,
+    k: usize,
+) -> Result<usize, CodeError> {
+    if shares.len() != n {
+        return Err(CodeError::BadShareCount {
+            got: shares.len(),
+            expected: n,
+        });
+    }
+    let available: Vec<&Vec<u8>> = shares.iter().flatten().collect();
+    if available.len() < k {
+        return Err(CodeError::TooManyErasures {
+            available: available.len(),
+            needed: k,
+        });
+    }
+    let len = available[0].len();
+    if available.iter().any(|s| s.len() != len) {
+        return Err(CodeError::InconsistentShareLength);
+    }
+    Ok(len)
+}
+
+/// Validate an encode input length against the code's unit.
+pub(crate) fn validate_data_len(data_len: usize, unit: usize) -> Result<(), CodeError> {
+    if data_len == 0 || data_len % unit != 0 {
+        return Err(CodeError::BadDataLength {
+            got: data_len,
+            unit,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_shares_rejects_bad_count() {
+        let shares = vec![Some(vec![0u8; 4]); 3];
+        assert!(matches!(
+            validate_shares(&shares, 4, 2),
+            Err(CodeError::BadShareCount { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_shares_rejects_too_many_erasures() {
+        let shares = vec![Some(vec![0u8; 4]), None, None, None];
+        assert!(matches!(
+            validate_shares(&shares, 4, 2),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_shares_rejects_inconsistent_lengths() {
+        let shares = vec![Some(vec![0u8; 4]), Some(vec![0u8; 5]), None, None];
+        assert!(matches!(
+            validate_shares(&shares, 4, 2),
+            Err(CodeError::InconsistentShareLength)
+        ));
+    }
+
+    #[test]
+    fn validate_data_len_enforces_unit() {
+        assert!(validate_data_len(24, 12).is_ok());
+        assert!(validate_data_len(0, 12).is_err());
+        assert!(validate_data_len(13, 12).is_err());
+    }
+}

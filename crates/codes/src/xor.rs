@@ -1,0 +1,86 @@
+//! Vectorisable XOR helpers shared by all array codes.
+//!
+//! The paper's array codes (Section 4.1) encode and decode using nothing but
+//! binary XOR, so this tiny module is the hot path of the whole storage
+//! stack. The loops are written over plain slices so that LLVM auto-vectorises
+//! them; the free functions also keep an exact count of byte-XOR operations
+//! for the complexity experiments (E10).
+
+/// XOR `src` into `dst` element-wise. Panics if the lengths differ.
+#[inline]
+pub fn xor_into(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "xor_into requires equal-length slices"
+    );
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// XOR all of `sources` together into a freshly allocated buffer of length
+/// `len`. Returns the buffer and the number of byte-XOR operations performed.
+pub fn xor_many(len: usize, sources: &[&[u8]]) -> (Vec<u8>, u64) {
+    let mut out = vec![0u8; len];
+    let mut ops = 0u64;
+    for src in sources {
+        xor_into(&mut out, src);
+        ops += len as u64;
+    }
+    (out, ops)
+}
+
+/// Returns true if every byte of `buf` is zero.
+#[inline]
+pub fn is_zero(buf: &[u8]) -> bool {
+    buf.iter().all(|&b| b == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_into_basic() {
+        let mut a = vec![0b1010_1010u8; 16];
+        let b = vec![0b0110_0110u8; 16];
+        xor_into(&mut a, &b);
+        assert!(a.iter().all(|&x| x == 0b1100_1100));
+    }
+
+    #[test]
+    fn xor_is_involution() {
+        let orig: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        let mask: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
+        let mut buf = orig.clone();
+        xor_into(&mut buf, &mask);
+        xor_into(&mut buf, &mask);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn xor_many_counts_ops() {
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 8];
+        let c = vec![4u8; 8];
+        let (out, ops) = xor_many(8, &[&a, &b, &c]);
+        assert_eq!(ops, 24);
+        assert!(out.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    #[should_panic]
+    fn xor_into_length_mismatch_panics() {
+        let mut a = vec![0u8; 4];
+        let b = vec![0u8; 5];
+        xor_into(&mut a, &b);
+    }
+
+    #[test]
+    fn is_zero_detects_nonzero() {
+        assert!(is_zero(&[0, 0, 0]));
+        assert!(!is_zero(&[0, 1, 0]));
+        assert!(is_zero(&[]));
+    }
+}

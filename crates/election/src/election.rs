@@ -1,0 +1,202 @@
+//! Leader election for asynchronous fully-connected components.
+//!
+//! Section 5.3 of the paper uses a leader-election protocol (Franceschetti &
+//! Bruck, reference [29]) to designate a unique node in every connected set
+//! of nodes as the job dispatcher of the RAINCheck system. The essential
+//! guarantees are:
+//!
+//! * **Uniqueness** — within one connected component there is eventually
+//!   exactly one leader;
+//! * **Existence** — every connected component with at least one live node
+//!   eventually has a leader;
+//! * **Re-election** — when the leader crashes or is partitioned away, the
+//!   remaining nodes elect a new one;
+//! * **Stability** — a healthy leader is not replaced.
+//!
+//! The implementation here keeps the original's failure model (crash faults,
+//! partitions, recoveries) but uses the simplest protocol with those
+//! properties: every node periodically announces itself to every peer it can
+//! reach; each node considers *leader* the smallest node id among itself and
+//! the peers it has heard from recently. Announcements double as failure
+//! detection, so leadership converges one failure-timeout after the
+//! connectivity stops changing.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rain_sim::{NodeId, SimDuration, SimTime};
+
+/// Protocol message: a node announcing that it is alive (and whom it
+/// currently follows, for observability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Announce {
+    /// The announcing node.
+    pub from: NodeId,
+    /// The node it currently considers leader.
+    pub leader: NodeId,
+}
+
+/// Tuning for the election protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElectionConfig {
+    /// How often a node announces itself.
+    pub announce_interval: SimDuration,
+    /// How long without hearing from a peer before it is presumed failed or
+    /// unreachable.
+    pub failure_timeout: SimDuration,
+}
+
+impl Default for ElectionConfig {
+    fn default() -> Self {
+        ElectionConfig {
+            announce_interval: SimDuration::from_millis(100),
+            failure_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// One node's election state.
+#[derive(Debug, Clone)]
+pub struct ElectionNode {
+    id: NodeId,
+    config: ElectionConfig,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    last_announce: Option<SimTime>,
+    leader_changes: u64,
+    current_leader: NodeId,
+}
+
+impl ElectionNode {
+    /// Create a node that initially considers itself leader (it has heard
+    /// from nobody yet).
+    pub fn new(id: NodeId, config: ElectionConfig) -> Self {
+        ElectionNode {
+            id,
+            config,
+            last_heard: BTreeMap::new(),
+            last_announce: None,
+            leader_changes: 0,
+            current_leader: id,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node this node currently follows.
+    pub fn leader(&self) -> NodeId {
+        self.current_leader
+    }
+
+    /// True if this node currently considers itself the leader.
+    pub fn is_leader(&self) -> bool {
+        self.current_leader == self.id
+    }
+
+    /// How many times this node's notion of the leader has changed.
+    pub fn leader_changes(&self) -> u64 {
+        self.leader_changes
+    }
+
+    /// Peers heard from within the failure timeout (the node's view of its
+    /// connected component, excluding itself).
+    pub fn live_peers(&self, now: SimTime) -> Vec<NodeId> {
+        self.last_heard
+            .iter()
+            .filter(|(_, &t)| now.since(t) <= self.config.failure_timeout)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    fn refresh_leader(&mut self, now: SimTime) {
+        let mut candidate = self.id;
+        for peer in self.live_peers(now) {
+            if peer.0 < candidate.0 {
+                candidate = peer;
+            }
+        }
+        if candidate != self.current_leader {
+            self.current_leader = candidate;
+            self.leader_changes += 1;
+        }
+    }
+
+    /// Record an announcement from a peer.
+    pub fn on_announce(&mut self, now: SimTime, msg: Announce) {
+        self.last_heard.insert(msg.from, now);
+        self.refresh_leader(now);
+    }
+
+    /// Advance the clock. Returns an announcement to broadcast if one is due.
+    pub fn on_tick(&mut self, now: SimTime) -> Option<Announce> {
+        self.refresh_leader(now);
+        let due = match self.last_announce {
+            None => true,
+            Some(t) => now.since(t) >= self.config.announce_interval,
+        };
+        if due {
+            self.last_announce = Some(now);
+            Some(Announce {
+                from: self.id,
+                leader: self.current_leader,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_lone_node_leads_itself() {
+        let mut n = ElectionNode::new(NodeId(3), ElectionConfig::default());
+        assert!(n.is_leader());
+        let ann = n.on_tick(SimTime::from_millis(1)).unwrap();
+        assert_eq!(ann.leader, NodeId(3));
+    }
+
+    #[test]
+    fn hearing_a_smaller_id_yields_leadership() {
+        let mut n = ElectionNode::new(NodeId(5), ElectionConfig::default());
+        n.on_announce(
+            SimTime::from_millis(10),
+            Announce {
+                from: NodeId(2),
+                leader: NodeId(2),
+            },
+        );
+        assert_eq!(n.leader(), NodeId(2));
+        assert!(!n.is_leader());
+        assert_eq!(n.leader_changes(), 1);
+    }
+
+    #[test]
+    fn a_silent_leader_is_replaced_after_the_timeout() {
+        let mut n = ElectionNode::new(NodeId(5), ElectionConfig::default());
+        n.on_announce(
+            SimTime::from_millis(10),
+            Announce {
+                from: NodeId(2),
+                leader: NodeId(2),
+            },
+        );
+        // Nothing more from node 2: after the timeout node 5 leads again.
+        n.on_tick(SimTime::from_millis(600));
+        assert!(n.is_leader());
+        assert_eq!(n.leader_changes(), 2);
+    }
+
+    #[test]
+    fn announcements_are_rate_limited() {
+        let mut n = ElectionNode::new(NodeId(0), ElectionConfig::default());
+        assert!(n.on_tick(SimTime::from_millis(0)).is_some());
+        assert!(n.on_tick(SimTime::from_millis(50)).is_none());
+        assert!(n.on_tick(SimTime::from_millis(100)).is_some());
+    }
+}

@@ -1,0 +1,19 @@
+//! # rain-election — leader election for connected components
+//!
+//! The RAINCheck distributed checkpointing application (Section 5.3 of
+//! *Computing in the RAIN*) relies on a leader-election protocol (reference
+//! [29] of the paper) that keeps exactly one node designated as *leader* in
+//! every connected set of nodes: the leader assigns jobs and reassigns them
+//! when nodes fail. This crate provides that building block: a small
+//! announcement-based election protocol ([`election`]) with the same
+//! guarantees — a unique leader per connected component, automatic
+//! re-election on failure or partition, and stability while the leader stays
+//! healthy — plus a simulated-cluster harness ([`cluster`]).
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod election;
+
+pub use cluster::ElectionCluster;
+pub use election::{Announce, ElectionConfig, ElectionNode};

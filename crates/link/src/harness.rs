@@ -1,0 +1,399 @@
+//! A deterministic two-endpoint harness for exercising the consistent-history
+//! protocol against arbitrary channel fault schedules (experiment E5).
+//!
+//! The harness models exactly the system of the paper: two nodes joined by a
+//! channel that intermittently fails, **pings carried unreliably** (lost
+//! whenever the channel is down) and **tokens carried reliably** (a sliding
+//! window is assumed, modelled as an in-order queue that only drains while
+//! the channel is up). The harness advances a tick-based clock, feeds each
+//! endpoint's [`PingMonitor`] and [`LinkEndpoint`], and records everything
+//! needed to check the paper's three properties — correctness, bounded
+//! slack, and stability.
+
+use serde::{Deserialize, Serialize};
+
+use rain_sim::{DetRng, SimDuration, SimTime};
+
+use crate::monitor::{PingConfig, PingMonitor};
+use crate::protocol::{history_consistency, LinkAction, LinkEndpoint, LinkEvent, LinkView};
+
+/// A channel fault schedule: times at which the physical channel flips state.
+/// The channel starts up; each entry toggles it.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSchedule {
+    toggles: Vec<SimTime>,
+}
+
+impl ChannelSchedule {
+    /// A channel that never fails.
+    pub fn always_up() -> Self {
+        ChannelSchedule::default()
+    }
+
+    /// Build from explicit toggle times (must be non-decreasing).
+    pub fn from_toggles(toggles: Vec<SimTime>) -> Self {
+        assert!(toggles.windows(2).all(|w| w[0] <= w[1]));
+        ChannelSchedule { toggles }
+    }
+
+    /// A randomized schedule: alternating up/down periods with exponentially
+    /// distributed lengths, until `horizon`.
+    pub fn random(
+        horizon: SimTime,
+        mean_up: SimDuration,
+        mean_down: SimDuration,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut toggles = Vec::new();
+        let mut t = SimTime::ZERO;
+        let mut up = true;
+        loop {
+            let mean = if up { mean_up } else { mean_down };
+            let span = rng.exponential(mean.as_micros() as f64).max(1.0) as u64;
+            t = t + SimDuration::from_micros(span);
+            if t >= horizon {
+                break;
+            }
+            toggles.push(t);
+            up = !up;
+        }
+        ChannelSchedule { toggles }
+    }
+
+    /// Channel state at a given time.
+    pub fn up_at(&self, t: SimTime) -> bool {
+        let flips = self.toggles.iter().filter(|&&x| x <= t).count();
+        flips % 2 == 0
+    }
+
+    /// Number of real channel state changes within the horizon.
+    pub fn changes(&self) -> usize {
+        self.toggles.len()
+    }
+}
+
+/// Everything the harness observed during one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HarnessReport {
+    /// The slack the endpoints were configured with.
+    pub slack: usize,
+    /// Real channel state changes in the schedule.
+    pub real_changes: usize,
+    /// Observable transitions made by side A.
+    pub transitions_a: usize,
+    /// Observable transitions made by side B.
+    pub transitions_b: usize,
+    /// Final view at side A.
+    pub final_view_a: LinkView,
+    /// Final view at side B.
+    pub final_view_b: LinkView,
+    /// True if the channel was up at the end of the run.
+    pub channel_up_at_end: bool,
+    /// Largest difference between the two history lengths seen at any tick.
+    pub max_observed_slack: usize,
+    /// True if the two histories agreed on their common prefix at every tick.
+    pub histories_consistent: bool,
+    /// Final length difference between the histories.
+    pub final_history_gap: usize,
+}
+
+impl HarnessReport {
+    /// The paper's **correctness** property: after the channel has been
+    /// stable long enough, both sides reflect its true state.
+    pub fn correct(&self) -> bool {
+        let expected = if self.channel_up_at_end {
+            LinkView::Up
+        } else {
+            LinkView::Down
+        };
+        self.final_view_a == expected && self.final_view_b == expected
+    }
+
+    /// The paper's **bounded slack** property.
+    pub fn slack_bounded(&self) -> bool {
+        self.max_observed_slack <= self.slack
+    }
+
+    /// The paper's **stability** property: observable transitions are bounded
+    /// by the number of real channel events plus the slack (each real event
+    /// causes at most one observable transition per side once the protocol
+    /// has caught up; the slack term covers transitions still in flight).
+    pub fn stable(&self) -> bool {
+        self.transitions_a <= self.real_changes + self.slack
+            && self.transitions_b <= self.real_changes + self.slack
+    }
+}
+
+/// Configuration of a harness run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HarnessConfig {
+    /// Slack `N` for both endpoints.
+    pub slack: usize,
+    /// Ping detector configuration.
+    pub ping: PingConfig,
+    /// Tick granularity of the harness clock.
+    pub tick: SimDuration,
+    /// One-way message latency while the channel is up.
+    pub latency: SimDuration,
+    /// Total simulated run time.
+    pub horizon: SimTime,
+    /// Quiet period appended after the last scheduled fault so that
+    /// correctness can be evaluated in a stable state.
+    pub settle: SimDuration,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            slack: 2,
+            ping: PingConfig::default(),
+            tick: SimDuration::from_millis(10),
+            latency: SimDuration::from_millis(2),
+            horizon: SimTime::from_secs(60),
+            settle: SimDuration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    deliver_at: SimTime,
+}
+
+/// Run the two-endpoint system against a channel schedule.
+pub fn run_schedule(config: &HarnessConfig, schedule: &ChannelSchedule) -> HarnessReport {
+    let mut a = LinkEndpoint::new(config.slack);
+    let mut b = LinkEndpoint::new(config.slack);
+    let mut mon_a = PingMonitor::new(config.ping, SimTime::ZERO);
+    let mut mon_b = PingMonitor::new(config.ping, SimTime::ZERO);
+
+    // Unreliable ping traffic in flight (dropped at delivery time if the
+    // channel is down then), and reliable token queues that only drain while
+    // the channel is up.
+    let mut pings_to_a: Vec<InFlight> = Vec::new();
+    let mut pings_to_b: Vec<InFlight> = Vec::new();
+    let mut tokens_to_a: Vec<InFlight> = Vec::new();
+    let mut tokens_to_b: Vec<InFlight> = Vec::new();
+    let mut queued_tokens_to_a: usize = 0;
+    let mut queued_tokens_to_b: usize = 0;
+
+    let mut max_observed_slack = 0usize;
+    let mut histories_consistent = true;
+
+    let end = config.horizon + config.settle;
+    let mut now = SimTime::ZERO;
+    while now <= end {
+        let channel_up = schedule.up_at(now);
+
+        // 1. Deliver in-flight traffic that has arrived.
+        let deliver = |flights: &mut Vec<InFlight>, drop_if_down: bool| -> usize {
+            let mut delivered = 0;
+            flights.retain(|f| {
+                if f.deliver_at <= now {
+                    if !(drop_if_down && !channel_up) {
+                        delivered += 1;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            delivered
+        };
+        let pongs_a = deliver(&mut pings_to_a, true);
+        let pongs_b = deliver(&mut pings_to_b, true);
+        let toks_a = deliver(&mut tokens_to_a, false);
+        let toks_b = deliver(&mut tokens_to_b, false);
+
+        // 2. Ping monitor updates (hearing anything counts).
+        let mut raw_a = Vec::new();
+        let mut raw_b = Vec::new();
+        if pongs_a + toks_a > 0 {
+            if let Some(ev) = mon_a.on_heard(now) {
+                raw_a.push(ev);
+            }
+        }
+        if pongs_b + toks_b > 0 {
+            if let Some(ev) = mon_b.on_heard(now) {
+                raw_b.push(ev);
+            }
+        }
+        if let Some(ev) = mon_a.on_tick(now) {
+            raw_a.push(ev);
+        }
+        if let Some(ev) = mon_b.on_tick(now) {
+            raw_b.push(ev);
+        }
+
+        // 3. Protocol steps: raw events then received tokens.
+        let mut out_a: Vec<LinkAction> = Vec::new();
+        let mut out_b: Vec<LinkAction> = Vec::new();
+        for ev in raw_a {
+            out_a.extend(a.step(ev).actions);
+        }
+        for ev in raw_b {
+            out_b.extend(b.step(ev).actions);
+        }
+        for _ in 0..toks_a {
+            out_a.extend(a.step(LinkEvent::TokenReceived).actions);
+        }
+        for _ in 0..toks_b {
+            out_b.extend(b.step(LinkEvent::TokenReceived).actions);
+        }
+        queued_tokens_to_b += out_a.len();
+        queued_tokens_to_a += out_b.len();
+
+        // 4. Send pings (unreliable) and drain token queues (reliable: only
+        //    handed to the wire while the channel is up).
+        if mon_a.should_ping(now) {
+            pings_to_b.push(InFlight {
+                deliver_at: now + config.latency,
+            });
+        }
+        if mon_b.should_ping(now) {
+            pings_to_a.push(InFlight {
+                deliver_at: now + config.latency,
+            });
+        }
+        if channel_up {
+            for _ in 0..queued_tokens_to_b {
+                tokens_to_b.push(InFlight {
+                    deliver_at: now + config.latency,
+                });
+            }
+            for _ in 0..queued_tokens_to_a {
+                tokens_to_a.push(InFlight {
+                    deliver_at: now + config.latency,
+                });
+            }
+            queued_tokens_to_a = 0;
+            queued_tokens_to_b = 0;
+        }
+
+        // 5. Observe the invariants.
+        match history_consistency(a.history(), b.history()) {
+            Ok(gap) => max_observed_slack = max_observed_slack.max(gap),
+            Err(_) => histories_consistent = false,
+        }
+
+        now += config.tick;
+    }
+
+    HarnessReport {
+        slack: config.slack,
+        real_changes: schedule.changes(),
+        transitions_a: a.transitions(),
+        transitions_b: b.transitions(),
+        final_view_a: a.view(),
+        final_view_b: b.view(),
+        channel_up_at_end: schedule.up_at(end),
+        max_observed_slack,
+        histories_consistent,
+        final_history_gap: a.transitions().abs_diff(b.transitions()),
+    }
+}
+
+/// Run a randomized schedule derived from a seed (convenience for tests,
+/// property tests, and the experiment harness).
+pub fn run_random(config: &HarnessConfig, seed: u64) -> (HarnessReport, ChannelSchedule) {
+    let mut rng = DetRng::new(seed);
+    let schedule = ChannelSchedule::random(
+        config.horizon,
+        SimDuration::from_secs(4),
+        SimDuration::from_secs(2),
+        &mut rng,
+    );
+    (run_schedule(config, &schedule), schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn always_up_channel_sees_no_transitions() {
+        let report = run_schedule(&HarnessConfig::default(), &ChannelSchedule::always_up());
+        assert_eq!(report.transitions_a, 0);
+        assert_eq!(report.transitions_b, 0);
+        assert!(report.correct());
+        assert!(report.slack_bounded());
+        assert!(report.stable());
+    }
+
+    #[test]
+    fn single_outage_is_seen_once_by_both_sides() {
+        let schedule = ChannelSchedule::from_toggles(vec![
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        ]);
+        let report = run_schedule(&HarnessConfig::default(), &schedule);
+        assert_eq!(report.transitions_a, 2, "Down then Up");
+        assert_eq!(report.transitions_b, 2);
+        assert!(report.correct());
+        assert_eq!(report.final_view_a, LinkView::Up);
+        assert!(report.histories_consistent);
+        assert!(report.max_observed_slack <= 2);
+    }
+
+    #[test]
+    fn channel_down_at_end_is_reported_down_by_both_sides() {
+        let schedule = ChannelSchedule::from_toggles(vec![SimTime::from_secs(30)]);
+        let report = run_schedule(&HarnessConfig::default(), &schedule);
+        assert!(report.correct());
+        assert_eq!(report.final_view_a, LinkView::Down);
+        assert_eq!(report.final_view_b, LinkView::Down);
+    }
+
+    #[test]
+    fn rapid_flapping_respects_slack_and_stability() {
+        // Many short outages, each shorter than the ping timeout, plus a few
+        // long ones: the protocol must never exceed the slack bound.
+        let mut toggles = Vec::new();
+        for i in 0..40u64 {
+            toggles.push(SimTime::from_millis(2_000 + i * 700));
+        }
+        let schedule = ChannelSchedule::from_toggles(toggles);
+        for slack in [2usize, 4, 8] {
+            let config = HarnessConfig {
+                slack,
+                ..HarnessConfig::default()
+            };
+            let report = run_schedule(&config, &schedule);
+            assert!(report.histories_consistent, "slack {slack}");
+            assert!(report.slack_bounded(), "slack {slack}: {report:?}");
+            assert!(report.stable(), "slack {slack}: {report:?}");
+            assert!(report.correct(), "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn random_runs_are_reproducible() {
+        let config = HarnessConfig::default();
+        let (r1, s1) = run_random(&config, 99);
+        let (r2, s2) = run_random(&config, 99);
+        assert_eq!(s1, s2);
+        assert_eq!(r1.transitions_a, r2.transitions_a);
+        assert_eq!(r1.max_observed_slack, r2.max_observed_slack);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// E5 as a property: for random fault schedules and several slack
+        /// values, the three paper properties hold.
+        #[test]
+        fn prop_paper_properties_hold(seed in any::<u64>(), slack in prop::sample::select(vec![2usize, 4, 8])) {
+            let config = HarnessConfig {
+                slack,
+                horizon: SimTime::from_secs(30),
+                ..HarnessConfig::default()
+            };
+            let (report, _) = run_random(&config, seed);
+            prop_assert!(report.histories_consistent);
+            prop_assert!(report.slack_bounded(), "{report:?}");
+            prop_assert!(report.correct(), "{report:?}");
+            prop_assert!(report.stable(), "{report:?}");
+        }
+    }
+}

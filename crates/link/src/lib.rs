@@ -1,0 +1,42 @@
+//! # rain-link — consistent-history link-state monitoring
+//!
+//! Section 2.2 of *Computing in the RAIN*: when nodes bundle multiple network
+//! interfaces and links fail intermittently, applications need connectivity
+//! information that is **consistent at both ends of every channel** — if one
+//! side takes error-recovery action, the other side must (eventually) have
+//! seen exactly the same sequence of `Up`/`Down` transitions, and neither
+//! side may run ahead of the other by more than a bounded number of
+//! transitions.
+//!
+//! The crate follows the paper's two-layer structure:
+//!
+//! * [`monitor`] — the unreliable-ping detector that produces raw *time-out*
+//!   and *time-in* hints;
+//! * [`protocol`] — the token-conservation state machine (slack `N = 2` and
+//!   general `N`) that filters those hints into a consistent observable
+//!   history;
+//! * [`harness`] — a deterministic two-endpoint test harness that replays
+//!   arbitrary channel fault schedules and checks the paper's three
+//!   properties: correctness, bounded slack, and stability (experiment E5).
+//!
+//! ```
+//! use rain_link::protocol::{LinkEndpoint, LinkEvent, LinkView};
+//!
+//! let mut endpoint = LinkEndpoint::new(2);
+//! let outcome = endpoint.step(LinkEvent::TimeOut);
+//! assert_eq!(endpoint.view(), LinkView::Down);
+//! // The transition spent a token which must be sent to the peer.
+//! assert_eq!(outcome.actions.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod monitor;
+pub mod protocol;
+
+pub use harness::{run_random, run_schedule, ChannelSchedule, HarnessConfig, HarnessReport};
+pub use monitor::{PingConfig, PingMonitor};
+pub use protocol::{
+    history_consistency, LinkAction, LinkEndpoint, LinkEvent, LinkView, StepOutcome,
+};

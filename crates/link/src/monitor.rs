@@ -1,0 +1,166 @@
+//! The low-level ping detector that generates `tout` / `tin` events.
+//!
+//! Section 2.2.3 of the paper splits the protocol into two parts: token
+//! passing over reliable messaging (implemented in [`crate::protocol`]) and
+//! ping messages over unreliable messaging whose sole purpose is to detect
+//! when the link can be considered up or down. This module is that second
+//! part: a small bookkeeping state machine that watches pong arrivals and
+//! produces *edge-triggered* [`LinkEvent::TimeOut`] / [`LinkEvent::TimeIn`]
+//! hints for the protocol layer.
+
+use serde::{Deserialize, Serialize};
+
+use rain_sim::{SimDuration, SimTime};
+
+use crate::protocol::LinkEvent;
+
+/// Configuration for the ping detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingConfig {
+    /// How often pings are emitted.
+    pub interval: SimDuration,
+    /// How long without hearing from the peer before declaring a time-out.
+    pub timeout: SimDuration,
+}
+
+impl Default for PingConfig {
+    fn default() -> Self {
+        PingConfig {
+            interval: SimDuration::from_millis(100),
+            timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Edge-triggered time-out / time-in detector driven by pongs and ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PingMonitor {
+    config: PingConfig,
+    last_heard: SimTime,
+    last_ping_sent: Option<SimTime>,
+    /// The detector's own raw opinion (distinct from the protocol view).
+    channel_ok: bool,
+}
+
+impl PingMonitor {
+    /// Create a monitor; `now` seeds the "last heard" clock so a silent peer
+    /// times out `config.timeout` after start-up.
+    pub fn new(config: PingConfig, now: SimTime) -> Self {
+        PingMonitor {
+            config,
+            last_heard: now,
+            last_ping_sent: None,
+            channel_ok: true,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &PingConfig {
+        &self.config
+    }
+
+    /// The detector's current raw opinion of the channel.
+    pub fn channel_ok(&self) -> bool {
+        self.channel_ok
+    }
+
+    /// When the peer was last heard from.
+    pub fn last_heard(&self) -> SimTime {
+        self.last_heard
+    }
+
+    /// Should a ping be sent now? Returns true at most once per interval.
+    pub fn should_ping(&mut self, now: SimTime) -> bool {
+        let due = match self.last_ping_sent {
+            None => true,
+            Some(t) => now.since(t) >= self.config.interval,
+        };
+        if due {
+            self.last_ping_sent = Some(now);
+        }
+        due
+    }
+
+    /// Record that anything was heard from the peer (a ping or a pong —
+    /// either proves the channel works in at least one direction and, for
+    /// pongs, both). Returns `Some(TimeIn)` on a down-to-up edge.
+    pub fn on_heard(&mut self, now: SimTime) -> Option<LinkEvent> {
+        self.last_heard = now;
+        if !self.channel_ok {
+            self.channel_ok = true;
+            Some(LinkEvent::TimeIn)
+        } else {
+            None
+        }
+    }
+
+    /// Advance the detector's clock. Returns `Some(TimeOut)` on an up-to-down
+    /// edge (nothing heard for longer than the configured timeout).
+    pub fn on_tick(&mut self, now: SimTime) -> Option<LinkEvent> {
+        if self.channel_ok && now.since(self.last_heard) > self.config.timeout {
+            self.channel_ok = false;
+            Some(LinkEvent::TimeOut)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PingConfig {
+        PingConfig {
+            interval: SimDuration::from_millis(10),
+            timeout: SimDuration::from_millis(35),
+        }
+    }
+
+    #[test]
+    fn pings_are_rate_limited() {
+        let mut m = PingMonitor::new(cfg(), SimTime::ZERO);
+        assert!(m.should_ping(SimTime::from_millis(0)));
+        assert!(!m.should_ping(SimTime::from_millis(5)));
+        assert!(m.should_ping(SimTime::from_millis(10)));
+        assert!(m.should_ping(SimTime::from_millis(25)));
+    }
+
+    #[test]
+    fn silence_raises_exactly_one_timeout() {
+        let mut m = PingMonitor::new(cfg(), SimTime::ZERO);
+        assert_eq!(m.on_tick(SimTime::from_millis(30)), None);
+        assert_eq!(
+            m.on_tick(SimTime::from_millis(40)),
+            Some(LinkEvent::TimeOut)
+        );
+        // Edge triggered: further silence does not repeat the event.
+        assert_eq!(m.on_tick(SimTime::from_millis(100)), None);
+        assert!(!m.channel_ok());
+    }
+
+    #[test]
+    fn hearing_the_peer_after_a_timeout_raises_timein() {
+        let mut m = PingMonitor::new(cfg(), SimTime::ZERO);
+        m.on_tick(SimTime::from_millis(40));
+        assert!(!m.channel_ok());
+        assert_eq!(
+            m.on_heard(SimTime::from_millis(50)),
+            Some(LinkEvent::TimeIn)
+        );
+        assert!(m.channel_ok());
+        // While healthy, hearing more produces no events.
+        assert_eq!(m.on_heard(SimTime::from_millis(55)), None);
+        assert_eq!(m.on_tick(SimTime::from_millis(60)), None);
+    }
+
+    #[test]
+    fn regular_pongs_prevent_timeouts() {
+        let mut m = PingMonitor::new(cfg(), SimTime::ZERO);
+        for ms in (0..200).step_by(10) {
+            m.on_heard(SimTime::from_millis(ms));
+            assert_eq!(m.on_tick(SimTime::from_millis(ms + 5)), None);
+        }
+        assert!(m.channel_ok());
+    }
+}

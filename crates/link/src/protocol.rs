@@ -1,0 +1,342 @@
+//! The consistent-history link-state protocol of Section 2.2–2.4.
+//!
+//! Each end of a monitored channel runs one [`LinkEndpoint`] state machine.
+//! The machine's job is *not* to decide whether the link is up — that raw
+//! information arrives as time-out (`tout`) and time-in (`tin`) events from a
+//! lower-level detector (see [`crate::monitor::PingMonitor`]) — but to filter
+//! those raw events into an **observable history** of `Up`/`Down` transitions
+//! that is guaranteed to be consistent at both ends:
+//!
+//! * **Correctness** — if the channel stays down (up), both sides eventually
+//!   mark it `Down` (`Up`);
+//! * **Bounded slack** — neither side's history ever leads or lags the other
+//!   by more than `N` transitions;
+//! * **Stability** — each real channel event causes at most a bounded number
+//!   of observable transitions at each end.
+//!
+//! The mechanism is token conservation. Each side starts with `N` tokens; an
+//! observable transition *spends* one token (it is sent to the peer over
+//! reliable messaging) and a side holding no tokens is blocked from further
+//! transitions until the peer acknowledges. A received token is either an
+//! acknowledgement of one of our earlier transitions (if we have any
+//! outstanding) or evidence that the peer transitioned ahead of us, in which
+//! case we mirror the transition immediately and send the token back.
+
+use serde::{Deserialize, Serialize};
+
+/// How an endpoint currently sees the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkView {
+    /// The channel is believed to perform bidirectional communication.
+    Up,
+    /// The channel is believed broken.
+    Down,
+}
+
+impl LinkView {
+    /// The opposite view.
+    pub fn flipped(self) -> LinkView {
+        match self {
+            LinkView::Up => LinkView::Down,
+            LinkView::Down => LinkView::Up,
+        }
+    }
+}
+
+/// An input to the endpoint state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkEvent {
+    /// The low-level detector believes bidirectional communication has
+    /// (probably) been lost.
+    TimeOut,
+    /// The low-level detector believes bidirectional communication has
+    /// (probably) been re-established.
+    TimeIn,
+    /// A token from the peer arrived over reliable messaging.
+    TokenReceived,
+}
+
+/// An output action requested by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkAction {
+    /// Send one token to the peer over reliable messaging.
+    SendToken,
+}
+
+/// The result of feeding one event to the state machine.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Actions the caller must carry out (token sends).
+    pub actions: Vec<LinkAction>,
+    /// The observable transition made by this step, if any.
+    pub transition: Option<LinkView>,
+}
+
+/// One end of a monitored channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkEndpoint {
+    slack: usize,
+    view: LinkView,
+    tokens: usize,
+    history: Vec<LinkView>,
+    /// Statistics: how many raw events of each kind were consumed.
+    timeouts_seen: u64,
+    timeins_seen: u64,
+    tokens_received: u64,
+}
+
+impl LinkEndpoint {
+    /// Create an endpoint with slack `n >= 2` (the paper proves `N = 2` is
+    /// the smallest slack for which any such protocol can work).
+    pub fn new(slack: usize) -> Self {
+        assert!(slack >= 2, "slack must be at least 2");
+        LinkEndpoint {
+            slack,
+            view: LinkView::Up,
+            tokens: slack,
+            history: Vec::new(),
+            timeouts_seen: 0,
+            timeins_seen: 0,
+            tokens_received: 0,
+        }
+    }
+
+    /// The configured slack `N`.
+    pub fn slack(&self) -> usize {
+        self.slack
+    }
+
+    /// The current observable view of the channel.
+    pub fn view(&self) -> LinkView {
+        self.view
+    }
+
+    /// Tokens currently held (`N` minus unacknowledged transitions).
+    pub fn tokens(&self) -> usize {
+        self.tokens
+    }
+
+    /// Number of this side's transitions not yet acknowledged by the peer.
+    pub fn unacknowledged(&self) -> usize {
+        self.slack - self.tokens
+    }
+
+    /// The observable history: every transition this endpoint has made, in
+    /// order. Because transitions strictly alternate starting from `Up`, the
+    /// history is fully described by its length, but the explicit vector
+    /// makes the consistency checks in tests and experiments direct.
+    pub fn history(&self) -> &[LinkView] {
+        &self.history
+    }
+
+    /// Number of observable transitions made so far.
+    pub fn transitions(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Raw time-out events consumed.
+    pub fn timeouts_seen(&self) -> u64 {
+        self.timeouts_seen
+    }
+
+    /// Raw time-in events consumed.
+    pub fn timeins_seen(&self) -> u64 {
+        self.timeins_seen
+    }
+
+    /// Tokens received from the peer.
+    pub fn tokens_received(&self) -> u64 {
+        self.tokens_received
+    }
+
+    fn transition_to(&mut self, view: LinkView, outcome: &mut StepOutcome) {
+        debug_assert!(self.tokens > 0, "a transition spends a token");
+        self.tokens -= 1;
+        self.view = view;
+        self.history.push(view);
+        outcome.actions.push(LinkAction::SendToken);
+        outcome.transition = Some(view);
+    }
+
+    /// Feed one event to the state machine and collect the resulting actions.
+    pub fn step(&mut self, event: LinkEvent) -> StepOutcome {
+        let mut outcome = StepOutcome::default();
+        match event {
+            LinkEvent::TimeOut => {
+                self.timeouts_seen += 1;
+                // Only meaningful while we see the channel Up; a blocked node
+                // (no tokens) must wait for an acknowledgement.
+                if self.view == LinkView::Up && self.tokens > 0 {
+                    self.transition_to(LinkView::Down, &mut outcome);
+                }
+            }
+            LinkEvent::TimeIn => {
+                self.timeins_seen += 1;
+                if self.view == LinkView::Down && self.tokens > 0 {
+                    self.transition_to(LinkView::Up, &mut outcome);
+                }
+            }
+            LinkEvent::TokenReceived => {
+                self.tokens_received += 1;
+                if self.tokens < self.slack {
+                    // Acknowledgement of one of our outstanding transitions.
+                    self.tokens += 1;
+                } else {
+                    // The peer transitioned ahead of us: mirror it so the two
+                    // histories stay within the slack bound, and return the
+                    // token so the peer's transition is acknowledged.
+                    self.tokens += 1;
+                    self.transition_to(self.view.flipped(), &mut outcome);
+                }
+            }
+        }
+        outcome
+    }
+}
+
+/// Check that two histories are *consistent*: one is a prefix of the other
+/// and they agree on the common prefix. Returns the length difference.
+pub fn history_consistency(a: &[LinkView], b: &[LinkView]) -> Result<usize, String> {
+    let common = a.len().min(b.len());
+    for i in 0..common {
+        if a[i] != b[i] {
+            return Err(format!(
+                "histories diverge at transition {i}: {:?} vs {:?}",
+                a[i], b[i]
+            ));
+        }
+    }
+    Ok(a.len().abs_diff(b.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_up_with_full_tokens() {
+        let ep = LinkEndpoint::new(2);
+        assert_eq!(ep.view(), LinkView::Up);
+        assert_eq!(ep.tokens(), 2);
+        assert_eq!(ep.unacknowledged(), 0);
+        assert!(ep.history().is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn slack_below_two_is_rejected() {
+        LinkEndpoint::new(1);
+    }
+
+    #[test]
+    fn timeout_transitions_down_and_sends_a_token() {
+        let mut ep = LinkEndpoint::new(2);
+        let out = ep.step(LinkEvent::TimeOut);
+        assert_eq!(out.transition, Some(LinkView::Down));
+        assert_eq!(out.actions, vec![LinkAction::SendToken]);
+        assert_eq!(ep.view(), LinkView::Down);
+        assert_eq!(ep.tokens(), 1);
+    }
+
+    #[test]
+    fn duplicate_timeouts_cause_one_transition() {
+        // Stability: a storm of touts while already Down is absorbed.
+        let mut ep = LinkEndpoint::new(2);
+        ep.step(LinkEvent::TimeOut);
+        for _ in 0..10 {
+            let out = ep.step(LinkEvent::TimeOut);
+            assert_eq!(out.transition, None);
+            assert!(out.actions.is_empty());
+        }
+        assert_eq!(ep.transitions(), 1);
+        assert_eq!(ep.timeouts_seen(), 11);
+    }
+
+    #[test]
+    fn endpoint_blocks_after_spending_all_tokens() {
+        let mut ep = LinkEndpoint::new(2);
+        assert!(ep.step(LinkEvent::TimeOut).transition.is_some()); // Down, t=1
+        assert!(ep.step(LinkEvent::TimeIn).transition.is_some()); // Up, t=0
+        // Out of tokens: the next raw event cannot become observable.
+        assert!(ep.step(LinkEvent::TimeOut).transition.is_none());
+        assert_eq!(ep.view(), LinkView::Up);
+        assert_eq!(ep.unacknowledged(), 2);
+        // An acknowledgement unblocks it.
+        assert!(ep.step(LinkEvent::TokenReceived).transition.is_none());
+        assert_eq!(ep.tokens(), 1);
+        assert!(ep.step(LinkEvent::TimeOut).transition.is_some());
+        assert_eq!(ep.view(), LinkView::Down);
+    }
+
+    #[test]
+    fn token_with_no_outstanding_transitions_mirrors_the_peer() {
+        let mut ep = LinkEndpoint::new(2);
+        let out = ep.step(LinkEvent::TokenReceived);
+        assert_eq!(out.transition, Some(LinkView::Down));
+        assert_eq!(out.actions, vec![LinkAction::SendToken]);
+        assert_eq!(ep.tokens(), 2, "mirroring returns the token");
+        let out = ep.step(LinkEvent::TokenReceived);
+        assert_eq!(out.transition, Some(LinkView::Up));
+    }
+
+    #[test]
+    fn two_endpoints_with_instant_delivery_stay_identical() {
+        // Drive A with raw events; forward every token both ways instantly.
+        let mut a = LinkEndpoint::new(2);
+        let mut b = LinkEndpoint::new(2);
+        let events = [
+            LinkEvent::TimeOut,
+            LinkEvent::TimeIn,
+            LinkEvent::TimeOut,
+            LinkEvent::TimeIn,
+            LinkEvent::TimeOut,
+        ];
+        for ev in events {
+            let mut to_b: Vec<LinkAction> = a.step(ev).actions;
+            // Exchange until no more tokens are produced.
+            while !to_b.is_empty() {
+                let mut to_a = Vec::new();
+                for _ in to_b.drain(..) {
+                    to_a.extend(b.step(LinkEvent::TokenReceived).actions);
+                }
+                for _ in to_a {
+                    to_b.extend(a.step(LinkEvent::TokenReceived).actions);
+                }
+            }
+        }
+        assert_eq!(a.history(), b.history());
+        assert_eq!(a.view(), LinkView::Down);
+        assert_eq!(b.view(), LinkView::Down);
+        assert_eq!(history_consistency(a.history(), b.history()).unwrap(), 0);
+    }
+
+    #[test]
+    fn history_consistency_detects_divergence() {
+        let ok = history_consistency(
+            &[LinkView::Down, LinkView::Up],
+            &[LinkView::Down, LinkView::Up, LinkView::Down],
+        );
+        assert_eq!(ok.unwrap(), 1);
+        let bad = history_consistency(&[LinkView::Down], &[LinkView::Up]);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn slack_bound_holds_for_a_one_sided_burst() {
+        // With slack N, a side with no acknowledgements can make at most N
+        // observable transitions.
+        for n in [2usize, 4, 8] {
+            let mut ep = LinkEndpoint::new(n);
+            for i in 0..(3 * n) {
+                let ev = if i % 2 == 0 {
+                    LinkEvent::TimeOut
+                } else {
+                    LinkEvent::TimeIn
+                };
+                ep.step(ev);
+            }
+            assert_eq!(ep.transitions(), n, "slack {n}");
+            assert_eq!(ep.tokens(), 0);
+        }
+    }
+}

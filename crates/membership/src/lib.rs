@@ -1,0 +1,30 @@
+//! # rain-membership — token-based group membership
+//!
+//! Section 3 of *Computing in the RAIN*: a reliable group-membership service
+//! built from two mechanisms —
+//!
+//! * the **token mechanism** ([`node`], [`token`]): the members are ordered
+//!   in a logical ring around which a single token circulates; the token
+//!   carries the authoritative membership and a sequence number, detects
+//!   failures when a pass is not acknowledged (with an **aggressive** variant
+//!   that excludes the unreachable successor immediately and a
+//!   **conservative** variant that reorders the ring and excludes a node only
+//!   when nobody can reach it), and
+//! * the **911 mechanism**: a starving node asks the other members for the
+//!   right to regenerate a lost token (arbitrated by token sequence numbers
+//!   so exactly one node wins), and the same message doubles as the join
+//!   request used by new nodes, excluded nodes, and recovered nodes.
+//!
+//! [`cluster`] runs one protocol instance per simulated node over the
+//! `rain-sim` fabric and exposes the convergence and consensus checks used by
+//! experiments E6 and E7.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod token;
+
+pub use cluster::MembershipCluster;
+pub use node::{Detection, MemberAction, MemberConfig, MemberEvent, MemberNode, TimerKind};
+pub use token::{MemberMsg, Token};

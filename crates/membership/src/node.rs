@@ -1,0 +1,763 @@
+//! The per-node state machine of the token-based group membership protocol
+//! (Section 3 of the paper): the token mechanism with aggressive and
+//! conservative failure detection, and the 911 mechanism for token
+//! regeneration, dynamic joins, and recovery from transient failures.
+//!
+//! The machine is pure: it consumes [`MemberEvent`]s and emits
+//! [`MemberAction`]s (messages to send, timers to arm). The
+//! [`crate::cluster::MembershipCluster`] harness connects it to the
+//! simulated fabric; unit tests drive it directly.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use rain_sim::{NodeId, SimDuration};
+
+use crate::token::{MemberMsg, Token};
+
+/// Which failure-detection variant the token mechanism uses (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Detection {
+    /// Remove a node from the membership as soon as one token pass to it
+    /// fails. Fast, but may temporarily exclude a partially-disconnected
+    /// node (it rejoins via the 911 mechanism).
+    Aggressive,
+    /// Reorder the ring on a failed pass and only remove a node after the
+    /// token-carried failure count reaches two — i.e. only when no node in
+    /// the connected component managed to reach it.
+    Conservative,
+}
+
+/// Timer kinds the state machine asks the environment to arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerKind {
+    /// The holder's hold interval expired: pass the token on.
+    HoldToken,
+    /// No acknowledgement of a token pass arrived in time.
+    PassTimeout,
+    /// No token has been seen for the starvation interval (enter STARVING).
+    Starvation,
+    /// The collection window for 911 replies closed.
+    ReplyWindow,
+}
+
+/// Protocol tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberConfig {
+    /// Failure-detection variant.
+    pub detection: Detection,
+    /// How long a holder keeps the token before passing it on.
+    pub hold_interval: SimDuration,
+    /// How long to wait for a token acknowledgement before declaring the
+    /// pass failed.
+    pub ack_timeout: SimDuration,
+    /// How long a node waits without seeing the token before it suspects the
+    /// token was lost and sends a 911.
+    pub starvation_timeout: SimDuration,
+    /// How long a starving node collects 911 replies before deciding.
+    pub reply_window: SimDuration,
+}
+
+impl Default for MemberConfig {
+    fn default() -> Self {
+        MemberConfig {
+            detection: Detection::Aggressive,
+            hold_interval: SimDuration::from_millis(50),
+            ack_timeout: SimDuration::from_millis(200),
+            starvation_timeout: SimDuration::from_millis(2_000),
+            reply_window: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Inputs to the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// A protocol message arrived.
+    Receive {
+        /// The sending node.
+        from: NodeId,
+        /// The message.
+        msg: MemberMsg,
+    },
+    /// A previously armed timer fired. Stale generations are ignored.
+    Timer {
+        /// The timer kind.
+        kind: TimerKind,
+        /// Generation echoed from the arming action.
+        generation: u64,
+    },
+}
+
+/// Outputs of the state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberAction {
+    /// Send a protocol message.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        msg: MemberMsg,
+    },
+    /// Arm a timer; the environment must deliver a [`MemberEvent::Timer`]
+    /// with the same kind and generation after `delay`.
+    ArmTimer {
+        /// The timer kind.
+        kind: TimerKind,
+        /// Generation to echo back.
+        generation: u64,
+        /// Delay from now.
+        delay: SimDuration,
+    },
+    /// The node's view of the membership changed (for observers/tests).
+    ViewChanged {
+        /// The new view, in ring order.
+        ring: Vec<NodeId>,
+    },
+    /// This node regenerated the token (observability for experiment E7).
+    TokenRegenerated {
+        /// Sequence number of the regenerated token.
+        seq: u64,
+    },
+}
+
+/// One node's membership protocol instance.
+#[derive(Debug, Clone)]
+pub struct MemberNode {
+    id: NodeId,
+    config: MemberConfig,
+    /// Local membership view (from the most recent token seen).
+    view: Vec<NodeId>,
+    /// Local copy of the most recent token seen (for 911 arbitration).
+    last_seen_seq: u64,
+    /// The token, if this node currently holds it.
+    holding: Option<Token>,
+    /// Outstanding pass: (successor, seq sent).
+    awaiting_ack: Option<(NodeId, u64)>,
+    /// Join requests to honour the next time this node holds the token.
+    pending_joins: Vec<NodeId>,
+    /// 911 state: replies outstanding / denial seen.
+    awaiting_replies: Option<AwaitingReplies>,
+    /// Timer generations (stale-timer suppression).
+    generations: BTreeMap<&'static str, u64>,
+    /// Statistics: how many times this node regenerated the token.
+    regenerations: u64,
+    /// Statistics: how many tokens this node has received.
+    tokens_received: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AwaitingReplies {
+    approvals: usize,
+    denied: bool,
+}
+
+fn kind_key(kind: TimerKind) -> &'static str {
+    match kind {
+        TimerKind::HoldToken => "hold",
+        TimerKind::PassTimeout => "pass",
+        TimerKind::Starvation => "starve",
+        TimerKind::ReplyWindow => "reply",
+    }
+}
+
+impl MemberNode {
+    /// Create a node that knows the initial ring (it may or may not contain
+    /// the node itself — a joining node starts with an empty view and a
+    /// contact, see [`MemberNode::request_join`]).
+    pub fn new(id: NodeId, initial_ring: Vec<NodeId>, config: MemberConfig) -> Self {
+        MemberNode {
+            id,
+            config,
+            view: initial_ring,
+            last_seen_seq: 0,
+            holding: None,
+            awaiting_ack: None,
+            pending_joins: Vec::new(),
+            awaiting_replies: None,
+            generations: BTreeMap::new(),
+            regenerations: 0,
+            tokens_received: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's current membership view, in ring order.
+    pub fn view(&self) -> &[NodeId] {
+        &self.view
+    }
+
+    /// True if the node currently holds the token.
+    pub fn is_holder(&self) -> bool {
+        self.holding.is_some()
+    }
+
+    /// Sequence number of the most recent token this node has seen.
+    pub fn last_seen_seq(&self) -> u64 {
+        self.last_seen_seq
+    }
+
+    /// How many times this node regenerated the token.
+    pub fn regenerations(&self) -> u64 {
+        self.regenerations
+    }
+
+    /// How many tokens this node has received.
+    pub fn tokens_received(&self) -> u64 {
+        self.tokens_received
+    }
+
+    /// Application payload of the token currently held (if any).
+    pub fn held_payload(&self) -> Option<&[u8]> {
+        self.holding.as_ref().map(|t| t.payload.as_slice())
+    }
+
+    /// Mutate the payload of the held token (used by SNOW to attach the HTTP
+    /// request queue). No-op when the node is not the holder.
+    pub fn set_held_payload(&mut self, payload: Vec<u8>) {
+        if let Some(t) = self.holding.as_mut() {
+            t.payload = payload;
+        }
+    }
+
+    fn arm(&mut self, kind: TimerKind, delay: SimDuration, out: &mut Vec<MemberAction>) -> u64 {
+        let entry = self.generations.entry(kind_key(kind)).or_insert(0);
+        *entry += 1;
+        out.push(MemberAction::ArmTimer {
+            kind,
+            generation: *entry,
+            delay,
+        });
+        *entry
+    }
+
+    fn is_current(&self, kind: TimerKind, generation: u64) -> bool {
+        self.generations.get(kind_key(kind)).copied().unwrap_or(0) == generation
+    }
+
+    fn set_view(&mut self, ring: Vec<NodeId>, out: &mut Vec<MemberAction>) {
+        if self.view != ring {
+            self.view = ring.clone();
+            out.push(MemberAction::ViewChanged { ring });
+        }
+    }
+
+    /// Bootstrap: make this node create the very first token and become its
+    /// first holder.
+    pub fn create_initial_token(&mut self) -> Vec<MemberAction> {
+        let mut out = Vec::new();
+        let mut ring = self.view.clone();
+        if !ring.contains(&self.id) {
+            ring.insert(0, self.id);
+        }
+        let token = Token::new(ring.clone());
+        self.last_seen_seq = token.seq;
+        self.holding = Some(token);
+        self.set_view(ring, &mut out);
+        self.arm(TimerKind::HoldToken, self.config.hold_interval, &mut out);
+        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        out
+    }
+
+    /// Bootstrap for a node that is *not* in the initial membership: send a
+    /// 911 to `contact`, which will treat it as a join request.
+    pub fn request_join(&mut self, contact: NodeId) -> Vec<MemberAction> {
+        let mut out = vec![MemberAction::Send {
+            to: contact,
+            msg: MemberMsg::NineOneOne {
+                seq: self.last_seen_seq,
+            },
+        }];
+        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        out
+    }
+
+    /// Arm the initial starvation timer for an ordinary (non-holder) member.
+    pub fn start(&mut self) -> Vec<MemberAction> {
+        let mut out = Vec::new();
+        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        out
+    }
+
+    fn pass_token(&mut self, out: &mut Vec<MemberAction>) {
+        let Some(mut token) = self.holding.take() else {
+            return;
+        };
+        // Honour pending join requests first: the newcomer is inserted right
+        // after this node (Section 3.3.2 — the accepting node "adds the new
+        // node to the membership and sends the token to the new node"), so
+        // in the Fig. 9b scenario ring ACD becomes ACBD, not ACDB.
+        let me = self.id;
+        for join in self.pending_joins.drain(..) {
+            token.add_after(join, me);
+        }
+        let Some(successor) = token.successor(self.id) else {
+            // Alone in the ring: keep holding.
+            self.set_view(token.ring.clone(), out);
+            self.last_seen_seq = token.seq;
+            self.holding = Some(token);
+            self.arm(TimerKind::HoldToken, self.config.hold_interval, out);
+            return;
+        };
+        token.seq += 1;
+        self.last_seen_seq = token.seq;
+        self.set_view(token.ring.clone(), out);
+        self.awaiting_ack = Some((successor, token.seq));
+        out.push(MemberAction::Send {
+            to: successor,
+            msg: MemberMsg::Token(token),
+        });
+        self.arm(TimerKind::PassTimeout, self.config.ack_timeout, out);
+    }
+
+    fn handle_pass_failure(&mut self, out: &mut Vec<MemberAction>) {
+        let Some((failed, seq)) = self.awaiting_ack.take() else {
+            return;
+        };
+        // We still logically hold the token (the successor never confirmed).
+        // Reconstruct it from our last known state if necessary.
+        let mut token = match self.holding.take() {
+            Some(t) => t,
+            None => {
+                let mut t = Token::new(self.view.clone());
+                t.seq = seq;
+                t
+            }
+        };
+        match self.config.detection {
+            Detection::Aggressive => {
+                token.remove(failed);
+            }
+            Detection::Conservative => {
+                let count = token.bump_failure(failed);
+                if count >= 2 {
+                    token.remove(failed);
+                    token.clear_failure(failed);
+                } else {
+                    token.defer(failed);
+                }
+            }
+        }
+        self.holding = Some(token);
+        self.pass_token(out);
+    }
+
+    fn receive_token(&mut self, from: NodeId, token: Token, out: &mut Vec<MemberAction>) {
+        // Discard stale tokens (out-of-sequence copies from before a
+        // regeneration or a slow path).
+        if token.seq < self.last_seen_seq {
+            return;
+        }
+        out.push(MemberAction::Send {
+            to: from,
+            msg: MemberMsg::TokenAck { seq: token.seq },
+        });
+        let mut token = token;
+        // Receiving the token proves this node is reachable again.
+        token.clear_failure(self.id);
+        token.add(self.id);
+        self.tokens_received += 1;
+        self.last_seen_seq = token.seq;
+        self.awaiting_replies = None;
+        self.set_view(token.ring.clone(), out);
+        self.holding = Some(token);
+        self.arm(TimerKind::HoldToken, self.config.hold_interval, out);
+        self.arm(TimerKind::Starvation, self.config.starvation_timeout, out);
+    }
+
+    fn receive_911(&mut self, from: NodeId, seq: u64, out: &mut Vec<MemberAction>) {
+        if !self.view.contains(&from) {
+            // Join request (Section 3.3.2): remember it; it is honoured the
+            // next time this node holds the token.
+            if !self.pending_joins.contains(&from) {
+                self.pending_joins.push(from);
+            }
+            return;
+        }
+        // Regeneration request (Section 3.3.1): deny if we hold the token or
+        // possess a more recent copy; ties are broken towards the smaller id
+        // so at most one requester can collect a full set of approvals.
+        let deny = self.holding.is_some()
+            || self.last_seen_seq > seq
+            || (self.last_seen_seq == seq && self.id.0 < from.0);
+        out.push(MemberAction::Send {
+            to: from,
+            msg: MemberMsg::NineOneOneReply {
+                approve: !deny,
+                seq: self.last_seen_seq,
+            },
+        });
+    }
+
+    fn starve(&mut self, out: &mut Vec<MemberAction>) {
+        // Ask every other node in our view for the right to regenerate.
+        let peers: Vec<NodeId> = self.view.iter().copied().filter(|&n| n != self.id).collect();
+        if peers.is_empty() {
+            // Nobody else: regenerate immediately.
+            self.regenerate(Vec::new(), out);
+        } else {
+            self.awaiting_replies = Some(AwaitingReplies {
+                approvals: 0,
+                denied: false,
+            });
+            for peer in peers {
+                out.push(MemberAction::Send {
+                    to: peer,
+                    msg: MemberMsg::NineOneOne {
+                        seq: self.last_seen_seq,
+                    },
+                });
+            }
+            self.arm(TimerKind::ReplyWindow, self.config.reply_window, out);
+        }
+        // Keep starving periodically until a token shows up again.
+        self.arm(TimerKind::Starvation, self.config.starvation_timeout, out);
+    }
+
+    fn regenerate(&mut self, _approvers: Vec<NodeId>, out: &mut Vec<MemberAction>) {
+        let mut ring = self.view.clone();
+        if !ring.contains(&self.id) {
+            ring.push(self.id);
+        }
+        let mut token = Token::new(ring);
+        // Jump the sequence number well past anything in flight so stale
+        // copies of the lost token are discarded everywhere.
+        token.seq = self.last_seen_seq + 1;
+        self.last_seen_seq = token.seq;
+        self.regenerations += 1;
+        out.push(MemberAction::TokenRegenerated { seq: token.seq });
+        self.holding = Some(token);
+        self.arm(TimerKind::HoldToken, self.config.hold_interval, out);
+    }
+
+    /// Feed one event into the machine.
+    pub fn step(&mut self, event: MemberEvent) -> Vec<MemberAction> {
+        let mut out = Vec::new();
+        match event {
+            MemberEvent::Receive { from, msg } => match msg {
+                MemberMsg::Token(token) => self.receive_token(from, token, &mut out),
+                MemberMsg::TokenAck { seq } => {
+                    if let Some((to, expected)) = self.awaiting_ack {
+                        if to == from && seq == expected {
+                            self.awaiting_ack = None;
+                        }
+                    }
+                }
+                MemberMsg::NineOneOne { seq } => self.receive_911(from, seq, &mut out),
+                MemberMsg::NineOneOneReply { approve, .. } => {
+                    if let Some(waiting) = self.awaiting_replies.as_mut() {
+                        if approve {
+                            waiting.approvals += 1;
+                        } else {
+                            waiting.denied = true;
+                        }
+                    }
+                }
+            },
+            MemberEvent::Timer { kind, generation } => {
+                if !self.is_current(kind, generation) {
+                    return out;
+                }
+                match kind {
+                    TimerKind::HoldToken => {
+                        if self.holding.is_some() {
+                            self.pass_token(&mut out);
+                        }
+                    }
+                    TimerKind::PassTimeout => {
+                        if self.awaiting_ack.is_some() {
+                            self.handle_pass_failure(&mut out);
+                        }
+                    }
+                    TimerKind::Starvation => {
+                        // Only starve if we are not holding and not already
+                        // mid-arbitration.
+                        if self.holding.is_none() && self.awaiting_replies.is_none() {
+                            self.starve(&mut out);
+                        } else {
+                            self.arm(
+                                TimerKind::Starvation,
+                                self.config.starvation_timeout,
+                                &mut out,
+                            );
+                        }
+                    }
+                    TimerKind::ReplyWindow => {
+                        if let Some(waiting) = self.awaiting_replies.take() {
+                            let peers = self.view.iter().filter(|&&n| n != self.id).count();
+                            let all_live_approved = !waiting.denied
+                                && (waiting.approvals > 0 || peers == 0);
+                            if all_live_approved {
+                                self.regenerate(Vec::new(), &mut out);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[usize]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    fn sends(actions: &[MemberAction]) -> Vec<(NodeId, &MemberMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                MemberAction::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn fire(node: &mut MemberNode, actions: &[MemberAction], kind: TimerKind) -> Vec<MemberAction> {
+        // Find the latest armed generation of `kind` and fire it.
+        let generation = actions
+            .iter()
+            .rev()
+            .find_map(|a| match a {
+                MemberAction::ArmTimer {
+                    kind: k,
+                    generation,
+                    ..
+                } if *k == kind => Some(*generation),
+                _ => None,
+            })
+            .expect("timer was armed");
+        node.step(MemberEvent::Timer { kind, generation })
+    }
+
+    #[test]
+    fn initial_holder_passes_the_token_to_its_successor() {
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0, 1, 2, 3]), MemberConfig::default());
+        let boot = n0.create_initial_token();
+        assert!(n0.is_holder());
+        let out = fire(&mut n0, &boot, TimerKind::HoldToken);
+        let s = sends(&out);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, NodeId(1));
+        assert!(matches!(s[0].1, MemberMsg::Token(t) if t.seq == 1));
+        assert!(!n0.is_holder());
+    }
+
+    #[test]
+    fn receiving_a_token_acks_and_adopts_the_view() {
+        let mut n1 = MemberNode::new(NodeId(1), ids(&[0, 1, 2, 3]), MemberConfig::default());
+        let _ = n1.start();
+        let mut token = Token::new(ids(&[0, 2, 3, 1]));
+        token.seq = 9;
+        let out = n1.step(MemberEvent::Receive {
+            from: NodeId(0),
+            msg: MemberMsg::Token(token),
+        });
+        let s = sends(&out);
+        assert!(matches!(s[0].1, MemberMsg::TokenAck { seq: 9 }));
+        assert!(n1.is_holder());
+        assert_eq!(n1.view(), ids(&[0, 2, 3, 1]).as_slice());
+        assert_eq!(n1.last_seen_seq(), 9);
+    }
+
+    #[test]
+    fn stale_tokens_are_discarded() {
+        let mut n1 = MemberNode::new(NodeId(1), ids(&[0, 1]), MemberConfig::default());
+        let mut fresh = Token::new(ids(&[0, 1]));
+        fresh.seq = 10;
+        n1.step(MemberEvent::Receive {
+            from: NodeId(0),
+            msg: MemberMsg::Token(fresh),
+        });
+        let mut stale = Token::new(ids(&[0, 1]));
+        stale.seq = 3;
+        let out = n1.step(MemberEvent::Receive {
+            from: NodeId(0),
+            msg: MemberMsg::Token(stale),
+        });
+        assert!(out.is_empty(), "stale token is ignored entirely");
+        assert_eq!(n1.tokens_received(), 1);
+    }
+
+    #[test]
+    fn aggressive_detection_removes_the_unreachable_successor() {
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0, 1, 2, 3]), MemberConfig::default());
+        let boot = n0.create_initial_token();
+        let pass = fire(&mut n0, &boot, TimerKind::HoldToken);
+        // No ack arrives: the pass times out.
+        let out = fire(&mut n0, &pass, TimerKind::PassTimeout);
+        let s = sends(&out);
+        // Fig. 9b: the ring goes from 0123 to 023 and the token goes to 2.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, NodeId(2));
+        match s[0].1 {
+            MemberMsg::Token(t) => assert_eq!(t.ring, ids(&[0, 2, 3])),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn conservative_detection_defers_first_and_removes_second_time() {
+        let config = MemberConfig {
+            detection: Detection::Conservative,
+            ..MemberConfig::default()
+        };
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0, 1, 2, 3]), config);
+        let boot = n0.create_initial_token();
+        let pass = fire(&mut n0, &boot, TimerKind::HoldToken);
+        let out = fire(&mut n0, &pass, TimerKind::PassTimeout);
+        let s = sends(&out);
+        // Fig. 9c: ring becomes 0213 (B deferred), token goes to node 2,
+        // and node 1 is still a member.
+        assert_eq!(s[0].0, NodeId(2));
+        match s[0].1 {
+            MemberMsg::Token(t) => {
+                assert_eq!(t.ring, ids(&[0, 2, 1, 3]));
+                assert!(t.contains(NodeId(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Second consecutive failure (now directed at node 2): node 2 is
+        // deferred too, not yet removed; but a failure count of 2 on the
+        // same node removes it.
+        let out2 = fire(&mut n0, &out, TimerKind::PassTimeout);
+        let s2 = sends(&out2);
+        match s2[0].1 {
+            MemberMsg::Token(t) => assert!(t.contains(NodeId(2)), "first failure only defers"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn starving_member_regenerates_after_unanimous_approval() {
+        let mut n2 = MemberNode::new(NodeId(2), ids(&[0, 1, 2]), MemberConfig::default());
+        let start = n2.start();
+        let starve = fire(&mut n2, &start, TimerKind::Starvation);
+        let s = sends(&starve);
+        assert_eq!(s.len(), 2, "911 to both peers");
+        assert!(s.iter().all(|(_, m)| matches!(m, MemberMsg::NineOneOne { .. })));
+        // Both peers approve.
+        for peer in [0usize, 1] {
+            n2.step(MemberEvent::Receive {
+                from: NodeId(peer),
+                msg: MemberMsg::NineOneOneReply {
+                    approve: true,
+                    seq: 0,
+                },
+            });
+        }
+        let out = fire(&mut n2, &starve, TimerKind::ReplyWindow);
+        assert!(out
+            .iter()
+            .any(|a| matches!(a, MemberAction::TokenRegenerated { .. })));
+        assert!(n2.is_holder());
+        assert_eq!(n2.regenerations(), 1);
+    }
+
+    #[test]
+    fn a_single_denial_blocks_regeneration() {
+        let mut n2 = MemberNode::new(NodeId(2), ids(&[0, 1, 2]), MemberConfig::default());
+        let start = n2.start();
+        let starve = fire(&mut n2, &start, TimerKind::Starvation);
+        n2.step(MemberEvent::Receive {
+            from: NodeId(0),
+            msg: MemberMsg::NineOneOneReply {
+                approve: false,
+                seq: 5,
+            },
+        });
+        n2.step(MemberEvent::Receive {
+            from: NodeId(1),
+            msg: MemberMsg::NineOneOneReply {
+                approve: true,
+                seq: 0,
+            },
+        });
+        let out = fire(&mut n2, &starve, TimerKind::ReplyWindow);
+        assert!(!out
+            .iter()
+            .any(|a| matches!(a, MemberAction::TokenRegenerated { .. })));
+        assert!(!n2.is_holder());
+    }
+
+    #[test]
+    fn nine_one_one_arbitration_prefers_the_latest_copy_then_smallest_id() {
+        // Node 0 has a newer copy: it denies node 1's request.
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0, 1]), MemberConfig::default());
+        let mut t = Token::new(ids(&[0, 1]));
+        t.seq = 7;
+        n0.step(MemberEvent::Receive {
+            from: NodeId(1),
+            msg: MemberMsg::Token(t),
+        });
+        let out = n0.step(MemberEvent::Receive {
+            from: NodeId(1),
+            msg: MemberMsg::NineOneOne { seq: 3 },
+        });
+        let s = sends(&out);
+        assert!(matches!(
+            s[0].1,
+            MemberMsg::NineOneOneReply { approve: false, .. }
+        ));
+
+        // Equal sequence numbers: the smaller id wins the tie, so node 5
+        // approves node 3's request...
+        let mut n5 = MemberNode::new(NodeId(5), ids(&[3, 5]), MemberConfig::default());
+        let out = n5.step(MemberEvent::Receive {
+            from: NodeId(3),
+            msg: MemberMsg::NineOneOne { seq: 0 },
+        });
+        assert!(matches!(
+            sends(&out)[0].1,
+            MemberMsg::NineOneOneReply { approve: true, .. }
+        ));
+        // ...while node 3 would deny node 5's.
+        let mut n3 = MemberNode::new(NodeId(3), ids(&[3, 5]), MemberConfig::default());
+        let out = n3.step(MemberEvent::Receive {
+            from: NodeId(5),
+            msg: MemberMsg::NineOneOne { seq: 0 },
+        });
+        assert!(matches!(
+            sends(&out)[0].1,
+            MemberMsg::NineOneOneReply { approve: false, .. }
+        ));
+    }
+
+    #[test]
+    fn nine_one_one_from_a_stranger_is_a_join_request() {
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0, 1]), MemberConfig::default());
+        let boot = n0.create_initial_token();
+        // Node 7 is not a member; its 911 must not be answered with a reply,
+        // it is recorded as a pending join instead.
+        let out = n0.step(MemberEvent::Receive {
+            from: NodeId(7),
+            msg: MemberMsg::NineOneOne { seq: 0 },
+        });
+        assert!(sends(&out).is_empty());
+        // When node 0 next passes the token, node 7 is in the ring.
+        let pass = fire(&mut n0, &boot, TimerKind::HoldToken);
+        match sends(&pass)[0].1 {
+            MemberMsg::Token(t) => assert!(t.contains(NodeId(7))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_node_keeps_the_token_and_the_view_stays_singleton() {
+        let mut n0 = MemberNode::new(NodeId(0), ids(&[0]), MemberConfig::default());
+        let boot = n0.create_initial_token();
+        let out = fire(&mut n0, &boot, TimerKind::HoldToken);
+        assert!(sends(&out).is_empty());
+        assert!(n0.is_holder());
+        assert_eq!(n0.view(), &[NodeId(0)]);
+    }
+}

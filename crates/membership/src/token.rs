@@ -1,0 +1,196 @@
+//! The token and the message vocabulary of the group-membership protocol
+//! (Section 3 of the paper).
+//!
+//! The token is the single authoritative copy of the membership: it lists
+//! the live nodes in ring order, carries a monotonically increasing sequence
+//! number (incremented on every hop, used both to discard stale tokens and to
+//! arbitrate regeneration), and may carry an application-defined payload —
+//! the paper attaches the SNOW web server's HTTP request queue to it.
+
+use serde::{Deserialize, Serialize};
+
+use rain_sim::NodeId;
+
+/// The membership token.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Sequence number, incremented every time the token is passed.
+    pub seq: u64,
+    /// The membership, in ring order.
+    pub ring: Vec<NodeId>,
+    /// Application data attached to the token (e.g. SNOW's request queue).
+    pub payload: Vec<u8>,
+    /// Consecutive failed-delivery counts carried on the token, used by the
+    /// conservative detector: a node is only removed once *no* member has
+    /// managed to reach it (count reaches 2); any successful receipt clears
+    /// its entry.
+    pub failures: Vec<(NodeId, u32)>,
+}
+
+impl Token {
+    /// A fresh token over an initial ring.
+    pub fn new(ring: Vec<NodeId>) -> Self {
+        Token {
+            seq: 0,
+            ring,
+            payload: Vec::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    /// Increment the token-carried failure count for `node`; returns the new
+    /// count.
+    pub fn bump_failure(&mut self, node: NodeId) -> u32 {
+        if let Some(entry) = self.failures.iter_mut().find(|(n, _)| *n == node) {
+            entry.1 += 1;
+            entry.1
+        } else {
+            self.failures.push((node, 1));
+            1
+        }
+    }
+
+    /// Clear the failure count for `node` (it was reached successfully).
+    pub fn clear_failure(&mut self, node: NodeId) {
+        self.failures.retain(|(n, _)| *n != node);
+    }
+
+    /// Current failure count for `node`.
+    pub fn failure_count(&self, node: NodeId) -> u32 {
+        self.failures
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
+    }
+
+    /// Is `node` currently a member?
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.ring.contains(&node)
+    }
+
+    /// The member after `node` in ring order (wrapping), skipping `node`
+    /// itself. Returns `None` if `node` is the only member or not a member.
+    pub fn successor(&self, node: NodeId) -> Option<NodeId> {
+        let idx = self.ring.iter().position(|&n| n == node)?;
+        if self.ring.len() <= 1 {
+            return None;
+        }
+        Some(self.ring[(idx + 1) % self.ring.len()])
+    }
+
+    /// Remove a member (aggressive failure detection).
+    pub fn remove(&mut self, node: NodeId) {
+        self.ring.retain(|&n| n != node);
+    }
+
+    /// Append a member at the end of the ring if not already present
+    /// (join handling).
+    pub fn add(&mut self, node: NodeId) {
+        if !self.contains(node) {
+            self.ring.push(node);
+        }
+    }
+
+    /// Insert a member immediately after `after` (the paper's join handling:
+    /// the node that accepted the 911 adds the newcomer next to itself and
+    /// passes the token straight to it). Falls back to appending when
+    /// `after` is not in the ring.
+    pub fn add_after(&mut self, node: NodeId, after: NodeId) {
+        if self.contains(node) {
+            return;
+        }
+        match self.ring.iter().position(|&n| n == after) {
+            Some(idx) => self.ring.insert(idx + 1, node),
+            None => self.ring.push(node),
+        }
+    }
+
+    /// Swap `node` with its successor (conservative failure detection's ring
+    /// reordering: `ABCD` becomes `ACBD` when `B` cannot be reached by `A`).
+    pub fn defer(&mut self, node: NodeId) {
+        if let Some(idx) = self.ring.iter().position(|&n| n == node) {
+            let next = (idx + 1) % self.ring.len();
+            if next != idx {
+                self.ring.swap(idx, next);
+            }
+        }
+    }
+}
+
+/// Messages exchanged by the membership protocol (all unicast).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemberMsg {
+    /// The token, passed around the ring.
+    Token(Token),
+    /// Acknowledgement of token receipt (used by the sender's failure
+    /// detector: no ack within the time-out means the pass failed).
+    TokenAck {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+    /// The 911 message: a request to regenerate the token (when sent by a
+    /// member) or to join the cluster (when sent by a non-member).
+    NineOneOne {
+        /// The sender's latest local token sequence number.
+        seq: u64,
+    },
+    /// Reply to a 911 regeneration request.
+    NineOneOneReply {
+        /// True if the replier's local copy is not newer than the requester's.
+        approve: bool,
+        /// The replier's latest local sequence number (for diagnostics).
+        seq: u64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(ids: &[usize]) -> Token {
+        Token::new(ids.iter().map(|&i| NodeId(i)).collect())
+    }
+
+    #[test]
+    fn successor_wraps_around_the_ring() {
+        let t = ring(&[0, 1, 2, 3]);
+        assert_eq!(t.successor(NodeId(1)), Some(NodeId(2)));
+        assert_eq!(t.successor(NodeId(3)), Some(NodeId(0)));
+        assert_eq!(t.successor(NodeId(9)), None);
+        assert_eq!(ring(&[5]).successor(NodeId(5)), None);
+    }
+
+    #[test]
+    fn remove_and_add_maintain_the_ring() {
+        let mut t = ring(&[0, 1, 2, 3]);
+        t.remove(NodeId(1));
+        assert_eq!(t.ring, vec![NodeId(0), NodeId(2), NodeId(3)]);
+        t.add(NodeId(1));
+        t.add(NodeId(2)); // duplicate add is a no-op
+        assert_eq!(t.ring, vec![NodeId(0), NodeId(2), NodeId(3), NodeId(1)]);
+    }
+
+    #[test]
+    fn failure_counts_accumulate_and_clear() {
+        let mut t = ring(&[0, 1, 2]);
+        assert_eq!(t.failure_count(NodeId(1)), 0);
+        assert_eq!(t.bump_failure(NodeId(1)), 1);
+        assert_eq!(t.bump_failure(NodeId(1)), 2);
+        assert_eq!(t.failure_count(NodeId(1)), 2);
+        t.clear_failure(NodeId(1));
+        assert_eq!(t.failure_count(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn defer_swaps_a_node_with_its_successor() {
+        // The paper's example: ABCD -> ACBD when B is unreachable from A.
+        let mut t = ring(&[0, 1, 2, 3]);
+        t.defer(NodeId(1));
+        assert_eq!(t.ring, vec![NodeId(0), NodeId(2), NodeId(1), NodeId(3)]);
+        // Deferring the last member wraps it to the front position.
+        let mut t = ring(&[0, 1, 2]);
+        t.defer(NodeId(2));
+        assert_eq!(t.ring, vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+}

@@ -1,0 +1,17 @@
+//! # rain-mpi — a minimal MPI-like layer over RUDP
+//!
+//! Reproduces the structure of Section 2.5 of *Computing in the RAIN*: the
+//! original project ported MPICH onto RUDP so that unmodified MPI programs
+//! gained the fault tolerance of the bundled-interface transport. Here the
+//! same layering is expressed as [`MpiWorld`]: ranks map to simulated nodes,
+//! point-to-point messages and the usual collectives are built on the
+//! reliable RUDP datagram service, link/NIC failures are masked up to the
+//! installed redundancy, and exhausting the redundancy makes operations stall
+//! (surfaced as [`MpiError::Stalled`]) rather than return transport errors —
+//! exactly the behaviour the paper describes for the real port.
+
+#![warn(missing_docs)]
+
+pub mod world;
+
+pub use world::{MpiError, MpiResult, MpiWorld, Rank};

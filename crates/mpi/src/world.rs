@@ -1,0 +1,397 @@
+//! A minimal MPI-like message-passing interface layered on RUDP.
+//!
+//! Section 2.5 of the paper ports MPICH onto the RAIN communication layer by
+//! implementing a new MPICH device over RUDP. The point of the exercise is
+//! that a *standard* message-passing API runs unchanged over the
+//! fault-tolerant transport: link and NIC failures are masked up to the
+//! installed redundancy, and when redundancy is exhausted the MPI application
+//! simply waits (the MPI API has no way to express link errors) until the
+//! path is repaired.
+//!
+//! [`MpiWorld`] mirrors that structure over [`RudpCluster`]: every simulated
+//! node is one rank, point-to-point sends are tagged datagrams, and the
+//! collectives (barrier, broadcast, reduce, allreduce, gather, scatter) are
+//! built from point-to-point messages exactly like a simple MPICH device
+//! would. All operations are driven to completion by stepping the simulated
+//! cluster, and return [`MpiError::Stalled`] instead of blocking forever when
+//! the network stays partitioned past a configurable patience — the
+//! observable equivalent of the "MPI application may hang" behaviour the
+//! paper describes.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use rain_rudp::{RudpCluster, RudpConfig};
+use rain_sim::{Network, NodeId, SimDuration};
+
+/// Errors surfaced by the MPI layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The operation did not complete within the configured patience —
+    /// the moral equivalent of an MPI job hanging on a dead network.
+    Stalled {
+        /// Which operation stalled.
+        operation: &'static str,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Stalled { operation } => {
+                write!(f, "MPI operation {operation} stalled (no usable path)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Result alias for MPI operations.
+pub type MpiResult<T> = Result<T, MpiError>;
+
+/// A rank in the world (dense, equal to the node index).
+pub type Rank = usize;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Message {
+    src: Rank,
+    tag: u32,
+    data: Vec<u8>,
+}
+
+fn encode(tag: u32, data: &[u8]) -> Bytes {
+    let mut buf = Vec::with_capacity(4 + data.len());
+    buf.extend_from_slice(&tag.to_le_bytes());
+    buf.extend_from_slice(data);
+    Bytes::from(buf)
+}
+
+fn decode(payload: &[u8]) -> (u32, Vec<u8>) {
+    let tag = u32::from_le_bytes(payload[..4].try_into().expect("short MPI frame"));
+    (tag, payload[4..].to_vec())
+}
+
+/// The MPI world: one rank per simulated node.
+pub struct MpiWorld {
+    cluster: RudpCluster,
+    size: usize,
+    inbox: Vec<VecDeque<Message>>,
+    consumed: Vec<usize>,
+    /// How long a blocking operation may drive the simulation before it is
+    /// declared stalled.
+    pub patience: SimDuration,
+}
+
+impl MpiWorld {
+    /// Create a world over a network: every node becomes a rank.
+    pub fn new(net: Network, config: RudpConfig, seed: u64) -> Self {
+        let size = net.num_nodes();
+        MpiWorld {
+            cluster: RudpCluster::new(net, config, seed),
+            size,
+            inbox: vec![VecDeque::new(); size],
+            consumed: vec![0; size],
+            patience: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The underlying cluster (for fault injection and statistics).
+    pub fn cluster_mut(&mut self) -> &mut RudpCluster {
+        &mut self.cluster
+    }
+
+    /// The underlying cluster, read-only.
+    pub fn cluster(&self) -> &RudpCluster {
+        &self.cluster
+    }
+
+    /// Non-blocking tagged send.
+    pub fn send(&mut self, src: Rank, dst: Rank, tag: u32, data: &[u8]) {
+        assert!(src < self.size && dst < self.size && src != dst);
+        self.cluster
+            .send(NodeId(src), NodeId(dst), encode(tag, data));
+    }
+
+    fn pump(&mut self, slice: SimDuration) {
+        self.cluster.run_for(slice);
+        for rank in 0..self.size {
+            let delivered = self.cluster.delivered(NodeId(rank));
+            while self.consumed[rank] < delivered.len() {
+                let (from, payload) = &delivered[self.consumed[rank]];
+                self.consumed[rank] += 1;
+                let (tag, data) = decode(payload);
+                self.inbox[rank].push_back(Message {
+                    src: from.0,
+                    tag,
+                    data,
+                });
+            }
+        }
+    }
+
+    fn try_take(&mut self, rank: Rank, src: Option<Rank>, tag: u32) -> Option<Message> {
+        let q = &mut self.inbox[rank];
+        let pos = q
+            .iter()
+            .position(|m| m.tag == tag && src.map(|s| s == m.src).unwrap_or(true))?;
+        q.remove(pos)
+    }
+
+    /// Blocking tagged receive: drives the simulation until a matching
+    /// message arrives (or patience runs out).
+    pub fn recv(&mut self, rank: Rank, src: Option<Rank>, tag: u32) -> MpiResult<(Rank, Vec<u8>)> {
+        let deadline = self.cluster.now() + self.patience;
+        loop {
+            if let Some(msg) = self.try_take(rank, src, tag) {
+                return Ok((msg.src, msg.data));
+            }
+            if self.cluster.now() >= deadline {
+                return Err(MpiError::Stalled { operation: "recv" });
+            }
+            self.pump(SimDuration::from_millis(20));
+        }
+    }
+
+    /// Blocking round trip (used by the ping-pong latency/throughput bench).
+    pub fn ping_pong(&mut self, a: Rank, b: Rank, bytes: usize, tag: u32) -> MpiResult<()> {
+        let payload = vec![0xABu8; bytes];
+        self.send(a, b, tag, &payload);
+        let (_, echoed) = self.recv(b, Some(a), tag)?;
+        self.send(b, a, tag + 1, &echoed);
+        self.recv(a, Some(b), tag + 1)?;
+        Ok(())
+    }
+
+    /// Barrier: every rank sends to rank 0, which replies with a release.
+    pub fn barrier(&mut self, tag: u32) -> MpiResult<()> {
+        for rank in 1..self.size {
+            self.send(rank, 0, tag, &[]);
+        }
+        for _ in 1..self.size {
+            self.recv(0, None, tag)?;
+        }
+        for rank in 1..self.size {
+            self.send(0, rank, tag + 1, &[]);
+        }
+        for rank in 1..self.size {
+            self.recv(rank, Some(0), tag + 1)?;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns each rank's copy.
+    pub fn broadcast(&mut self, root: Rank, data: &[u8], tag: u32) -> MpiResult<Vec<Vec<u8>>> {
+        let mut out = vec![Vec::new(); self.size];
+        out[root] = data.to_vec();
+        for rank in 0..self.size {
+            if rank != root {
+                self.send(root, rank, tag, data);
+            }
+        }
+        for rank in 0..self.size {
+            if rank != root {
+                let (_, d) = self.recv(rank, Some(root), tag)?;
+                out[rank] = d;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gather one `f64` vector from every rank at `root`.
+    pub fn gather(
+        &mut self,
+        root: Rank,
+        contributions: &[Vec<f64>],
+        tag: u32,
+    ) -> MpiResult<Vec<Vec<f64>>> {
+        assert_eq!(contributions.len(), self.size);
+        let mut out = vec![Vec::new(); self.size];
+        out[root] = contributions[root].clone();
+        for rank in 0..self.size {
+            if rank != root {
+                let bytes: Vec<u8> = contributions[rank]
+                    .iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect();
+                self.send(rank, root, tag, &bytes);
+            }
+        }
+        for _ in 0..self.size - 1 {
+            let (src, bytes) = self.recv(root, None, tag)?;
+            out[src] = bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+        }
+        Ok(out)
+    }
+
+    /// Scatter one vector per rank from `root`.
+    pub fn scatter(
+        &mut self,
+        root: Rank,
+        parts: &[Vec<f64>],
+        tag: u32,
+    ) -> MpiResult<Vec<Vec<f64>>> {
+        assert_eq!(parts.len(), self.size);
+        let mut out = vec![Vec::new(); self.size];
+        out[root] = parts[root].clone();
+        for rank in 0..self.size {
+            if rank != root {
+                let bytes: Vec<u8> = parts[rank].iter().flat_map(|v| v.to_le_bytes()).collect();
+                self.send(root, rank, tag, &bytes);
+            }
+        }
+        for rank in 0..self.size {
+            if rank != root {
+                let (_, bytes) = self.recv(rank, Some(root), tag)?;
+                out[rank] = bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum reduction to `root`.
+    pub fn reduce_sum(
+        &mut self,
+        root: Rank,
+        contributions: &[Vec<f64>],
+        tag: u32,
+    ) -> MpiResult<Vec<f64>> {
+        let gathered = self.gather(root, contributions, tag)?;
+        let len = contributions[root].len();
+        let mut sum = vec![0.0f64; len];
+        for v in gathered {
+            for (s, x) in sum.iter_mut().zip(v.iter()) {
+                *s += x;
+            }
+        }
+        Ok(sum)
+    }
+
+    /// Allreduce (sum): reduce at rank 0, then broadcast the result.
+    pub fn allreduce_sum(
+        &mut self,
+        contributions: &[Vec<f64>],
+        tag: u32,
+    ) -> MpiResult<Vec<Vec<f64>>> {
+        let reduced = self.reduce_sum(0, contributions, tag)?;
+        let bytes: Vec<u8> = reduced.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let spread = self.broadcast(0, &bytes, tag + 1)?;
+        Ok(spread
+            .into_iter()
+            .map(|b| {
+                b.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_sim::{Fault, IfaceId, DEFAULT_LINK_LATENCY};
+
+    fn world(n: usize) -> MpiWorld {
+        let net = Network::diameter_testbed(n, 4, DEFAULT_LINK_LATENCY, 0.0);
+        MpiWorld::new(net, RudpConfig::default(), 5)
+    }
+
+    #[test]
+    fn point_to_point_send_recv() {
+        let mut w = world(4);
+        w.send(1, 3, 7, b"hello rank 3");
+        let (src, data) = w.recv(3, Some(1), 7).unwrap();
+        assert_eq!(src, 1);
+        assert_eq!(data, b"hello rank 3");
+    }
+
+    #[test]
+    fn recv_filters_by_tag_and_source() {
+        let mut w = world(4);
+        w.send(1, 0, 5, b"five");
+        w.send(2, 0, 6, b"six");
+        let (src, data) = w.recv(0, None, 6).unwrap();
+        assert_eq!((src, data.as_slice()), (2, b"six".as_slice()));
+        let (src, data) = w.recv(0, Some(1), 5).unwrap();
+        assert_eq!((src, data.as_slice()), (1, b"five".as_slice()));
+    }
+
+    #[test]
+    fn barrier_and_broadcast_complete() {
+        let mut w = world(5);
+        w.barrier(100).unwrap();
+        let copies = w.broadcast(2, b"state", 200).unwrap();
+        assert_eq!(copies.len(), 5);
+        assert!(copies.iter().all(|c| c == b"state"));
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let mut w = world(4);
+        let contributions: Vec<Vec<f64>> = (0..4).map(|r| vec![r as f64, 1.0]).collect();
+        let result = w.allreduce_sum(&contributions, 300).unwrap();
+        for r in result {
+            assert_eq!(r, vec![6.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn gather_and_scatter_round_trip() {
+        let mut w = world(3);
+        let parts: Vec<Vec<f64>> = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let scattered = w.scatter(0, &parts, 400).unwrap();
+        assert_eq!(scattered, parts);
+        let gathered = w.gather(1, &scattered, 500).unwrap();
+        assert_eq!(gathered, parts);
+    }
+
+    #[test]
+    fn one_link_failure_is_masked_from_the_mpi_program() {
+        // E18: the paper's claim — with two NICs per machine, one failure is
+        // invisible to MPI.
+        let mut w = world(4);
+        w.cluster_mut().sim_mut().schedule_fault(
+            SimDuration::from_millis(1),
+            Fault::IfaceDown(IfaceId {
+                node: NodeId(1),
+                iface: 0,
+            }),
+        );
+        w.barrier(1).unwrap();
+        let copies = w.broadcast(1, b"despite the failure", 10).unwrap();
+        assert!(copies.iter().all(|c| c == b"despite the failure"));
+    }
+
+    #[test]
+    fn exhausted_redundancy_stalls_instead_of_erroring() {
+        let mut w = world(4);
+        w.patience = SimDuration::from_secs(5);
+        // Take down every interface of rank 2.
+        for k in 0..2 {
+            w.cluster_mut().sim_mut().schedule_fault(
+                SimDuration::from_millis(1),
+                Fault::IfaceDown(IfaceId {
+                    node: NodeId(2),
+                    iface: k,
+                }),
+            );
+        }
+        w.cluster_mut().run_for(SimDuration::from_millis(500));
+        w.send(0, 2, 9, b"into the void");
+        let err = w.recv(2, Some(0), 9).unwrap_err();
+        assert_eq!(err, MpiError::Stalled { operation: "recv" });
+    }
+}

@@ -1,0 +1,26 @@
+//! # rain-rudp — reliable datagrams over bundled interfaces
+//!
+//! Section 2.5 of *Computing in the RAIN* describes RUDP, the project's
+//! user-space reliable datagram layer: it delivers datagrams reliably and in
+//! order over the kernel's unreliable packet service, monitors every physical
+//! path between two machines with the consistent-history link protocol, and
+//! exploits **bundled interfaces** both for fault tolerance (a failed link or
+//! NIC is masked as long as another path remains) and for extra bandwidth
+//! (striping traffic across healthy paths).
+//!
+//! * [`packet`] — the RUDP wire format (data, cumulative acks, pings/pongs);
+//! * [`node`] — the per-node endpoint state machine ([`RudpNode`]): windows,
+//!   retransmission, per-path probing, striping and fail-over;
+//! * [`cluster`] — [`RudpCluster`], a harness that runs one endpoint per
+//!   simulated node over the `rain-sim` fabric; the MPI layer and the
+//!   throughput experiments (E18) drive this.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod packet;
+
+pub use cluster::{Envelope, RudpCluster};
+pub use node::{RudpConfig, RudpEvent, RudpNode, Transmit};
+pub use packet::Packet;

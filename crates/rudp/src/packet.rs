@@ -1,0 +1,87 @@
+//! Wire format of RUDP, the paper's "Reliable UDP" datagram layer.
+//!
+//! RUDP runs over unreliable packet delivery (the kernel's UDP sockets on the
+//! real testbed, [`rain_sim`]'s fabric here) and adds per-peer sequencing,
+//! cumulative acknowledgements, retransmission, and per-path ping probing so
+//! that bundled interfaces can be monitored and used independently.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+/// A single RUDP packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Packet {
+    /// Application data, sequenced per peer (not per path).
+    Data {
+        /// Sequence number of this datagram.
+        seq: u64,
+        /// Application payload.
+        #[serde(with = "serde_bytes_compat")]
+        payload: Bytes,
+    },
+    /// Cumulative acknowledgement: every sequence number `< ack` was received.
+    Ack {
+        /// The next sequence number the receiver expects.
+        ack: u64,
+    },
+    /// Path probe.
+    Ping {
+        /// Echo nonce.
+        nonce: u64,
+    },
+    /// Path probe reply.
+    Pong {
+        /// Echoed nonce.
+        nonce: u64,
+    },
+}
+
+impl Packet {
+    /// Approximate on-the-wire size in bytes (for throughput accounting:
+    /// payload plus a small fixed header).
+    pub fn wire_size(&self) -> u64 {
+        const HEADER: u64 = 16;
+        match self {
+            Packet::Data { payload, .. } => HEADER + payload.len() as u64,
+            _ => HEADER,
+        }
+    }
+
+    /// True for probe traffic (pings/pongs), false for data and acks.
+    pub fn is_probe(&self) -> bool {
+        matches!(self, Packet::Ping { .. } | Packet::Pong { .. })
+    }
+}
+
+/// `bytes::Bytes` does not implement serde by default in every configuration;
+/// serialize it as a plain byte vector.
+mod serde_bytes_compat {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(b)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_counts_payload() {
+        let p = Packet::Data {
+            seq: 3,
+            payload: Bytes::from(vec![0u8; 100]),
+        };
+        assert_eq!(p.wire_size(), 116);
+        assert_eq!(Packet::Ack { ack: 1 }.wire_size(), 16);
+        assert!(Packet::Ping { nonce: 1 }.is_probe());
+        assert!(!Packet::Ack { ack: 1 }.is_probe());
+    }
+}

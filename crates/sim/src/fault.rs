@@ -1,0 +1,222 @@
+//! Fault injection: the vocabulary of failures the RAIN paper tolerates
+//! (node, link, switch, and NIC failures) plus scheduling helpers for
+//! building deterministic and randomized fault plans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::{IfaceId, LinkId, Network, NodeId, SwitchId};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// A single fault or repair action applied to the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Fault {
+    /// Take a link down.
+    LinkDown(LinkId),
+    /// Bring a link back up.
+    LinkUp(LinkId),
+    /// Crash a node (it stops sending, receiving, and processing timers).
+    NodeCrash(NodeId),
+    /// Recover a crashed node.
+    NodeRecover(NodeId),
+    /// Fail a switch (all paths through it disappear).
+    SwitchFail(SwitchId),
+    /// Recover a failed switch.
+    SwitchRecover(SwitchId),
+    /// Fail one NIC of a node (the node stays up on its other interfaces).
+    IfaceDown(IfaceId),
+    /// Recover a failed NIC.
+    IfaceUp(IfaceId),
+}
+
+impl Fault {
+    /// Apply the action to a network.
+    pub fn apply(self, net: &mut Network) {
+        match self {
+            Fault::LinkDown(l) => net.set_link_up(l, false),
+            Fault::LinkUp(l) => net.set_link_up(l, true),
+            Fault::NodeCrash(n) => net.set_node_up(n, false),
+            Fault::NodeRecover(n) => net.set_node_up(n, true),
+            Fault::SwitchFail(s) => net.set_switch_up(s, false),
+            Fault::SwitchRecover(s) => net.set_switch_up(s, true),
+            Fault::IfaceDown(i) => net.set_iface_up(i, false),
+            Fault::IfaceUp(i) => net.set_iface_up(i, true),
+        }
+    }
+
+    /// True if this action makes something worse (used by plan statistics).
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            Fault::LinkDown(_) | Fault::NodeCrash(_) | Fault::SwitchFail(_) | Fault::IfaceDown(_)
+        )
+    }
+}
+
+/// A time-ordered schedule of fault actions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (the fault-free baseline).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an action at a given time. Actions may be added out of order;
+    /// [`FaultPlan::into_sorted`] and iteration always present them sorted.
+    pub fn at(mut self, time: SimTime, fault: Fault) -> Self {
+        self.events.push((time, fault));
+        self
+    }
+
+    /// Add an action in place (builder-free form).
+    pub fn push(&mut self, time: SimTime, fault: Fault) {
+        self.events.push((time, fault));
+    }
+
+    /// Number of scheduled actions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no actions are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled *failure* actions (repairs excluded).
+    pub fn failure_count(&self) -> usize {
+        self.events.iter().filter(|(_, f)| f.is_failure()).count()
+    }
+
+    /// The actions sorted by time (stable for equal times).
+    pub fn into_sorted(mut self) -> Vec<(SimTime, Fault)> {
+        self.events.sort_by_key(|(t, _)| *t);
+        self.events
+    }
+
+    /// Iterate the actions sorted by time without consuming the plan.
+    pub fn sorted(&self) -> Vec<(SimTime, Fault)> {
+        self.clone().into_sorted()
+    }
+
+    /// Build a random plan that crashes `crashes` distinct nodes at uniform
+    /// random times within `[0, horizon)`. Used by the checkpointing and
+    /// availability experiments.
+    pub fn random_node_crashes(
+        net: &Network,
+        crashes: usize,
+        horizon: SimTime,
+        rng: &mut DetRng,
+    ) -> FaultPlan {
+        let mut nodes: Vec<NodeId> = net.node_ids().collect();
+        rng.shuffle(&mut nodes);
+        let mut plan = FaultPlan::none();
+        for node in nodes.into_iter().take(crashes) {
+            let t = SimTime::from_micros(rng.below(horizon.as_micros().max(1)));
+            plan.push(t, Fault::NodeCrash(node));
+        }
+        plan
+    }
+
+    /// Build a random plan that fails `failures` distinct links at uniform
+    /// random times within `[0, horizon)`, each healing after `repair_after`
+    /// if it is non-zero.
+    pub fn random_link_failures(
+        net: &Network,
+        failures: usize,
+        horizon: SimTime,
+        repair_after: Option<crate::time::SimDuration>,
+        rng: &mut DetRng,
+    ) -> FaultPlan {
+        let mut links: Vec<LinkId> = net.links().iter().map(|l| l.id).collect();
+        rng.shuffle(&mut links);
+        let mut plan = FaultPlan::none();
+        for link in links.into_iter().take(failures) {
+            let t = SimTime::from_micros(rng.below(horizon.as_micros().max(1)));
+            plan.push(t, Fault::LinkDown(link));
+            if let Some(repair) = repair_after {
+                plan.push(t + repair, Fault::LinkUp(link));
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{Network, DEFAULT_LINK_LATENCY};
+
+    #[test]
+    fn apply_round_trips_every_fault_kind() {
+        let mut net = Network::diameter_testbed(4, 4, DEFAULT_LINK_LATENCY, 0.0);
+        let link = net.links()[0].id;
+        let iface = IfaceId {
+            node: NodeId(0),
+            iface: 0,
+        };
+
+        Fault::LinkDown(link).apply(&mut net);
+        assert!(!net.link_up(link));
+        Fault::LinkUp(link).apply(&mut net);
+        assert!(net.link_up(link));
+
+        Fault::NodeCrash(NodeId(1)).apply(&mut net);
+        assert!(!net.node_up(NodeId(1)));
+        Fault::NodeRecover(NodeId(1)).apply(&mut net);
+        assert!(net.node_up(NodeId(1)));
+
+        Fault::SwitchFail(SwitchId(2)).apply(&mut net);
+        assert!(!net.switch_up(SwitchId(2)));
+        Fault::SwitchRecover(SwitchId(2)).apply(&mut net);
+        assert!(net.switch_up(SwitchId(2)));
+
+        Fault::IfaceDown(iface).apply(&mut net);
+        assert!(!net.node(NodeId(0)).ifaces_up[0]);
+        Fault::IfaceUp(iface).apply(&mut net);
+        assert!(net.node(NodeId(0)).ifaces_up[0]);
+    }
+
+    #[test]
+    fn plans_sort_by_time_and_count_failures() {
+        let plan = FaultPlan::none()
+            .at(SimTime::from_secs(3), Fault::NodeCrash(NodeId(0)))
+            .at(SimTime::from_secs(1), Fault::LinkDown(LinkId(0)))
+            .at(SimTime::from_secs(2), Fault::LinkUp(LinkId(0)));
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.failure_count(), 2);
+        let sorted = plan.sorted();
+        assert_eq!(sorted[0].0, SimTime::from_secs(1));
+        assert_eq!(sorted[2].0, SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_per_seed() {
+        let net = Network::full_mesh(6, DEFAULT_LINK_LATENCY, 0.0);
+        let mut r1 = DetRng::new(99);
+        let mut r2 = DetRng::new(99);
+        let p1 = FaultPlan::random_node_crashes(&net, 3, SimTime::from_secs(10), &mut r1);
+        let p2 = FaultPlan::random_node_crashes(&net, 3, SimTime::from_secs(10), &mut r2);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.failure_count(), 3);
+    }
+
+    #[test]
+    fn random_link_failures_can_schedule_repairs() {
+        let net = Network::full_mesh(5, DEFAULT_LINK_LATENCY, 0.0);
+        let mut rng = DetRng::new(7);
+        let plan = FaultPlan::random_link_failures(
+            &net,
+            2,
+            SimTime::from_secs(5),
+            Some(crate::time::SimDuration::from_secs(1)),
+            &mut rng,
+        );
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.failure_count(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Lightweight run statistics and (optionally) a full event trace.
+//!
+//! Every simulation run keeps counters of what happened to the messages it
+//! carried; experiments assert on these (e.g. "no message was dropped while
+//! redundancy remained") and the report harness prints them. A bounded event
+//! log can be enabled for debugging without changing protocol behaviour.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fault::Fault;
+use crate::net::NodeId;
+use crate::time::SimTime;
+
+/// Why a message failed to reach its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// No functioning path existed between source and destination.
+    NoRoute,
+    /// The message was lost to random loss on a link.
+    RandomLoss,
+    /// The destination node was down when the message arrived.
+    DestinationDown,
+    /// The source node was down when it tried to send.
+    SourceDown,
+}
+
+/// One recorded trace entry (only kept when tracing is enabled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A message was handed to the fabric.
+    Sent {
+        /// Simulated time of the send.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// A message reached its destination.
+    Delivered {
+        /// Simulated delivery time.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Number of links traversed.
+        hops: usize,
+    },
+    /// A message was dropped.
+    Dropped {
+        /// Simulated time of the drop decision.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// A fault action fired.
+    FaultApplied {
+        /// Simulated time of the action.
+        time: SimTime,
+        /// The action.
+        fault: Fault,
+    },
+}
+
+/// Aggregate statistics of a run plus an optional bounded event log.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Messages handed to the fabric.
+    pub sent: u64,
+    /// Messages delivered to an up destination.
+    pub delivered: u64,
+    /// Messages dropped because no path existed.
+    pub dropped_no_route: u64,
+    /// Messages dropped by random link loss.
+    pub dropped_loss: u64,
+    /// Messages dropped because the destination was down on arrival.
+    pub dropped_dest_down: u64,
+    /// Messages dropped because the source was down at send time.
+    pub dropped_source_down: u64,
+    /// Fault actions applied.
+    pub faults_applied: u64,
+    /// Total simulated bytes delivered (for throughput-style experiments).
+    pub bytes_delivered: u64,
+    events: Vec<TraceEvent>,
+    capture: bool,
+    capacity: usize,
+}
+
+impl Trace {
+    /// A trace that only keeps counters.
+    pub fn counters_only() -> Self {
+        Trace::default()
+    }
+
+    /// A trace that also records up to `capacity` individual events.
+    pub fn with_events(capacity: usize) -> Self {
+        Trace {
+            capture: true,
+            capacity,
+            ..Trace::default()
+        }
+    }
+
+    /// Record an event, updating counters (and the log if enabled).
+    pub fn record(&mut self, event: TraceEvent) {
+        match &event {
+            TraceEvent::Sent { .. } => self.sent += 1,
+            TraceEvent::Delivered { .. } => self.delivered += 1,
+            TraceEvent::Dropped { reason, .. } => match reason {
+                DropReason::NoRoute => self.dropped_no_route += 1,
+                DropReason::RandomLoss => self.dropped_loss += 1,
+                DropReason::DestinationDown => self.dropped_dest_down += 1,
+                DropReason::SourceDown => self.dropped_source_down += 1,
+            },
+            TraceEvent::FaultApplied { .. } => self.faults_applied += 1,
+        }
+        if self.capture && self.events.len() < self.capacity {
+            self.events.push(event);
+        }
+    }
+
+    /// Add delivered payload bytes (throughput accounting).
+    pub fn add_delivered_bytes(&mut self, bytes: u64) {
+        self.bytes_delivered += bytes;
+    }
+
+    /// Total messages dropped for any reason.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_no_route + self.dropped_loss + self.dropped_dest_down + self.dropped_source_down
+    }
+
+    /// Delivered / sent, or 1.0 when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.sent == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.sent as f64
+        }
+    }
+
+    /// The recorded events (empty unless event capture was enabled).
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sent(t: u64) -> TraceEvent {
+        TraceEvent::Sent {
+            time: SimTime::from_micros(t),
+            from: NodeId(0),
+            to: NodeId(1),
+        }
+    }
+
+    #[test]
+    fn counters_track_each_outcome() {
+        let mut tr = Trace::counters_only();
+        tr.record(sent(1));
+        tr.record(TraceEvent::Delivered {
+            time: SimTime::from_micros(2),
+            from: NodeId(0),
+            to: NodeId(1),
+            hops: 2,
+        });
+        tr.record(TraceEvent::Dropped {
+            time: SimTime::from_micros(3),
+            from: NodeId(0),
+            to: NodeId(1),
+            reason: DropReason::NoRoute,
+        });
+        tr.record(TraceEvent::Dropped {
+            time: SimTime::from_micros(3),
+            from: NodeId(0),
+            to: NodeId(1),
+            reason: DropReason::RandomLoss,
+        });
+        assert_eq!(tr.sent, 1);
+        assert_eq!(tr.delivered, 1);
+        assert_eq!(tr.dropped_total(), 2);
+        assert!((tr.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!(tr.events().is_empty(), "counters-only trace keeps no events");
+    }
+
+    #[test]
+    fn event_capture_is_bounded() {
+        let mut tr = Trace::with_events(3);
+        for i in 0..10 {
+            tr.record(sent(i));
+        }
+        assert_eq!(tr.sent, 10);
+        assert_eq!(tr.events().len(), 3);
+    }
+
+    #[test]
+    fn delivery_ratio_defaults_to_one() {
+        assert!((Trace::counters_only().delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,226 @@
+//! A flat-namespace, erasure-coded file layer on top of the distributed
+//! store — the paper's "implementation of a real distributed file system
+//! using the data partitioning schemes developed here" future-work item
+//! (Section 7).
+//!
+//! Files are split into fixed-size blocks; each block is stored as one
+//! erasure-coded object, so every file independently tolerates `n - k` node
+//! failures, and reads can load-balance block by block. The namespace also
+//! supports **reconfiguration**: re-encoding every file onto a different
+//! `(n, k)` code (e.g. to trade storage overhead for fault tolerance), which
+//! the paper lists as a benefit of treating codes as data-partitioning
+//! schemes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use rain_codes::ErasureCode;
+use rain_sim::NodeId;
+
+use crate::store::{DistributedStore, SelectionPolicy, StorageError};
+
+/// Metadata for one stored file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileMeta {
+    /// File size in bytes.
+    pub size: usize,
+    /// Number of blocks.
+    pub blocks: usize,
+    /// Block size used when the file was written.
+    pub block_size: usize,
+}
+
+/// A flat namespace of erasure-coded files.
+pub struct RainFs {
+    store: DistributedStore,
+    files: BTreeMap<String, FileMeta>,
+    block_size: usize,
+    policy: SelectionPolicy,
+}
+
+impl RainFs {
+    /// Create a file system over the given code with the given block size.
+    pub fn new(code: Arc<dyn ErasureCode>, block_size: usize) -> Self {
+        assert!(block_size > 0);
+        RainFs {
+            store: DistributedStore::new(code),
+            files: BTreeMap::new(),
+            block_size,
+            policy: SelectionPolicy::LeastLoaded,
+        }
+    }
+
+    /// Change the node-selection policy used for reads.
+    pub fn set_policy(&mut self, policy: SelectionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The underlying object store (for fault injection in tests).
+    pub fn store_mut(&mut self) -> &mut DistributedStore {
+        &mut self.store
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files are stored.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// List file names (sorted).
+    pub fn list(&self) -> Vec<&str> {
+        self.files.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Metadata of a file.
+    pub fn stat(&self, name: &str) -> Option<&FileMeta> {
+        self.files.get(name)
+    }
+
+    fn block_key(name: &str, index: usize) -> String {
+        format!("{name}\u{1f}{index}")
+    }
+
+    /// Write (or overwrite) a file.
+    pub fn write(&mut self, name: &str, data: &[u8]) -> Result<(), StorageError> {
+        let blocks = data.chunks(self.block_size).collect::<Vec<_>>();
+        let block_count = blocks.len().max(1);
+        for (i, block) in blocks.iter().enumerate() {
+            self.store.store(&Self::block_key(name, i), block)?;
+        }
+        if blocks.is_empty() {
+            self.store.store(&Self::block_key(name, 0), &[])?;
+        }
+        self.files.insert(
+            name.to_string(),
+            FileMeta {
+                size: data.len(),
+                blocks: block_count,
+                block_size: self.block_size,
+            },
+        );
+        Ok(())
+    }
+
+    /// Read a whole file.
+    pub fn read(&mut self, name: &str) -> Result<Vec<u8>, StorageError> {
+        let meta = self
+            .files
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownObject {
+                object: name.to_string(),
+            })?;
+        let mut out = Vec::with_capacity(meta.size);
+        for i in 0..meta.blocks {
+            let (block, _) = self.store.retrieve(&Self::block_key(name, i), self.policy)?;
+            out.extend_from_slice(&block);
+        }
+        out.truncate(meta.size);
+        Ok(out)
+    }
+
+    /// Remove a file from the namespace. (Symbols are left to be garbage
+    /// collected by overwrites; the namespace no longer exposes them.)
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.files.remove(name).is_some()
+    }
+
+    /// Fail a storage node (all files keep working while at least `k` nodes
+    /// remain).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(), StorageError> {
+        self.store.fail_node(node)
+    }
+
+    /// Re-encode every file onto a different code (possibly with a different
+    /// `n` and `k`). All data must be readable under the current
+    /// configuration; afterwards the namespace is served by the new store.
+    pub fn reconfigure(&mut self, code: Arc<dyn ErasureCode>) -> Result<(), StorageError> {
+        let names: Vec<String> = self.files.keys().cloned().collect();
+        let mut contents = Vec::with_capacity(names.len());
+        for name in &names {
+            contents.push(self.read(name)?);
+        }
+        let mut new_fs = RainFs::new(code, self.block_size);
+        new_fs.policy = self.policy;
+        for (name, data) in names.iter().zip(contents.iter()) {
+            new_fs.write(name, data)?;
+        }
+        *self = new_fs;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_codes::{BCode, ReedSolomon, XCode};
+
+    fn fs() -> RainFs {
+        RainFs::new(Arc::new(BCode::table_1a()), 64)
+    }
+
+    #[test]
+    fn write_read_list_and_stat() {
+        let mut f = fs();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        f.write("videos/clip-1", &data).unwrap();
+        f.write("logs/empty", &[]).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.list(), vec!["logs/empty", "videos/clip-1"]);
+        assert_eq!(f.read("videos/clip-1").unwrap(), data);
+        assert_eq!(f.read("logs/empty").unwrap(), Vec::<u8>::new());
+        let meta = f.stat("videos/clip-1").unwrap();
+        assert_eq!(meta.size, 1000);
+        assert_eq!(meta.blocks, 16);
+    }
+
+    #[test]
+    fn files_survive_two_node_failures() {
+        let mut f = fs();
+        let data = vec![42u8; 500];
+        f.write("f", &data).unwrap();
+        f.fail_node(NodeId(0)).unwrap();
+        f.fail_node(NodeId(3)).unwrap();
+        assert_eq!(f.read("f").unwrap(), data);
+    }
+
+    #[test]
+    fn overwrite_and_remove() {
+        let mut f = fs();
+        f.write("x", b"one").unwrap();
+        f.write("x", b"two-two").unwrap();
+        assert_eq!(f.read("x").unwrap(), b"two-two");
+        assert!(f.remove("x"));
+        assert!(!f.remove("x"));
+        assert!(f.read("x").is_err());
+    }
+
+    #[test]
+    fn reconfigure_onto_a_different_code_preserves_data() {
+        let mut f = fs();
+        let a: Vec<u8> = (0..300).map(|i| i as u8).collect();
+        let b = vec![5u8; 97];
+        f.write("a", &a).unwrap();
+        f.write("b", &b).unwrap();
+        // Move from the (6,4) B-Code to the (5,3) X-Code...
+        f.reconfigure(Arc::new(XCode::new(5).unwrap())).unwrap();
+        assert_eq!(f.read("a").unwrap(), a);
+        assert_eq!(f.read("b").unwrap(), b);
+        // ...and then to a (9,6) Reed-Solomon configuration.
+        f.reconfigure(Arc::new(ReedSolomon::new(9, 6).unwrap()))
+            .unwrap();
+        assert_eq!(f.read("a").unwrap(), a);
+        assert_eq!(f.read("b").unwrap(), b);
+        // The new configuration tolerates three failures.
+        for k in 0..3 {
+            f.fail_node(NodeId(k)).unwrap();
+        }
+        assert_eq!(f.read("a").unwrap(), a);
+    }
+}

@@ -1,0 +1,22 @@
+//! # rain-storage — distributed store/retrieve over MDS array codes
+//!
+//! Section 4.2 of *Computing in the RAIN*: a block of data is encoded with an
+//! `(n, k)` MDS array code into `n` symbols, one per storage node; any `k`
+//! reachable symbols reconstruct the data. The scheme provides reliability
+//! (up to `n - k` node failures), dynamic reconfigurability and hot swapping
+//! of nodes, and load balancing (the reader picks whichever `k` nodes are
+//! least loaded or closest).
+//!
+//! * [`store`] — the object store: encode/place/retrieve, node failure and
+//!   replacement, repair, selection policies (experiment E11);
+//! * [`fs`] — a flat-namespace, block-oriented file layer on top of it (the
+//!   paper's future-work distributed file system), including whole-namespace
+//!   re-encoding onto a different code.
+
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod store;
+
+pub use fs::{FileMeta, RainFs};
+pub use store::{DistributedStore, RetrieveReport, SelectionPolicy, StorageError};

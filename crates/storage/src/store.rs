@@ -1,0 +1,486 @@
+//! Distributed store/retrieve operations (Section 4.2 of the paper).
+//!
+//! A block of data is encoded with an `(n, k)` MDS array code into `n`
+//! symbols, one symbol per storage node. A retrieve collects symbols from
+//! *any* `k` reachable nodes and decodes. The scheme gives:
+//!
+//! * reliability — the data survives up to `n - k` node failures,
+//! * dynamic reconfigurability / hot swapping — up to `n - k` nodes can be
+//!   removed and replaced on the fly (their symbols are re-derived from the
+//!   survivors),
+//! * load balancing — since any `k` symbols suffice, the reader is free to
+//!   pick the least-loaded or nearest `k` nodes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use rain_codes::{CodeError, ErasureCode};
+use rain_sim::NodeId;
+
+/// Why a store or retrieve failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Fewer than `k` nodes were reachable.
+    NotEnoughNodes {
+        /// Nodes currently reachable.
+        available: usize,
+        /// Nodes needed.
+        needed: usize,
+    },
+    /// The object is unknown.
+    UnknownObject {
+        /// The requested object id.
+        object: String,
+    },
+    /// The underlying code rejected the operation.
+    Code(CodeError),
+    /// The caller asked for a node outside the cluster.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotEnoughNodes { available, needed } => {
+                write!(f, "only {available} nodes reachable, {needed} needed")
+            }
+            StorageError::UnknownObject { object } => write!(f, "unknown object {object}"),
+            StorageError::Code(e) => write!(f, "code error: {e}"),
+            StorageError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<CodeError> for StorageError {
+    fn from(e: CodeError) -> Self {
+        StorageError::Code(e)
+    }
+}
+
+/// How the reader chooses its `k` source nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// The first `k` reachable nodes in node order.
+    FirstK,
+    /// The `k` reachable nodes that have served the fewest bytes so far.
+    LeastLoaded,
+    /// The `k` reachable nodes with the smallest configured distance
+    /// (e.g. network latency or geographic distance).
+    Nearest,
+}
+
+/// One storage node: its symbol store plus the bookkeeping used by the
+/// selection policies.
+#[derive(Debug, Clone, Default)]
+struct StorageNode {
+    up: bool,
+    /// Symbols held, keyed by object id.
+    symbols: HashMap<String, Vec<u8>>,
+    /// Total bytes served to readers (load metric).
+    bytes_served: u64,
+    /// Abstract distance from the reader (nearness metric).
+    distance: u64,
+}
+
+/// Statistics describing one retrieve operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetrieveReport {
+    /// The nodes the symbols were read from.
+    pub sources: Vec<NodeId>,
+    /// Bytes read from each source.
+    pub bytes_per_source: usize,
+    /// True if fewer than `n` symbols were available (degraded read).
+    pub degraded: bool,
+}
+
+/// A distributed erasure-coded object store over `n` nodes.
+pub struct DistributedStore {
+    code: Arc<dyn ErasureCode>,
+    nodes: Vec<StorageNode>,
+    objects: HashMap<String, usize>,
+}
+
+impl DistributedStore {
+    /// Create a store over `code.n()` nodes using the given erasure code.
+    pub fn new(code: Arc<dyn ErasureCode>) -> Self {
+        let n = code.n();
+        DistributedStore {
+            code,
+            nodes: (0..n)
+                .map(|i| StorageNode {
+                    up: true,
+                    distance: i as u64,
+                    ..StorageNode::default()
+                })
+                .collect(),
+            objects: HashMap::new(),
+        }
+    }
+
+    /// The erasure code in use.
+    pub fn code(&self) -> &dyn ErasureCode {
+        self.code.as_ref()
+    }
+
+    /// Number of storage nodes (`n`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes currently up.
+    pub fn nodes_up(&self) -> usize {
+        self.nodes.iter().filter(|n| n.up).count()
+    }
+
+    /// Objects currently stored.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total bytes served by a node so far.
+    pub fn bytes_served(&self, node: NodeId) -> u64 {
+        self.nodes.get(node.0).map(|n| n.bytes_served).unwrap_or(0)
+    }
+
+    /// Set the abstract distance of a node (used by [`SelectionPolicy::Nearest`]).
+    pub fn set_distance(&mut self, node: NodeId, distance: u64) -> Result<(), StorageError> {
+        self.nodes
+            .get_mut(node.0)
+            .ok_or(StorageError::UnknownNode(node))?
+            .distance = distance;
+        Ok(())
+    }
+
+    /// Mark a node as failed (its symbols become unreachable).
+    pub fn fail_node(&mut self, node: NodeId) -> Result<(), StorageError> {
+        self.nodes
+            .get_mut(node.0)
+            .ok_or(StorageError::UnknownNode(node))?
+            .up = false;
+        Ok(())
+    }
+
+    /// Mark a node as recovered (its symbols become reachable again).
+    pub fn recover_node(&mut self, node: NodeId) -> Result<(), StorageError> {
+        self.nodes
+            .get_mut(node.0)
+            .ok_or(StorageError::UnknownNode(node))?
+            .up = true;
+        Ok(())
+    }
+
+    /// Hot-swap: replace a node with a blank machine. The node comes back up
+    /// with no symbols; [`DistributedStore::repair_node`] re-derives them.
+    pub fn replace_node(&mut self, node: NodeId) -> Result<(), StorageError> {
+        let slot = self
+            .nodes
+            .get_mut(node.0)
+            .ok_or(StorageError::UnknownNode(node))?;
+        slot.up = true;
+        slot.symbols.clear();
+        slot.bytes_served = 0;
+        Ok(())
+    }
+
+    /// Store a block under `object`, padding it to the code's input unit.
+    /// The original length is recovered on retrieve.
+    pub fn store(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
+        // Frame: original length (8 bytes LE) + data, padded to the unit.
+        let unit = self.code.data_len_unit();
+        let mut framed = Vec::with_capacity(8 + data.len() + unit);
+        framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        framed.extend_from_slice(data);
+        let pad = (unit - framed.len() % unit) % unit;
+        framed.extend(std::iter::repeat(0u8).take(pad));
+
+        let shares = self.code.encode(&framed)?;
+        for (i, share) in shares.into_iter().enumerate() {
+            self.nodes[i].symbols.insert(object.to_string(), share);
+        }
+        self.objects.insert(object.to_string(), data.len());
+        Ok(())
+    }
+
+    fn pick_sources(
+        &self,
+        policy: SelectionPolicy,
+        object: &str,
+        allowed: Option<&[NodeId]>,
+    ) -> Vec<usize> {
+        let mut candidates: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, n)| {
+                n.up && n.symbols.contains_key(object)
+                    && allowed.map(|a| a.contains(&NodeId(*i))).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        match policy {
+            SelectionPolicy::FirstK => {}
+            SelectionPolicy::LeastLoaded => {
+                candidates.sort_by_key(|&i| (self.nodes[i].bytes_served, i));
+            }
+            SelectionPolicy::Nearest => {
+                candidates.sort_by_key(|&i| (self.nodes[i].distance, i));
+            }
+        }
+        candidates.truncate(self.code.k());
+        candidates
+    }
+
+    /// Retrieve an object by reading from any `k` nodes chosen by `policy`.
+    pub fn retrieve(
+        &mut self,
+        object: &str,
+        policy: SelectionPolicy,
+    ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
+        self.retrieve_from(object, policy, None)
+    }
+
+    /// Retrieve, restricted to a caller-supplied set of reachable nodes
+    /// (`None` means "any up node"). This is how a *client-side* view of
+    /// connectivity — e.g. a RAINVideo client that has lost its path to some
+    /// servers — is expressed without marking those servers globally down.
+    pub fn retrieve_from(
+        &mut self,
+        object: &str,
+        policy: SelectionPolicy,
+        allowed: Option<&[NodeId]>,
+    ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
+        let original_len = *self
+            .objects
+            .get(object)
+            .ok_or_else(|| StorageError::UnknownObject {
+                object: object.to_string(),
+            })?;
+        let sources = self.pick_sources(policy, object, allowed);
+        if sources.len() < self.code.k() {
+            return Err(StorageError::NotEnoughNodes {
+                available: sources.len(),
+                needed: self.code.k(),
+            });
+        }
+        let mut shares: Vec<Option<Vec<u8>>> = vec![None; self.code.n()];
+        let mut bytes_per_source = 0;
+        for &i in &sources {
+            let share = self.nodes[i].symbols[object].clone();
+            bytes_per_source = share.len();
+            self.nodes[i].bytes_served += share.len() as u64;
+            shares[i] = Some(share);
+        }
+        let framed = self.code.decode(&shares)?;
+        let stored_len = u64::from_le_bytes(framed[..8].try_into().expect("frame header")) as usize;
+        debug_assert_eq!(stored_len, original_len);
+        let data = framed[8..8 + stored_len].to_vec();
+        let degraded = self.nodes.iter().any(|n| !n.up);
+        Ok((
+            data,
+            RetrieveReport {
+                sources: sources.into_iter().map(NodeId).collect(),
+                bytes_per_source,
+                degraded,
+            },
+        ))
+    }
+
+    /// Re-derive and re-install every symbol a (replaced or recovered) node
+    /// is supposed to hold, by decoding each object from the other nodes and
+    /// re-encoding. Returns the number of symbols repaired.
+    pub fn repair_node(&mut self, node: NodeId) -> Result<usize, StorageError> {
+        if node.0 >= self.nodes.len() {
+            return Err(StorageError::UnknownNode(node));
+        }
+        let objects: Vec<String> = self.objects.keys().cloned().collect();
+        let mut repaired = 0;
+        for object in objects {
+            if self.nodes[node.0].symbols.contains_key(&object) {
+                continue;
+            }
+            // Collect shares from the other nodes.
+            let mut shares: Vec<Option<Vec<u8>>> = vec![None; self.code.n()];
+            let mut available = 0;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if i != node.0 && n.up {
+                    if let Some(s) = n.symbols.get(&object) {
+                        shares[i] = Some(s.clone());
+                        available += 1;
+                    }
+                }
+            }
+            if available < self.code.k() {
+                return Err(StorageError::NotEnoughNodes {
+                    available,
+                    needed: self.code.k(),
+                });
+            }
+            let framed = self.code.decode(&shares)?;
+            let all = self.code.encode(&framed)?;
+            self.nodes[node.0]
+                .symbols
+                .insert(object.clone(), all[node.0].clone());
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rain_codes::BCode;
+
+    fn store() -> DistributedStore {
+        DistributedStore::new(Arc::new(BCode::table_1a()))
+    }
+
+    #[test]
+    fn store_and_retrieve_round_trips() {
+        let mut s = store();
+        let data = b"the RAIN distributed store".to_vec();
+        s.store("obj", &data).unwrap();
+        let (out, report) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(report.sources.len(), 4, "k = 4 sources");
+        assert!(!report.degraded);
+    }
+
+    #[test]
+    fn survives_up_to_n_minus_k_failures() {
+        let mut s = store();
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        s.store("obj", &data).unwrap();
+        s.fail_node(NodeId(1)).unwrap();
+        s.fail_node(NodeId(4)).unwrap();
+        let (out, report) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, data);
+        assert!(report.degraded);
+        // One more failure exceeds the tolerance of the (6,4) code.
+        s.fail_node(NodeId(0)).unwrap();
+        assert!(matches!(
+            s.retrieve("obj", SelectionPolicy::FirstK),
+            Err(StorageError::NotEnoughNodes { available: 3, needed: 4 })
+        ));
+    }
+
+    #[test]
+    fn retrieve_from_respects_the_allowed_set() {
+        let mut s = store();
+        let data = vec![3u8; 240];
+        s.store("obj", &data).unwrap();
+        let allowed: Vec<NodeId> = (1..5).map(NodeId).collect();
+        let (out, report) = s
+            .retrieve_from("obj", SelectionPolicy::FirstK, Some(&allowed))
+            .unwrap();
+        assert_eq!(out, data);
+        assert!(report.sources.iter().all(|n| allowed.contains(n)));
+        // Too small an allowed set fails cleanly.
+        let few: Vec<NodeId> = (0..3).map(NodeId).collect();
+        assert!(matches!(
+            s.retrieve_from("obj", SelectionPolicy::FirstK, Some(&few)),
+            Err(StorageError::NotEnoughNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_objects_are_reported() {
+        let mut s = store();
+        assert!(matches!(
+            s.retrieve("nope", SelectionPolicy::FirstK),
+            Err(StorageError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn least_loaded_selection_balances_reads() {
+        let mut s = store();
+        let data = vec![7u8; 600];
+        s.store("obj", &data).unwrap();
+        for _ in 0..30 {
+            s.retrieve("obj", SelectionPolicy::LeastLoaded).unwrap();
+        }
+        // With 30 reads of k = 4 sources over 6 nodes, a balanced policy
+        // touches every node a similar number of times.
+        let served: Vec<u64> = (0..6).map(|i| s.bytes_served(NodeId(i))).collect();
+        let min = *served.iter().min().unwrap();
+        let max = *served.iter().max().unwrap();
+        assert!(min > 0, "every node serves some reads: {served:?}");
+        assert!(max <= min * 2, "load stays balanced: {served:?}");
+    }
+
+    #[test]
+    fn first_k_selection_concentrates_reads() {
+        let mut s = store();
+        s.store("obj", &vec![1u8; 300]).unwrap();
+        for _ in 0..10 {
+            s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        }
+        assert_eq!(s.bytes_served(NodeId(5)), 0);
+        assert!(s.bytes_served(NodeId(0)) > 0);
+    }
+
+    #[test]
+    fn nearest_selection_prefers_close_nodes() {
+        let mut s = store();
+        s.store("obj", &vec![2u8; 120]).unwrap();
+        // Make nodes 3..6 the closest.
+        for (i, d) in [(0usize, 10u64), (1, 11), (2, 12), (3, 0), (4, 1), (5, 2)] {
+            s.set_distance(NodeId(i), d).unwrap();
+        }
+        let (_, report) = s.retrieve("obj", SelectionPolicy::Nearest).unwrap();
+        let mut sources: Vec<usize> = report.sources.iter().map(|n| n.0).collect();
+        sources.sort_unstable();
+        // The three close nodes (3, 4, 5) plus the nearest of the far ones.
+        assert_eq!(sources, vec![0, 3, 4, 5]);
+    }
+
+    #[test]
+    fn hot_swap_and_repair_restore_full_redundancy() {
+        let mut s = store();
+        let data = vec![9u8; 480];
+        s.store("a", &data).unwrap();
+        s.store("b", &data).unwrap();
+        // Replace node 2 with a blank machine, then repair it.
+        s.replace_node(NodeId(2)).unwrap();
+        let repaired = s.repair_node(NodeId(2)).unwrap();
+        assert_eq!(repaired, 2);
+        // Now the system again tolerates the loss of any two *other* nodes
+        // while still reading through node 2.
+        s.fail_node(NodeId(0)).unwrap();
+        s.fail_node(NodeId(5)).unwrap();
+        let (out, _) = s.retrieve("a", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Any payload survives any loss of up to n - k nodes, under every
+        /// selection policy.
+        #[test]
+        fn prop_any_two_failures_are_survivable(
+            data in proptest::collection::vec(any::<u8>(), 1..512),
+            kill1 in 0usize..6,
+            kill2 in 0usize..6,
+            policy in prop::sample::select(vec![
+                SelectionPolicy::FirstK,
+                SelectionPolicy::LeastLoaded,
+                SelectionPolicy::Nearest,
+            ]),
+        ) {
+            prop_assume!(kill1 != kill2);
+            let mut s = store();
+            s.store("obj", &data).unwrap();
+            s.fail_node(NodeId(kill1)).unwrap();
+            s.fail_node(NodeId(kill2)).unwrap();
+            let (out, _) = s.retrieve("obj", policy).unwrap();
+            prop_assert_eq!(out, data);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Fault sweeps: exhaustive and Monte-Carlo exploration of fault patterns,
+//! reproducing the partitioning claims of Section 2.1 (experiments E1–E4).
+//!
+//! An exhaustive sweep enumerates every `k`-subset of a chosen universe of
+//! failable elements (all switches, or all elements) and reports the
+//! worst-case outcome; a Monte-Carlo sweep samples fault patterns for sizes
+//! where enumeration is too large. Both fan out across `rayon` worker threads
+//! because each fault pattern is an independent union-find computation.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Element, PartitionStats, Topology};
+
+/// Aggregate outcome of applying many fault patterns of the same size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// Construction name.
+    pub topology: String,
+    /// Number of simultaneous faults in every pattern.
+    pub faults: usize,
+    /// Number of fault patterns evaluated.
+    pub patterns: usize,
+    /// Worst (maximum) number of lost nodes over all patterns.
+    pub max_lost_nodes: usize,
+    /// Mean number of lost nodes over all patterns.
+    pub mean_lost_nodes: f64,
+    /// Number of patterns that partitioned the surviving compute nodes.
+    pub partitioning_patterns: usize,
+    /// One example of a worst-case pattern (for reporting / debugging).
+    pub worst_pattern: Vec<Element>,
+}
+
+impl SweepOutcome {
+    /// Fraction of evaluated patterns that partitioned the compute nodes.
+    pub fn partition_probability(&self) -> f64 {
+        if self.patterns == 0 {
+            0.0
+        } else {
+            self.partitioning_patterns as f64 / self.patterns as f64
+        }
+    }
+}
+
+fn combine(
+    topology: &Topology,
+    faults: usize,
+    results: Vec<(PartitionStats, Vec<Element>)>,
+) -> SweepOutcome {
+    let patterns = results.len();
+    let mut max_lost = 0usize;
+    let mut worst = Vec::new();
+    let mut lost_sum = 0usize;
+    let mut partitioning = 0usize;
+    for (stats, pattern) in results {
+        lost_sum += stats.lost_nodes;
+        if stats.partitioned {
+            partitioning += 1;
+        }
+        if stats.lost_nodes > max_lost || worst.is_empty() {
+            max_lost = stats.lost_nodes.max(max_lost);
+            if stats.lost_nodes == max_lost {
+                worst = pattern;
+            }
+        }
+    }
+    SweepOutcome {
+        topology: topology.name.clone(),
+        faults,
+        patterns,
+        max_lost_nodes: max_lost,
+        mean_lost_nodes: if patterns == 0 {
+            0.0
+        } else {
+            lost_sum as f64 / patterns as f64
+        },
+        partitioning_patterns: partitioning,
+        worst_pattern: worst,
+    }
+}
+
+/// Enumerate every `k`-combination of `universe` and evaluate it.
+/// The enumeration is split at the first chosen element so the work can be
+/// distributed across threads.
+pub fn exhaustive_sweep(topology: &Topology, universe: &[Element], k: usize) -> SweepOutcome {
+    assert!(k <= universe.len(), "cannot fail more elements than exist");
+    if k == 0 {
+        let stats = topology.partition_stats(&[]);
+        return combine(topology, 0, vec![(stats, Vec::new())]);
+    }
+    let results: Vec<(PartitionStats, Vec<Element>)> = (0..universe.len())
+        .into_par_iter()
+        .flat_map_iter(|first| {
+            // All combinations whose smallest index is `first`.
+            let mut local = Vec::new();
+            let mut idx: Vec<usize> = (0..k).collect();
+            idx[0] = first;
+            for (j, slot) in idx.iter_mut().enumerate().skip(1) {
+                *slot = first + j;
+            }
+            if *idx.last().unwrap() >= universe.len() {
+                return local.into_iter();
+            }
+            loop {
+                let pattern: Vec<Element> = idx.iter().map(|&i| universe[i]).collect();
+                let stats = topology.partition_stats(&pattern);
+                local.push((stats, pattern));
+                // Advance indices 1..k (index 0 is pinned to `first`).
+                let mut pos = k;
+                loop {
+                    if pos == 1 {
+                        return local.into_iter();
+                    }
+                    pos -= 1;
+                    if idx[pos] != universe.len() - (k - pos) {
+                        idx[pos] += 1;
+                        for j in pos + 1..k {
+                            idx[j] = idx[j - 1] + 1;
+                        }
+                        break;
+                    }
+                }
+            }
+        })
+        .collect();
+    combine(topology, k, results)
+}
+
+/// Exhaustively sweep `k` simultaneous **switch** failures.
+pub fn sweep_switch_faults(topology: &Topology, k: usize) -> SweepOutcome {
+    exhaustive_sweep(topology, &topology.switch_elements(), k)
+}
+
+/// Exhaustively sweep `k` simultaneous failures of **any** element
+/// (switch, link, or node), the fault model of Theorem 2.1.
+pub fn sweep_mixed_faults(topology: &Topology, k: usize) -> SweepOutcome {
+    exhaustive_sweep(topology, &topology.elements(), k)
+}
+
+/// Monte-Carlo sweep: evaluate `samples` uniformly random `k`-subsets of the
+/// universe. Deterministic for a given seed.
+pub fn monte_carlo_sweep(
+    topology: &Topology,
+    universe: &[Element],
+    k: usize,
+    samples: usize,
+    seed: u64,
+) -> SweepOutcome {
+    assert!(k <= universe.len());
+    let results: Vec<(PartitionStats, Vec<Element>)> = (0..samples)
+        .into_par_iter()
+        .map(|i| {
+            // Per-sample RNG derived from (seed, i) so the parallel schedule
+            // cannot change the outcome.
+            let mut rng = rain_sim_compat_rng(seed, i as u64);
+            let mut pool: Vec<Element> = universe.to_vec();
+            // Partial Fisher-Yates: choose k distinct elements.
+            for j in 0..k {
+                let pick = j + (rng() % (pool.len() - j) as u64) as usize;
+                pool.swap(j, pick);
+            }
+            let pattern: Vec<Element> = pool[..k].to_vec();
+            (topology.partition_stats(&pattern), pattern)
+        })
+        .collect();
+    combine(topology, k, results)
+}
+
+/// A tiny SplitMix64 generator so the Monte-Carlo sweep does not need to
+/// share mutable RNG state across rayon workers.
+fn rain_sim_compat_rng(seed: u64, stream: u64) -> impl FnMut() -> u64 {
+    let mut state = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A resilience curve: for each fault count `0..=max_faults`, the sweep
+/// outcome (exhaustive when the pattern count stays below
+/// `exhaustive_limit`, Monte-Carlo with `samples` samples otherwise).
+pub fn resilience_curve(
+    topology: &Topology,
+    universe: &[Element],
+    max_faults: usize,
+    exhaustive_limit: u128,
+    samples: usize,
+    seed: u64,
+) -> Vec<SweepOutcome> {
+    (0..=max_faults)
+        .map(|k| {
+            if combinations(universe.len(), k) <= exhaustive_limit {
+                exhaustive_sweep(topology, universe, k)
+            } else {
+                monte_carlo_sweep(topology, universe, k, samples, seed + k as u64)
+            }
+        })
+        .collect()
+}
+
+/// Number of `k`-combinations of `n` elements, saturating at `u128::MAX`.
+pub fn combinations(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u128 = 1;
+    for i in 0..k {
+        result = result.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::{diameter_ring, naive_ring};
+
+    #[test]
+    fn combinations_matches_known_values() {
+        assert_eq!(combinations(10, 3), 120);
+        assert_eq!(combinations(6, 0), 1);
+        assert_eq!(combinations(5, 6), 0);
+        assert_eq!(combinations(50, 4), 230_300);
+    }
+
+    #[test]
+    fn exhaustive_sweep_counts_all_patterns() {
+        let t = diameter_ring(8);
+        let out = sweep_switch_faults(&t, 2);
+        assert_eq!(out.patterns, 28);
+        assert_eq!(out.faults, 2);
+        assert_eq!(out.worst_pattern.len(), 2);
+    }
+
+    #[test]
+    fn zero_faults_is_a_single_healthy_pattern() {
+        let t = naive_ring(6);
+        let out = sweep_switch_faults(&t, 0);
+        assert_eq!(out.patterns, 1);
+        assert_eq!(out.max_lost_nodes, 0);
+        assert_eq!(out.partitioning_patterns, 0);
+    }
+
+    #[test]
+    fn naive_ring_loses_an_arc_under_two_switch_faults_but_diameter_does_not() {
+        let naive = naive_ring(10);
+        let diam = diameter_ring(10);
+        let naive_out = sweep_switch_faults(&naive, 2);
+        let diam_out = sweep_switch_faults(&diam, 2);
+        // Fig. 4b: the naive attachment can lose a whole arc of nodes.
+        assert!(naive_out.max_lost_nodes >= 4, "got {}", naive_out.max_lost_nodes);
+        // The diameter construction loses at most a constant few.
+        assert!(diam_out.max_lost_nodes <= 4, "got {}", diam_out.max_lost_nodes);
+    }
+
+    #[test]
+    fn theorem_2_1_three_mixed_faults_lose_at_most_six_nodes_n10() {
+        let t = diameter_ring(10);
+        let out = sweep_mixed_faults(&t, 3);
+        assert!(
+            out.max_lost_nodes <= 6,
+            "constant is min(n, 6), got {}",
+            out.max_lost_nodes
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_and_close_to_exhaustive() {
+        let t = naive_ring(10);
+        let universe = t.switch_elements();
+        let a = monte_carlo_sweep(&t, &universe, 2, 500, 42);
+        let b = monte_carlo_sweep(&t, &universe, 2, 500, 42);
+        assert_eq!(a, b);
+        let exact = sweep_switch_faults(&t, 2);
+        assert!((a.partition_probability() - exact.partition_probability()).abs() < 0.15);
+    }
+
+    #[test]
+    fn resilience_curve_switches_between_modes() {
+        let t = diameter_ring(8);
+        let universe = t.switch_elements();
+        let curve = resilience_curve(&t, &universe, 3, 30, 100, 7);
+        assert_eq!(curve.len(), 4);
+        // k = 0, 1 are exhaustive (1 and 8 patterns); k = 2 (28 patterns)
+        // fits under the limit of 30; k = 3 (56) falls back to Monte-Carlo.
+        assert_eq!(curve[2].patterns, 28);
+        assert_eq!(curve[3].patterns, 100);
+    }
+}

@@ -1,0 +1,200 @@
+//! The interconnect constructions of Section 2.1: the naïve attachment of
+//! Fig. 4, the diameter construction of Fig. 5 / Construction 2.1, its
+//! generalisations to more compute nodes and higher node degree, and the
+//! fully-connected (clique) switch network variant.
+
+use crate::graph::Topology;
+
+/// Fig. 4a: a ring of `n` switches with node `i` attached to its two nearest
+/// switches `i` and `i+1`. Relies entirely on the ring's own fault tolerance;
+/// two switch failures can partition the compute nodes.
+pub fn naive_ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 switches");
+    let mut t = Topology::new(format!("naive-ring-{n}"), n, n);
+    for i in 0..n {
+        t.connect_switches(i, (i + 1) % n);
+    }
+    for i in 0..n {
+        t.connect_node(i, i);
+        t.connect_node(i, (i + 1) % n);
+    }
+    t
+}
+
+/// Construction 2.1 (Diameters): a ring of `n` switches with node `i`
+/// attached to switches `i` and `i + ⌊n/2⌋ - 1 (mod n)` — one less than the
+/// diameter apart, so that every node bridges two nearly-opposite points of
+/// the ring. Tolerates any 3 faults without partitioning (Theorem 2.1).
+pub fn diameter_ring(n: usize) -> Topology {
+    assert!(n >= 5, "the diameter construction needs at least 5 switches");
+    let offset = n / 2 - 1;
+    let mut t = Topology::new(format!("diameter-ring-{n}"), n, n);
+    for i in 0..n {
+        t.connect_switches(i, (i + 1) % n);
+    }
+    for i in 0..n {
+        t.connect_node(i, i);
+        t.connect_node(i, (i + offset) % n);
+    }
+    t
+}
+
+/// The note after Construction 2.1: attach `multiplier * n` compute nodes to
+/// `n` switches by repeating the diameter attachment (`node j` attaches like
+/// `node j mod n`). The maximum number of lost nodes scales by `multiplier`
+/// but stays constant with respect to `n`.
+pub fn diameter_ring_multi(n: usize, multiplier: usize) -> Topology {
+    assert!(multiplier >= 1);
+    assert!(n >= 5, "the diameter construction needs at least 5 switches");
+    let offset = n / 2 - 1;
+    let mut t = Topology::new(
+        format!("diameter-ring-{n}-x{multiplier}"),
+        n * multiplier,
+        n,
+    );
+    for i in 0..n {
+        t.connect_switches(i, (i + 1) % n);
+    }
+    for j in 0..n * multiplier {
+        let i = j % n;
+        t.connect_node(j, i);
+        t.connect_node(j, (i + offset) % n);
+    }
+    t
+}
+
+/// Generalisation of the diameter construction to compute nodes of degree
+/// `dc >= 2`: node `i`'s attachments are spread as evenly as possible around
+/// the switch ring, starting at switch `i`.
+pub fn diameter_ring_general(n: usize, dc: usize) -> Topology {
+    assert!(n >= 5 && dc >= 2 && dc <= n);
+    let mut t = Topology::new(format!("diameter-ring-{n}-dc{dc}"), n, n);
+    for i in 0..n {
+        t.connect_switches(i, (i + 1) % n);
+    }
+    // Spacing of roughly n/dc between consecutive attachments, shifted by
+    // -1 on the last attachment in the dc = 2 case to match Construction 2.1.
+    for i in 0..n {
+        for k in 0..dc {
+            let mut s = (i + k * n / dc) % n;
+            if dc == 2 && k == 1 {
+                s = (i + n / 2 - 1) % n;
+            }
+            t.connect_node(i, s);
+        }
+    }
+    t
+}
+
+/// The clique variant mentioned with Theorem 2.1: the `n` switches form a
+/// complete graph; node `i` attaches to switches `i` and `i + 1 (mod n)`
+/// (with a fully-connected switch fabric every distinct pair is equivalent).
+pub fn clique(n: usize) -> Topology {
+    assert!(n >= 3);
+    let mut t = Topology::new(format!("clique-{n}"), n, n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            t.connect_switches(a, b);
+        }
+    }
+    for i in 0..n {
+        t.connect_node(i, i);
+        t.connect_node(i, (i + 1) % n);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Element;
+
+    #[test]
+    fn naive_ring_has_expected_degrees() {
+        let t = naive_ring(8);
+        assert_eq!(t.nodes, 8);
+        assert_eq!(t.switches, 8);
+        for i in 0..8 {
+            assert_eq!(t.node_degree(i), 2, "dc = 2");
+            assert_eq!(t.switch_degree(i), 4, "ds = 4");
+        }
+    }
+
+    #[test]
+    fn diameter_ring_has_expected_degrees_and_unique_pairs() {
+        for n in [8usize, 9, 10, 15] {
+            let t = diameter_ring(n);
+            for i in 0..n {
+                assert_eq!(t.node_degree(i), 2);
+                assert_eq!(t.switch_degree(i), 4, "n = {n}, switch {i}");
+            }
+            // Each node connects to a unique pair of switches.
+            let mut pairs = std::collections::HashSet::new();
+            for i in 0..n {
+                let mut attached: Vec<usize> = t
+                    .edges
+                    .iter()
+                    .filter_map(|e| match e {
+                        crate::graph::Edge::NodeSwitch { node, switch } if *node == i => {
+                            Some(*switch)
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                attached.sort_unstable();
+                assert!(pairs.insert(attached), "duplicate pair for node {i} (n={n})");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_ring_partitions_with_two_switch_faults() {
+        // Fig. 4b: two non-adjacent switch failures split the naive ring.
+        let t = naive_ring(10);
+        let stats = t.partition_stats(&[Element::Switch(0), Element::Switch(5)]);
+        assert!(stats.partitioned);
+        assert!(stats.lost_nodes >= 3, "a whole arc of nodes is cut off");
+    }
+
+    #[test]
+    fn diameter_ring_survives_the_same_two_switch_faults() {
+        let t = diameter_ring(10);
+        let stats = t.partition_stats(&[Element::Switch(0), Element::Switch(5)]);
+        assert!(!stats.partitioned);
+        assert!(stats.lost_nodes <= 4);
+    }
+
+    #[test]
+    fn multi_node_variant_repeats_attachments() {
+        let t = diameter_ring_multi(10, 3);
+        assert_eq!(t.nodes, 30);
+        assert_eq!(t.switches, 10);
+        for j in 0..30 {
+            assert_eq!(t.node_degree(j), 2);
+        }
+    }
+
+    #[test]
+    fn general_degree_construction_matches_requested_degree() {
+        let t = diameter_ring_general(12, 3);
+        for i in 0..12 {
+            assert_eq!(t.node_degree(i), 3);
+        }
+        // dc = 2 reduces to Construction 2.1.
+        let a = diameter_ring_general(10, 2);
+        let b = diameter_ring(10);
+        assert_eq!(a.edges, b.edges);
+    }
+
+    #[test]
+    fn clique_is_densely_wired() {
+        let t = clique(6);
+        assert_eq!(
+            t.edges.len(),
+            6 * 5 / 2 + 12,
+            "C(6,2) switch links plus two per node"
+        );
+        let stats = t.partition_stats(&[Element::Switch(0), Element::Switch(3)]);
+        assert!(!stats.partitioned);
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph model for Section 2.1 of the paper: compute nodes of degree `dc`
+//! attached to a network of switches of degree `ds`, with the question being
+//! how many faults the arrangement survives before the *compute nodes* are
+//! partitioned into disjoint sets.
+//!
+//! The model is a plain undirected graph whose vertices are compute nodes and
+//! switches and whose edges are node-to-switch and switch-to-switch links.
+//! Faults remove switches, links, or nodes; the analysis then asks for the
+//! connected components of the surviving compute nodes (switches merely relay
+//! — a component containing only switches counts as no compute nodes).
+
+use serde::{Deserialize, Serialize};
+
+/// An edge of the topology graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Edge {
+    /// Connects compute node `node` to switch `switch`.
+    NodeSwitch {
+        /// Compute-node index.
+        node: usize,
+        /// Switch index.
+        switch: usize,
+    },
+    /// Connects two switches.
+    SwitchSwitch {
+        /// One switch.
+        a: usize,
+        /// The other switch.
+        b: usize,
+    },
+}
+
+/// Any element of the topology that can fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    /// A compute node.
+    Node(usize),
+    /// A switch.
+    Switch(usize),
+    /// A link (indexed into [`Topology::edges`]).
+    Link(usize),
+}
+
+/// A static interconnect topology: `nodes` compute nodes, `switches`
+/// switches, and the edges joining them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Number of switches.
+    pub switches: usize,
+    /// All edges. Edge indices are stable and used in [`Element::Link`].
+    pub edges: Vec<Edge>,
+    /// Human-readable name of the construction (for reports).
+    pub name: String,
+}
+
+impl Topology {
+    /// Create an empty topology with the given element counts.
+    pub fn new(name: impl Into<String>, nodes: usize, switches: usize) -> Self {
+        Topology {
+            nodes,
+            switches,
+            edges: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Add a node-to-switch link.
+    pub fn connect_node(&mut self, node: usize, switch: usize) {
+        assert!(node < self.nodes && switch < self.switches);
+        self.edges.push(Edge::NodeSwitch { node, switch });
+    }
+
+    /// Add a switch-to-switch link.
+    pub fn connect_switches(&mut self, a: usize, b: usize) {
+        assert!(a < self.switches && b < self.switches && a != b);
+        self.edges.push(Edge::SwitchSwitch { a, b });
+    }
+
+    /// Degree (number of incident links) of a compute node.
+    pub fn node_degree(&self, node: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| matches!(e, Edge::NodeSwitch { node: n, .. } if *n == node))
+            .count()
+    }
+
+    /// Degree (number of incident links) of a switch.
+    pub fn switch_degree(&self, switch: usize) -> usize {
+        self.edges
+            .iter()
+            .filter(|e| match e {
+                Edge::NodeSwitch { switch: s, .. } => *s == switch,
+                Edge::SwitchSwitch { a, b } => *a == switch || *b == switch,
+            })
+            .count()
+    }
+
+    /// Every failable element of the topology, in a stable order
+    /// (switches, then links, then nodes) used by the exhaustive sweeps.
+    pub fn elements(&self) -> Vec<Element> {
+        let mut out = Vec::with_capacity(self.switches + self.edges.len() + self.nodes);
+        out.extend((0..self.switches).map(Element::Switch));
+        out.extend((0..self.edges.len()).map(Element::Link));
+        out.extend((0..self.nodes).map(Element::Node));
+        out
+    }
+
+    /// Only the switches, as elements (for switch-failure-only sweeps).
+    pub fn switch_elements(&self) -> Vec<Element> {
+        (0..self.switches).map(Element::Switch).collect()
+    }
+
+    /// Compute the sizes of the connected components of the *surviving
+    /// compute nodes* after the given elements have failed. The returned
+    /// vector is sorted descending; an empty vector means no compute node
+    /// survived.
+    pub fn surviving_components(&self, failed: &[Element]) -> Vec<usize> {
+        let mut node_dead = vec![false; self.nodes];
+        let mut switch_dead = vec![false; self.switches];
+        let mut link_dead = vec![false; self.edges.len()];
+        for &f in failed {
+            match f {
+                Element::Node(i) => node_dead[i] = true,
+                Element::Switch(i) => switch_dead[i] = true,
+                Element::Link(i) => link_dead[i] = true,
+            }
+        }
+
+        // Union-find over nodes (0..nodes) and switches (nodes..nodes+switches).
+        let total = self.nodes + self.switches;
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<usize>, a: usize, b: usize| {
+            let ra = find(parent, a);
+            let rb = find(parent, b);
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        };
+
+        for (i, edge) in self.edges.iter().enumerate() {
+            if link_dead[i] {
+                continue;
+            }
+            match *edge {
+                Edge::NodeSwitch { node, switch } => {
+                    if !node_dead[node] && !switch_dead[switch] {
+                        union(&mut parent, node, self.nodes + switch);
+                    }
+                }
+                Edge::SwitchSwitch { a, b } => {
+                    if !switch_dead[a] && !switch_dead[b] {
+                        union(&mut parent, self.nodes + a, self.nodes + b);
+                    }
+                }
+            }
+        }
+
+        let mut counts = std::collections::HashMap::new();
+        for node in 0..self.nodes {
+            if node_dead[node] {
+                continue;
+            }
+            let root = find(&mut parent, node);
+            *counts.entry(root).or_insert(0usize) += 1;
+        }
+        let mut sizes: Vec<usize> = counts.into_values().collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        sizes
+    }
+
+    /// Summary statistics of the surviving compute-node graph after faults.
+    pub fn partition_stats(&self, failed: &[Element]) -> PartitionStats {
+        let components = self.surviving_components(failed);
+        let alive: usize = components.iter().sum();
+        let largest = components.first().copied().unwrap_or(0);
+        PartitionStats {
+            total_nodes: self.nodes,
+            alive_nodes: alive,
+            largest_component: largest,
+            components: components.len(),
+            lost_nodes: self.nodes - largest,
+            partitioned: components.len() > 1,
+        }
+    }
+}
+
+/// Result of a single fault pattern applied to a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Compute nodes in the original topology.
+    pub total_nodes: usize,
+    /// Compute nodes that did not themselves fail.
+    pub alive_nodes: usize,
+    /// Size of the largest surviving connected component of compute nodes.
+    pub largest_component: usize,
+    /// Number of surviving components containing at least one compute node.
+    pub components: usize,
+    /// Nodes outside the largest component (the paper's "lost nodes"):
+    /// failed nodes plus survivors cut off from the main component.
+    pub lost_nodes: usize,
+    /// True if the surviving compute nodes split into two or more components.
+    pub partitioned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two nodes both attached to a single switch.
+    fn star() -> Topology {
+        let mut t = Topology::new("star", 2, 1);
+        t.connect_node(0, 0);
+        t.connect_node(1, 0);
+        t
+    }
+
+    #[test]
+    fn no_faults_means_one_component() {
+        let t = star();
+        let stats = t.partition_stats(&[]);
+        assert_eq!(stats.largest_component, 2);
+        assert_eq!(stats.lost_nodes, 0);
+        assert!(!stats.partitioned);
+    }
+
+    #[test]
+    fn killing_the_only_switch_isolates_everyone() {
+        let t = star();
+        let stats = t.partition_stats(&[Element::Switch(0)]);
+        // Each node survives but alone (two singleton components).
+        assert_eq!(stats.alive_nodes, 2);
+        assert_eq!(stats.largest_component, 1);
+        assert_eq!(stats.lost_nodes, 1);
+        assert!(stats.partitioned);
+    }
+
+    #[test]
+    fn node_failure_counts_as_lost_but_not_partitioned() {
+        let t = star();
+        let stats = t.partition_stats(&[Element::Node(1)]);
+        assert_eq!(stats.alive_nodes, 1);
+        assert_eq!(stats.lost_nodes, 1);
+        assert!(!stats.partitioned);
+    }
+
+    #[test]
+    fn link_failure_disconnects_exactly_one_node() {
+        let t = star();
+        // Edge 0 is node 0's only attachment.
+        let stats = t.partition_stats(&[Element::Link(0)]);
+        assert_eq!(stats.alive_nodes, 2);
+        assert_eq!(stats.components, 2);
+        assert!(stats.partitioned);
+    }
+
+    #[test]
+    fn degrees_are_reported() {
+        let mut t = Topology::new("line", 2, 2);
+        t.connect_node(0, 0);
+        t.connect_node(1, 1);
+        t.connect_switches(0, 1);
+        assert_eq!(t.node_degree(0), 1);
+        assert_eq!(t.switch_degree(0), 2);
+        assert_eq!(t.switch_degree(1), 2);
+        assert_eq!(t.elements().len(), 2 + 3 + 2);
+        assert_eq!(t.switch_elements().len(), 2);
+    }
+
+    #[test]
+    fn switch_only_components_do_not_count() {
+        // One node on switch 0, switches 0-1 connected; kill the node's link.
+        let mut t = Topology::new("t", 1, 2);
+        t.connect_node(0, 0);
+        t.connect_switches(0, 1);
+        let stats = t.partition_stats(&[Element::Link(0)]);
+        assert_eq!(stats.alive_nodes, 1);
+        assert_eq!(stats.largest_component, 1);
+        assert_eq!(stats.components, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! # rain-topology — fault-tolerant interconnect topologies
+//!
+//! Section 2.1 of *Computing in the RAIN* asks how to attach `n` compute
+//! nodes of small degree to a network of switches so that switch, link, and
+//! node failures do not split the compute nodes into disjoint sets. This
+//! crate implements:
+//!
+//! * the graph model ([`graph`]): compute nodes + switches + links, faults,
+//!   and connected-component analysis of the surviving compute nodes;
+//! * the constructions of the paper ([`construction`]): the naïve ring
+//!   attachment of Fig. 4, the **diameter construction** of Fig. 5 /
+//!   Construction 2.1, the multi-node and higher-degree generalisations, and
+//!   the clique switch network;
+//! * the fault sweeps ([`analysis`]): exhaustive and Monte-Carlo enumeration
+//!   of fault patterns, parallelised with rayon, reproducing Theorem 2.1 and
+//!   experiments E1–E4 of `DESIGN.md`.
+//!
+//! ```
+//! use rain_topology::{construction, analysis};
+//!
+//! let topo = construction::diameter_ring(10);
+//! // Any 3 simultaneous switch failures cost at most a constant number of
+//! // nodes (Theorem 2.1's min(n, 6) bound).
+//! let sweep = analysis::sweep_switch_faults(&topo, 3);
+//! assert!(sweep.max_lost_nodes <= 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod construction;
+pub mod graph;
+
+pub use analysis::{
+    combinations, exhaustive_sweep, monte_carlo_sweep, resilience_curve, sweep_mixed_faults,
+    sweep_switch_faults, SweepOutcome,
+};
+pub use construction::{clique, diameter_ring, diameter_ring_general, diameter_ring_multi, naive_ring};
+pub use graph::{Edge, Element, PartitionStats, Topology};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Theorem 2.1, switch-failure half, across several ring sizes: no three
+    /// switch failures partition the diameter construction, and the loss is
+    /// bounded by the constant 6.
+    #[test]
+    fn diameter_ring_tolerates_any_three_switch_faults() {
+        for n in [8usize, 10, 12, 15] {
+            let topo = diameter_ring(n);
+            let sweep = sweep_switch_faults(&topo, 3);
+            assert!(
+                sweep.max_lost_nodes <= 6.min(n),
+                "n = {n}: lost {}",
+                sweep.max_lost_nodes
+            );
+        }
+    }
+
+    /// The optimality half: some pattern of four faults partitions the
+    /// construction (so three is the best any dc = 2 construction can do).
+    #[test]
+    fn four_switch_faults_can_partition_the_diameter_ring() {
+        let topo = diameter_ring(12);
+        let sweep = sweep_switch_faults(&topo, 4);
+        assert!(sweep.partitioning_patterns > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random 3-subsets of all elements never partition the diameter ring
+        /// (probabilistic restatement of the exhaustive test, over larger n).
+        #[test]
+        fn prop_three_mixed_faults_lose_a_bounded_number_of_nodes(
+            n in 8usize..24,
+            seed in any::<u64>(),
+        ) {
+            let topo = diameter_ring(n);
+            let universe = topo.elements();
+            let out = monte_carlo_sweep(&topo, &universe, 3, 50, seed);
+            prop_assert!(out.max_lost_nodes <= 6, "n = {}: lost {}", n, out.max_lost_nodes);
+        }
+
+        /// The naive ring loses a non-constant number of nodes: for larger n
+        /// the worst 2-switch-failure pattern cuts off roughly half the ring.
+        #[test]
+        fn prop_naive_ring_losses_grow_with_n(n in 8usize..24) {
+            let topo = naive_ring(n);
+            let sweep = sweep_switch_faults(&topo, 2);
+            prop_assert!(sweep.max_lost_nodes >= n / 2 - 2);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Workspace-level façade for the RAIN reproduction.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the `rain-*` crates; see [`rain_core`] for the
+//! recommended entry point.
+
+pub use rain_core as core;
