@@ -197,11 +197,8 @@ impl Rainwall {
 
     /// Offered load per gateway (only live gateways are listed).
     pub fn load_per_gateway(&self) -> BTreeMap<NodeId, f64> {
-        let mut loads: BTreeMap<NodeId, f64> = self
-            .live_gateways()
-            .into_iter()
-            .map(|g| (g, 0.0))
-            .collect();
+        let mut loads: BTreeMap<NodeId, f64> =
+            self.live_gateways().into_iter().map(|g| (g, 0.0)).collect();
         for vip in &self.vips {
             if let Some(entry) = loads.get_mut(&vip.owner) {
                 *entry += vip.offered_mbps;

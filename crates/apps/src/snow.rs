@@ -105,8 +105,7 @@ impl SnowCluster {
     fn holder(&mut self) -> Option<NodeId> {
         let servers = self.servers;
         (0..servers).map(NodeId).find(|&id| {
-            self.membership.node(id).is_holder()
-                && self.membership.sim_mut().network().node_up(id)
+            self.membership.node(id).is_holder() && self.membership.sim_mut().network().node_up(id)
         })
     }
 

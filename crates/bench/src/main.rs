@@ -1,0 +1,285 @@
+//! Benchmark driver: measures the erasure-coding kernels and every code's
+//! encode/decode throughput, prints a table, and writes `BENCH_codes.json`.
+//!
+//! See the crate docs ([`bench`]) for usage and the kernel-speedup assertion
+//! this binary enforces in release builds.
+
+use bench::{throughput_mb_s, BenchConfig, Json};
+use rain_codes::gf256::Gf256;
+use rain_codes::xor;
+use rain_codes::{BCode, ErasureCode, EvenOdd, ReedSolomon, XCode};
+
+/// Kernel speedups below this factor fail the run (release builds only).
+const REQUIRED_KERNEL_SPEEDUP: f64 = 4.0;
+/// Block size at which the speedup requirement is enforced.
+const ASSERT_BLOCK: usize = 64 * 1024;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let no_assert = args.iter().any(|a| a == "--no-assert");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !["--smoke", "--no-assert"].contains(&a.as_str()))
+    {
+        eprintln!("unknown argument: {bad}");
+        eprintln!("usage: bench [--smoke] [--no-assert]");
+        std::process::exit(2);
+    }
+    let config = if smoke {
+        BenchConfig::smoke()
+    } else {
+        BenchConfig::full()
+    };
+
+    println!(
+        "rain bench ({} mode, {} build)",
+        if smoke { "smoke" } else { "full" },
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+
+    let kernel_blocks: &[usize] = if smoke {
+        &[ASSERT_BLOCK]
+    } else {
+        &[4 * 1024, ASSERT_BLOCK, 1024 * 1024]
+    };
+    let kernels = bench_kernels(&config, kernel_blocks);
+
+    let code_block_targets: &[usize] = if smoke {
+        &[ASSERT_BLOCK]
+    } else {
+        &[ASSERT_BLOCK, 1024 * 1024]
+    };
+    let codes = bench_codes(&config, code_block_targets);
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rain-bench-codes/v1".into())),
+        (
+            "config",
+            Json::obj(vec![
+                ("smoke", Json::Bool(smoke)),
+                ("optimized_build", Json::Bool(!cfg!(debug_assertions))),
+                (
+                    "gf_bulk_kernel",
+                    Json::Str(rain_codes::gf256::active_bulk_kernel().into()),
+                ),
+                ("min_seconds", Json::Num(config.min_seconds)),
+                (
+                    "required_kernel_speedup",
+                    Json::Num(REQUIRED_KERNEL_SPEEDUP),
+                ),
+            ]),
+        ),
+        (
+            "kernels",
+            Json::Arr(kernels.iter().map(kernel_json).collect()),
+        ),
+        ("codes", Json::Arr(codes)),
+    ]);
+    let path = "BENCH_codes.json";
+    std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path}");
+
+    enforce_speedups(&kernels, no_assert);
+}
+
+/// One measured kernel comparison.
+struct KernelResult {
+    name: &'static str,
+    block_bytes: usize,
+    fast_mb_s: f64,
+    scalar_mb_s: f64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.fast_mb_s / self.scalar_mb_s
+    }
+}
+
+fn kernel_json(r: &KernelResult) -> Json {
+    Json::obj(vec![
+        ("kernel", Json::Str(r.name.into())),
+        ("block_bytes", Json::Int(r.block_bytes as i64)),
+        ("fast_mb_s", Json::Num(r.fast_mb_s)),
+        ("scalar_mb_s", Json::Num(r.scalar_mb_s)),
+        ("speedup", Json::Num(r.speedup())),
+    ])
+}
+
+/// Measure the word-wide kernels against their retained scalar baselines.
+fn bench_kernels(config: &BenchConfig, blocks: &[usize]) -> Vec<KernelResult> {
+    let gf = Gf256::new();
+    let mut results = Vec::new();
+    println!("\nkernel                block      fast MB/s    scalar MB/s  speedup");
+    for &size in blocks {
+        let src: Vec<u8> = (0..size).map(|i| (i * 31 + 7) as u8).collect();
+        let mut dst = vec![0u8; size];
+
+        let fast = throughput_mb_s(config, size, || xor::xor_into(&mut dst, &src));
+        let scalar = throughput_mb_s(config, size, || xor::scalar_xor_into(&mut dst, &src));
+        push_kernel(&mut results, "xor_into", size, fast, scalar);
+
+        // A representative "awkward" coefficient: high bit set, not a power
+        // of two, so the reduction polynomial is exercised.
+        let c = 0x8e;
+        let table = gf.mul_table(c);
+        let fast = throughput_mb_s(config, size, || table.mul_acc(&mut dst, &src));
+        let scalar = throughput_mb_s(config, size, || gf.scalar_mul_acc_slice(&mut dst, &src, c));
+        push_kernel(&mut results, "mul_acc_slice", size, fast, scalar);
+    }
+    results
+}
+
+fn push_kernel(
+    results: &mut Vec<KernelResult>,
+    name: &'static str,
+    block_bytes: usize,
+    fast_mb_s: f64,
+    scalar_mb_s: f64,
+) {
+    let r = KernelResult {
+        name,
+        block_bytes,
+        fast_mb_s,
+        scalar_mb_s,
+    };
+    println!(
+        "{:<20}  {:>7}  {:>11.0}  {:>13.0}  {:>6.2}x",
+        r.name,
+        human_size(r.block_bytes),
+        r.fast_mb_s,
+        r.scalar_mb_s,
+        r.speedup()
+    );
+    results.push(r);
+}
+
+/// Measure encode/decode throughput for every code family.
+fn bench_codes(config: &BenchConfig, block_targets: &[usize]) -> Vec<Json> {
+    let codes: Vec<(&str, Box<dyn ErasureCode>)> = vec![
+        ("reed-solomon", Box::new(ReedSolomon::new(6, 4).unwrap())),
+        ("reed-solomon", Box::new(ReedSolomon::new(14, 10).unwrap())),
+        ("evenodd", Box::new(EvenOdd::new(5).unwrap())),
+        ("evenodd", Box::new(EvenOdd::new(11).unwrap())),
+        ("x-code", Box::new(XCode::new(5).unwrap())),
+        ("x-code", Box::new(XCode::new(11).unwrap())),
+        ("b-code", Box::new(BCode::table_1a())),
+        ("b-code", Box::new(BCode::new(10).unwrap())),
+    ];
+
+    let mut out = Vec::new();
+    println!("\ncode           (n,k)    block      encode MB/s  decode MB/s");
+    for (name, code) in &codes {
+        for &target in block_targets {
+            // Round the data size up to the code's unit.
+            let unit = code.data_len_unit();
+            let data_len = target.div_ceil(unit) * unit;
+            let data: Vec<u8> = (0..data_len).map(|i| (i * 131 + 17) as u8).collect();
+
+            let encode_mb_s = throughput_mb_s(config, data_len, || {
+                let shares = code.encode(&data).unwrap();
+                std::hint::black_box(&shares);
+            });
+
+            // Worst-case-style erasure: drop the first n-k columns so the
+            // decoder has to reconstruct data (not just reassemble).
+            let shares = code.encode(&data).unwrap();
+            let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
+            for slot in partial.iter_mut().take(code.n() - code.k()) {
+                *slot = None;
+            }
+            let decode_mb_s = throughput_mb_s(config, data_len, || {
+                let decoded = code.decode(&partial).unwrap();
+                std::hint::black_box(&decoded);
+            });
+
+            println!(
+                "{:<13}  ({:>2},{:>2})  {:>7}  {:>11.0}  {:>11.0}",
+                name,
+                code.n(),
+                code.k(),
+                human_size(data_len),
+                encode_mb_s,
+                decode_mb_s
+            );
+            out.push(Json::obj(vec![
+                ("code", Json::Str((*name).into())),
+                ("n", Json::Int(code.n() as i64)),
+                ("k", Json::Int(code.k() as i64)),
+                ("data_bytes", Json::Int(data_len as i64)),
+                ("encode_mb_s", Json::Num(encode_mb_s)),
+                ("decode_mb_s", Json::Num(decode_mb_s)),
+                (
+                    "encode_xors_per_data_byte",
+                    Json::Num(code.cost(data_len).encode_xors_per_data_byte()),
+                ),
+            ]));
+        }
+    }
+    out
+}
+
+/// Enforce the in-tree speedup requirement (release builds only: debug
+/// timings say nothing about the kernels).
+fn enforce_speedups(kernels: &[KernelResult], no_assert: bool) {
+    let enforced = kernels
+        .iter()
+        .filter(|r| r.block_bytes == ASSERT_BLOCK)
+        .collect::<Vec<_>>();
+    assert!(
+        !enforced.is_empty(),
+        "no kernel measurements at the {ASSERT_BLOCK}-byte assertion block size"
+    );
+    if cfg!(debug_assertions) {
+        println!("debug build: skipping the {REQUIRED_KERNEL_SPEEDUP}x kernel speedup check");
+        return;
+    }
+    if no_assert {
+        println!("--no-assert: skipping the {REQUIRED_KERNEL_SPEEDUP}x kernel speedup check");
+        return;
+    }
+    for r in enforced {
+        // The GF bulk multiply only clears the SIMD-level bar when a SIMD
+        // kernel is dispatched; the portable lane fallback (non-x86, or x86
+        // without AVX2) trades lookups per byte much like the scalar
+        // baseline and is covered by correctness tests instead.
+        if r.name == "mul_acc_slice" && rain_codes::gf256::active_bulk_kernel() == "portable" {
+            println!(
+                "note: {} uses the portable fallback kernel on this CPU; \
+                 skipping its {REQUIRED_KERNEL_SPEEDUP}x check ({:.2}x measured)",
+                r.name,
+                r.speedup()
+            );
+            continue;
+        }
+        assert!(
+            r.speedup() >= REQUIRED_KERNEL_SPEEDUP,
+            "{} is only {:.2}x its scalar baseline at {} (required: {}x)",
+            r.name,
+            r.speedup(),
+            human_size(r.block_bytes),
+            REQUIRED_KERNEL_SPEEDUP
+        );
+        println!(
+            "ok: {} is {:.2}x its scalar baseline at {}",
+            r.name,
+            r.speedup(),
+            human_size(r.block_bytes)
+        );
+    }
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes.is_multiple_of(1024 * 1024) {
+        format!("{}MiB", bytes / (1024 * 1024))
+    } else if bytes.is_multiple_of(1024) {
+        format!("{}KiB", bytes / 1024)
+    } else {
+        format!("{bytes}B")
+    }
+}

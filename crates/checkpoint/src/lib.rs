@@ -254,13 +254,15 @@ impl RainCheck {
         for id in ids {
             let (due_checkpoint, key, bytes) = {
                 let job = self.jobs.get_mut(&id).unwrap();
-                let Some(node) = job.assigned_to else { continue };
+                let Some(node) = job.assigned_to else {
+                    continue;
+                };
                 if !self.nodes_up[node.0] || job.finished() {
                     continue;
                 }
                 job.progress += 1;
                 job.state = mix(job.state, job.progress);
-                let due = job.progress % self.checkpoint_interval == 0 || job.finished();
+                let due = job.progress.is_multiple_of(self.checkpoint_interval) || job.finished();
                 (due, Self::checkpoint_key(id), job.checkpoint_bytes())
             };
             if due_checkpoint {

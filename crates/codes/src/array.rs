@@ -113,7 +113,7 @@ impl ArrayLayout {
     /// Which column holds a given data cell.
     pub fn column_of_data(&self, data_cell: usize) -> usize {
         for (c, col) in self.column_cells.iter().enumerate() {
-            if col.iter().any(|&cell| cell == Cell::Data(data_cell)) {
+            if col.contains(&Cell::Data(data_cell)) {
                 return c;
             }
         }
@@ -406,11 +406,8 @@ impl ArrayCode {
         cell_len: usize,
         missing: &[usize],
     ) -> Result<(), CodeError> {
-        let unknown_index: std::collections::HashMap<usize, usize> = missing
-            .iter()
-            .enumerate()
-            .map(|(i, &dc)| (dc, i))
-            .collect();
+        let unknown_index: std::collections::HashMap<usize, usize> =
+            missing.iter().enumerate().map(|(i, &dc)| (dc, i)).collect();
         let mut eqs: Vec<Vec<usize>> = Vec::new();
         let mut rhs: Vec<Vec<u8>> = Vec::new();
         for (eq_idx, eq) in self.layout.equations.iter().enumerate() {
@@ -431,10 +428,11 @@ impl ArrayCode {
                 rhs.push(value);
             }
         }
-        let solution =
-            solve_gf2_sparse(missing.len(), &eqs, &rhs).ok_or_else(|| CodeError::DecodeFailure {
+        let solution = solve_gf2_sparse(missing.len(), &eqs, &rhs).ok_or_else(|| {
+            CodeError::DecodeFailure {
                 reason: "surviving parity equations do not determine the lost data".into(),
-            })?;
+            }
+        })?;
         for (i, &dc) in missing.iter().enumerate() {
             data_cells[dc] = Some(solution[i].clone());
         }
@@ -516,8 +514,7 @@ mod tests {
         let data = vec![1u8, 2, 3, 4, 5, 6]; // 2 cells of 3 bytes
         let shares = code.encode(&data).unwrap();
         for lost in 0..3 {
-            let mut partial: Vec<Option<Vec<u8>>> =
-                shares.iter().cloned().map(Some).collect();
+            let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
             partial[lost] = None;
             let (out, trace) = code.decode_traced(&partial).unwrap();
             assert_eq!(out, data);

@@ -67,7 +67,7 @@ impl BCode {
     /// but not for `n ≡ 0 (mod 4)`; for unsupported sizes the storage layer
     /// falls back to EVENODD or Reed-Solomon.
     pub fn new(n: usize) -> Result<Self, CodeError> {
-        if n < 4 || n % 2 != 0 {
+        if n < 4 || !n.is_multiple_of(2) {
             return Err(CodeError::UnsupportedParameters {
                 reason: format!("the B-Code requires an even n >= 4, got {n}"),
             });
@@ -461,8 +461,7 @@ mod tests {
         let shares = code.encode(&data).unwrap();
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let mut partial: Vec<Option<Vec<u8>>> =
-                    shares.iter().cloned().map(Some).collect();
+                let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data, "erased {a},{b}");

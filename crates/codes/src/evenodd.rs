@@ -23,7 +23,7 @@ pub(crate) fn is_prime(p: usize) -> bool {
     }
     let mut d = 2;
     while d * d <= p {
-        if p % d == 0 {
+        if p.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -182,8 +182,7 @@ mod tests {
         let n = code.n();
         for a in 0..n {
             for b in (a + 1)..n {
-                let mut partial: Vec<Option<Vec<u8>>> =
-                    shares.iter().cloned().map(Some).collect();
+                let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data, "erased {a},{b}");

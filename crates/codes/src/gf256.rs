@@ -2,8 +2,36 @@
 //!
 //! The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the primitive
 //! polynomial `0x11d` that is conventional for storage-oriented
-//! Reed-Solomon codes. Multiplication and division go through log/exp
+//! Reed-Solomon codes. Scalar multiplication and division go through log/exp
 //! tables built once at start-up.
+//!
+//! # Bulk-multiply kernel design
+//!
+//! The hot operation for Reed-Solomon is `dst[i] ^= c * src[i]` over a whole
+//! symbol buffer with a fixed coefficient `c` ([`Gf256::mul_acc_slice`]).
+//! Because multiplication by a constant is linear over GF(2), the product of
+//! any byte splits over its nibbles:
+//!
+//! ```text
+//! c * x  ==  c * (x & 0x0f)  ^  c * (x & 0xf0)
+//! ```
+//!
+//! so a [`MulTable`] stores just two 16-entry tables per coefficient — the
+//! products of the low and the high nibble (the ISA-L / klauspost layout).
+//! That gives a branch-free kernel of two tiny table lookups per byte, fused
+//! with word-wide accumulation into `u64` lanes; on x86-64 with AVX2 the same
+//! two tables are applied to 32 bytes at once with byte shuffles
+//! (`vpshufb`), which is how ISA-L and klauspost/reedsolomon reach tens of
+//! GB/s. The dispatch is a runtime feature check with a safe, portable lane
+//! kernel as the fallback.
+//!
+//! [`ReedSolomon::new`](crate::ReedSolomon) precomputes one `MulTable` per
+//! generator-matrix entry so encoding never rebuilds tables. The seed's
+//! byte-at-a-time log/exp kernel is retained as
+//! [`Gf256::scalar_mul_acc_slice`]; the bench harness
+//! (`cargo run -p bench --release`) asserts the table-driven path stays
+//! ≥ 4x faster on 64 KiB blocks, and unit tests pin both paths to identical
+//! output on every length in `0..=129`.
 
 /// The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1.
 pub const PRIMITIVE_POLY: u16 = 0x11d;
@@ -33,8 +61,8 @@ impl Gf256 {
         let mut exp = [0u8; 512];
         let mut log = [0u8; 256];
         let mut x: u16 = 1;
-        for i in 0..255 {
-            exp[i] = x as u8;
+        for (i, e) in exp.iter_mut().take(255).enumerate() {
+            *e = x as u8;
             log[x as usize] = i as u8;
             x <<= 1;
             if x & 0x100 != 0 {
@@ -105,16 +133,43 @@ impl Gf256 {
         2
     }
 
-    /// `dst[i] ^= c * src[i]` for all i — the core Reed-Solomon kernel.
+    /// Build the split multiply tables for a fixed coefficient.
+    pub fn mul_table(&self, c: u8) -> MulTable {
+        MulTable::new(self, c)
+    }
+
+    /// `dst[i] ^= c * src[i]` for all i — the core Reed-Solomon kernel,
+    /// routed through the table-driven bulk path (see the module docs).
+    ///
+    /// Callers that reuse the same coefficient across many buffers should
+    /// precompute a [`MulTable`] once and call [`MulTable::mul_acc`]
+    /// directly; this convenience wrapper rebuilds the 32-byte table per
+    /// call, which is negligible for symbol-sized buffers but measurable for
+    /// very short ones.
     pub fn mul_acc_slice(&self, dst: &mut [u8], src: &[u8], c: u8) {
         assert_eq!(dst.len(), src.len());
         if c == 0 {
             return;
         }
         if c == 1 {
-            for (d, s) in dst.iter_mut().zip(src) {
-                *d ^= *s;
-            }
+            crate::xor::xor_into(dst, src);
+            return;
+        }
+        self.mul_table(c).mul_acc(dst, src);
+    }
+
+    /// Retained byte-at-a-time log/exp kernel (the seed implementation of
+    /// [`Gf256::mul_acc_slice`]): two dependent table lookups and a
+    /// zero-check branch per byte. Kept as the baseline the bench harness
+    /// measures the table-driven kernel against and the oracle the
+    /// equivalence tests compare it to.
+    pub fn scalar_mul_acc_slice(&self, dst: &mut [u8], src: &[u8], c: u8) {
+        assert_eq!(dst.len(), src.len());
+        if c == 0 {
+            return;
+        }
+        if c == 1 {
+            crate::xor::scalar_xor_into(dst, src);
             return;
         }
         let log_c = self.log[c as usize] as usize;
@@ -122,6 +177,129 @@ impl Gf256 {
             if *s != 0 {
                 *d ^= self.exp[log_c + self.log[*s as usize] as usize];
             }
+        }
+    }
+}
+
+/// Split multiplication tables for one fixed GF(2^8) coefficient: the
+/// products of every low nibble and every high nibble (2 x 16 bytes).
+///
+/// See the [module docs](self) for why this layout is the bulk-multiply
+/// sweet spot. Constructed via [`Gf256::mul_table`] or [`MulTable::new`];
+/// `ReedSolomon` precomputes one per generator-matrix entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulTable {
+    /// `lo[x] = c * x` for `x in 0..16`.
+    lo: [u8; 16],
+    /// `hi[x] = c * (x << 4)` for `x in 0..16`.
+    hi: [u8; 16],
+}
+
+/// Name of the bulk-multiply kernel [`MulTable::mul_acc`] dispatches to on
+/// this CPU: `"avx2"` or `"portable"`. The bench harness only enforces its
+/// SIMD-level speedup bar when a SIMD kernel is actually active.
+pub fn active_bulk_kernel() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return "avx2";
+        }
+    }
+    "portable"
+}
+
+impl MulTable {
+    /// Build the split tables for coefficient `c`.
+    pub fn new(gf: &Gf256, c: u8) -> Self {
+        let mut lo = [0u8; 16];
+        let mut hi = [0u8; 16];
+        for x in 0..16u8 {
+            lo[x as usize] = gf.mul(c, x);
+            hi[x as usize] = gf.mul(c, x << 4);
+        }
+        MulTable { lo, hi }
+    }
+
+    /// Multiply a single byte by the table's coefficient.
+    #[inline]
+    pub fn mul(&self, x: u8) -> u8 {
+        self.lo[(x & 0x0f) as usize] ^ self.hi[(x >> 4) as usize]
+    }
+
+    /// `dst[i] ^= c * src[i]` for all i, using the fastest kernel available
+    /// on this CPU. Panics if the lengths differ.
+    pub fn mul_acc(&self, dst: &mut [u8], src: &[u8]) {
+        assert_eq!(dst.len(), src.len());
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the avx2 feature was just detected at runtime, and
+                // the kernel only reads/writes within the given slices.
+                unsafe { self.mul_acc_avx2(dst, src) };
+                return;
+            }
+        }
+        self.mul_acc_portable(dst, src);
+    }
+
+    /// Portable fallback: two table lookups per byte, accumulated into
+    /// `u64` lanes like `xor::xor_into`.
+    fn mul_acc_portable(&self, dst: &mut [u8], src: &[u8]) {
+        const WORD: usize = std::mem::size_of::<u64>();
+        let split = dst.len() - dst.len() % WORD;
+        let (dst_words, dst_tail) = dst.split_at_mut(split);
+        let (src_words, src_tail) = src.split_at(split);
+        for (d, s) in dst_words
+            .chunks_exact_mut(WORD)
+            .zip(src_words.chunks_exact(WORD))
+        {
+            let mut prod = [0u8; WORD];
+            for (p, &x) in prod.iter_mut().zip(s) {
+                *p = self.mul(x);
+            }
+            let word = u64::from_ne_bytes((&*d).try_into().unwrap()) ^ u64::from_ne_bytes(prod);
+            d.copy_from_slice(&word.to_ne_bytes());
+        }
+        for (d, &s) in dst_tail.iter_mut().zip(src_tail) {
+            *d ^= self.mul(s);
+        }
+    }
+
+    /// AVX2 kernel: both 16-entry tables live in one register each and
+    /// `vpshufb` performs 32 parallel lookups per step, exactly the ISA-L /
+    /// klauspost scheme.
+    ///
+    /// # Safety
+    /// Caller must ensure the `avx2` target feature is available.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn mul_acc_avx2(&self, dst: &mut [u8], src: &[u8]) {
+        use std::arch::x86_64::*;
+
+        const LANES: usize = 32;
+        let lo_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(self.lo.as_ptr() as *const __m128i));
+        let hi_t = _mm256_broadcastsi128_si256(_mm_loadu_si128(self.hi.as_ptr() as *const __m128i));
+        let nibble = _mm256_set1_epi8(0x0f);
+
+        let split = dst.len() - dst.len() % LANES;
+        let mut i = 0;
+        while i < split {
+            let s = _mm256_loadu_si256(src.as_ptr().add(i) as *const __m256i);
+            let lo_idx = _mm256_and_si256(s, nibble);
+            let hi_idx = _mm256_and_si256(_mm256_srli_epi64::<4>(s), nibble);
+            let prod = _mm256_xor_si256(
+                _mm256_shuffle_epi8(lo_t, lo_idx),
+                _mm256_shuffle_epi8(hi_t, hi_idx),
+            );
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i) as *const __m256i);
+            _mm256_storeu_si256(
+                dst.as_mut_ptr().add(i) as *mut __m256i,
+                _mm256_xor_si256(d, prod),
+            );
+            i += LANES;
+        }
+        for (d, &s) in dst[split..].iter_mut().zip(&src[split..]) {
+            *d ^= self.mul(s);
         }
     }
 }
@@ -211,6 +389,17 @@ mod tests {
     }
 
     #[test]
+    fn mul_table_agrees_with_field_mul_for_all_pairs() {
+        let gf = Gf256::new();
+        for c in 0..=255u8 {
+            let table = gf.mul_table(c);
+            for x in 0..=255u8 {
+                assert_eq!(table.mul(x), gf.mul(c, x), "c = {c}, x = {x}");
+            }
+        }
+    }
+
+    #[test]
     fn mul_acc_slice_matches_scalar_path() {
         let gf = Gf256::new();
         let src: Vec<u8> = (0..32).map(|i| (i * 13 + 1) as u8).collect();
@@ -221,5 +410,42 @@ mod tests {
             *e ^= gf.mul(*s, 0x5c);
         }
         assert_eq!(dst, expected);
+    }
+
+    #[test]
+    fn bulk_kernel_matches_scalar_kernel_on_all_small_lengths() {
+        // Every length around the 8-byte and 32-byte lane boundaries, a mix
+        // of coefficients including 0, 1, and high-bit values, and sources
+        // containing zero bytes (the scalar kernel branches on them).
+        let gf = Gf256::new();
+        for c in [0u8, 1, 2, 0x1d, 0x5c, 0x8e, 0xff] {
+            for len in 0..=129usize {
+                let src: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+                let mut fast: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+                let mut slow = fast.clone();
+                gf.mul_acc_slice(&mut fast, &src, c);
+                gf.scalar_mul_acc_slice(&mut slow, &src, c);
+                assert_eq!(fast, slow, "c = {c}, len = {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn portable_kernel_matches_dispatched_kernel() {
+        // On AVX2 hosts `mul_acc` takes the SIMD path; pin the portable lane
+        // kernel to the same results so non-x86 targets are covered by the
+        // same expectations.
+        let gf = Gf256::new();
+        for c in [2u8, 0x1d, 0xfe] {
+            let table = gf.mul_table(c);
+            for len in [0usize, 1, 7, 8, 31, 32, 33, 100, 129] {
+                let src: Vec<u8> = (0..len).map(|i| (i * 29 + 13) as u8).collect();
+                let mut a: Vec<u8> = (0..len).map(|i| (i * 11 + 1) as u8).collect();
+                let mut b = a.clone();
+                table.mul_acc(&mut a, &src);
+                table.mul_acc_portable(&mut b, &src);
+                assert_eq!(a, b, "c = {c}, len = {len}");
+            }
+        }
     }
 }

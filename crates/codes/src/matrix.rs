@@ -196,7 +196,7 @@ pub fn solve_gf2_sparse(
     let mut pivot_of_unknown: Vec<Option<usize>> = vec![None; num_unknowns];
     let mut used_rows = vec![false; masks.len()];
 
-    for unknown in 0..num_unknowns {
+    for (unknown, pivot) in pivot_of_unknown.iter_mut().enumerate() {
         let bit = 1u128 << unknown;
         // Find an unused row containing this unknown.
         let row = (0..masks.len()).find(|&r| !used_rows[r] && masks[r] & bit != 0);
@@ -205,7 +205,7 @@ pub fn solve_gf2_sparse(
             None => continue, // may still be resolvable if unused unknown
         };
         used_rows[row] = true;
-        pivot_of_unknown[unknown] = Some(row);
+        *pivot = Some(row);
         // Eliminate this unknown from all other rows.
         for r in 0..masks.len() {
             if r != row && masks[r] & bit != 0 {
@@ -217,9 +217,7 @@ pub fn solve_gf2_sparse(
                     let (lo, hi) = values.split_at_mut(r);
                     (&mut hi[0], &lo[row])
                 };
-                for (x, y) in a.iter_mut().zip(b.iter()) {
-                    *x ^= *y;
-                }
+                crate::xor::xor_into(a, b);
             }
         }
     }

@@ -12,7 +12,7 @@
 //! reconstruct the data by inverting the corresponding `k x k` submatrix.
 
 use crate::error::CodeError;
-use crate::gf256::Gf256;
+use crate::gf256::{Gf256, MulTable};
 use crate::matrix::GfMatrix;
 use crate::metrics::{CodeCost, CostModel};
 use crate::traits::{validate_data_len, validate_shares, CodeKind, ErasureCode};
@@ -25,6 +25,10 @@ pub struct ReedSolomon {
     gf: Gf256,
     /// `n x k` generator matrix in systematic form.
     generator: GfMatrix,
+    /// Split multiply tables for the parity rows of `generator` (rows
+    /// `k..n`), one [`MulTable`] per matrix entry, precomputed so encoding
+    /// never rebuilds tables (see the [`crate::gf256`] module docs).
+    parity_tables: Vec<Vec<MulTable>>,
 }
 
 impl ReedSolomon {
@@ -45,7 +49,20 @@ impl ReedSolomon {
             .invert(&gf)
             .expect("top block of a Vandermonde matrix over distinct points is invertible");
         let generator = vand.mul(&gf, &top_inv);
-        Ok(ReedSolomon { n, k, gf, generator })
+        let parity_tables = (k..n)
+            .map(|row| {
+                (0..k)
+                    .map(|col| gf.mul_table(generator.get(row, col)))
+                    .collect()
+            })
+            .collect();
+        Ok(ReedSolomon {
+            n,
+            k,
+            gf,
+            generator,
+            parity_tables,
+        })
     }
 
     /// Access the generator matrix (used by tests).
@@ -77,16 +94,14 @@ impl ErasureCode for ReedSolomon {
         let data_symbol = |i: usize| &data[i * symbol_len..(i + 1) * symbol_len];
 
         let mut shares = Vec::with_capacity(self.n);
-        for row in 0..self.n {
-            if row < self.k {
-                // Systematic part: identity rows copy the data straight through.
-                shares.push(data_symbol(row).to_vec());
-                continue;
-            }
+        // Systematic part: identity rows copy the data straight through.
+        for row in 0..self.k {
+            shares.push(data_symbol(row).to_vec());
+        }
+        for tables in &self.parity_tables {
             let mut out = vec![0u8; symbol_len];
-            for col in 0..self.k {
-                let coeff = self.generator.get(row, col);
-                self.gf.mul_acc_slice(&mut out, data_symbol(col), coeff);
+            for (col, table) in tables.iter().enumerate() {
+                table.mul_acc(&mut out, data_symbol(col));
             }
             shares.push(out);
         }
@@ -110,9 +125,11 @@ impl ErasureCode for ReedSolomon {
         let available: Vec<usize> = (0..self.n).filter(|&i| shares[i].is_some()).collect();
         let chosen = &available[..self.k];
         let sub = self.generator.select_rows(chosen);
-        let inv = sub.invert(&self.gf).ok_or_else(|| CodeError::DecodeFailure {
-            reason: "selected generator rows are singular (should be impossible for RS)".into(),
-        })?;
+        let inv = sub
+            .invert(&self.gf)
+            .ok_or_else(|| CodeError::DecodeFailure {
+                reason: "selected generator rows are singular (should be impossible for RS)".into(),
+            })?;
 
         let mut out = vec![0u8; self.k * symbol_len];
         for (data_idx, out_chunk) in out.chunks_mut(symbol_len).enumerate() {
@@ -176,8 +193,7 @@ mod tests {
         let shares = code.encode(&data).unwrap();
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let mut partial: Vec<Option<Vec<u8>>> =
-                    shares.iter().cloned().map(Some).collect();
+                let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data, "erased {a},{b}");
@@ -193,8 +209,7 @@ mod tests {
         let shares = code.encode(&data).unwrap();
         for a in 0..10 {
             for b in (a + 1)..10 {
-                let mut partial: Vec<Option<Vec<u8>>> =
-                    shares.iter().cloned().map(Some).collect();
+                let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data);

@@ -91,7 +91,7 @@ pub(crate) fn validate_shares(
 
 /// Validate an encode input length against the code's unit.
 pub(crate) fn validate_data_len(data_len: usize, unit: usize) -> Result<(), CodeError> {
-    if data_len == 0 || data_len % unit != 0 {
+    if data_len == 0 || !data_len.is_multiple_of(unit) {
         return Err(CodeError::BadDataLength {
             got: data_len,
             unit,

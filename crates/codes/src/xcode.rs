@@ -191,8 +191,7 @@ mod tests {
         let shares = code.encode(&data).unwrap();
         for a in 0..p {
             for b in (a + 1)..p {
-                let mut partial: Vec<Option<Vec<u8>>> =
-                    shares.iter().cloned().map(Some).collect();
+                let mut partial: Vec<Option<Vec<u8>>> = shares.iter().cloned().map(Some).collect();
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data, "erased {a},{b}");

@@ -1,0 +1,98 @@
+//! Equivalence tests: the word-wide fast kernels must match the retained
+//! scalar baselines byte-for-byte on random inputs, including every
+//! non-word-aligned length in `1..129`.
+
+use proptest::prelude::*;
+use rain_codes::gf256::Gf256;
+use rain_codes::xor;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_buf(rng: &mut StdRng, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[test]
+fn xor_kernels_agree_on_all_lengths_1_to_129() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for len in 1..129usize {
+        let src = random_buf(&mut rng, len);
+        let mut fast = random_buf(&mut rng, len);
+        let mut slow = fast.clone();
+        xor::xor_into(&mut fast, &src);
+        xor::scalar_xor_into(&mut slow, &src);
+        assert_eq!(fast, slow, "xor kernels diverge at len = {len}");
+    }
+}
+
+#[test]
+fn mul_acc_kernels_agree_on_all_lengths_1_to_129() {
+    let gf = Gf256::new();
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for len in 1..129usize {
+        // Random coefficient per length, plus the special cases 0 and 1.
+        for c in [rng.gen::<u8>(), 0, 1] {
+            let src = random_buf(&mut rng, len);
+            let mut fast = random_buf(&mut rng, len);
+            let mut slow = fast.clone();
+            gf.mul_acc_slice(&mut fast, &src, c);
+            gf.scalar_mul_acc_slice(&mut slow, &src, c);
+            assert_eq!(
+                fast, slow,
+                "mul_acc kernels diverge at len = {len}, c = {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn is_zero_agrees_with_bytewise_scan_across_lengths() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for len in 0..129usize {
+        let mut buf = vec![0u8; len];
+        assert!(xor::is_zero(&buf));
+        if len > 0 {
+            let hot = rng.gen_range(0..len);
+            buf[hot] = rng.gen_range(1..=255u8);
+            assert_eq!(
+                xor::is_zero(&buf),
+                buf.iter().all(|&b| b == 0),
+                "len = {len}, hot = {hot}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random lengths (word-aligned and not), random data, random
+    /// coefficients: fast and scalar GF kernels are indistinguishable.
+    #[test]
+    fn prop_mul_acc_equivalence(seed in any::<u64>(), len in 1usize..4097, c in any::<u8>()) {
+        let gf = Gf256::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src = random_buf(&mut rng, len);
+        let mut fast = random_buf(&mut rng, len);
+        let mut slow = fast.clone();
+        gf.mul_acc_slice(&mut fast, &src, c);
+        gf.scalar_mul_acc_slice(&mut slow, &src, c);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Same for the XOR kernels, and `xor_many` against repeated xors.
+    #[test]
+    fn prop_xor_equivalence(seed in any::<u64>(), len in 1usize..4097, nsources in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sources: Vec<Vec<u8>> = (0..nsources).map(|_| random_buf(&mut rng, len)).collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|s| s.as_slice()).collect();
+
+        let (fast, ops) = xor::xor_many(len, &refs);
+        prop_assert_eq!(ops, (nsources * len) as u64);
+
+        let mut slow = vec![0u8; len];
+        for s in &sources {
+            xor::scalar_xor_into(&mut slow, s);
+        }
+        prop_assert_eq!(fast, slow);
+    }
+}

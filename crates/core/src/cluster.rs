@@ -100,12 +100,8 @@ impl RainCluster {
     pub fn new(config: RainConfig) -> Result<Self, CodeError> {
         let code = config.code.build()?;
         let topology = construction::diameter_ring(config.nodes.max(5));
-        let network = Network::diameter_testbed(
-            config.nodes,
-            config.switches,
-            DEFAULT_LINK_LATENCY,
-            0.0,
-        );
+        let network =
+            Network::diameter_testbed(config.nodes, config.switches, DEFAULT_LINK_LATENCY, 0.0);
         let transport = RudpCluster::new(network, config.rudp, config.seed);
         let member_config = MemberConfig {
             detection: config.detection,

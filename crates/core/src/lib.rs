@@ -29,25 +29,25 @@ pub mod cluster;
 
 pub use cluster::{CodeChoice, RainCluster, RainConfig};
 
-/// Re-export: deterministic cluster simulator substrate.
-pub use rain_sim as sim;
-/// Re-export: fault-tolerant interconnect topologies (Section 2.1).
-pub use rain_topology as topology;
-/// Re-export: consistent-history link monitoring (Sections 2.2–2.4).
-pub use rain_link as link;
-/// Re-export: reliable datagrams over bundled interfaces (Section 2.5).
-pub use rain_rudp as rudp;
-/// Re-export: the MPI-like layer over RUDP (Section 2.5).
-pub use rain_mpi as mpi;
-/// Re-export: token-based group membership (Section 3).
-pub use rain_membership as membership;
-/// Re-export: MDS array codes (Section 4.1).
-pub use rain_codes as codes;
-/// Re-export: distributed store/retrieve and the file layer (Section 4.2).
-pub use rain_storage as storage;
-/// Re-export: leader election (Section 5.3 / reference [29]).
-pub use rain_election as election;
-/// Re-export: RAINCheck distributed checkpointing (Section 5.3).
-pub use rain_checkpoint as checkpoint;
 /// Re-export: RAINVideo, SNOW, and Rainwall (Sections 5–6).
 pub use rain_apps as apps;
+/// Re-export: RAINCheck distributed checkpointing (Section 5.3).
+pub use rain_checkpoint as checkpoint;
+/// Re-export: MDS array codes (Section 4.1).
+pub use rain_codes as codes;
+/// Re-export: leader election (Section 5.3 / reference [29]).
+pub use rain_election as election;
+/// Re-export: consistent-history link monitoring (Sections 2.2–2.4).
+pub use rain_link as link;
+/// Re-export: token-based group membership (Section 3).
+pub use rain_membership as membership;
+/// Re-export: the MPI-like layer over RUDP (Section 2.5).
+pub use rain_mpi as mpi;
+/// Re-export: reliable datagrams over bundled interfaces (Section 2.5).
+pub use rain_rudp as rudp;
+/// Re-export: deterministic cluster simulator substrate.
+pub use rain_sim as sim;
+/// Re-export: distributed store/retrieve and the file layer (Section 4.2).
+pub use rain_storage as storage;
+/// Re-export: fault-tolerant interconnect topologies (Section 2.1).
+pub use rain_topology as topology;

@@ -5,9 +5,7 @@
 
 use std::collections::HashMap;
 
-use rain_sim::{
-    EventKind, Fault, Network, NodeId, SimDuration, Simulation, DEFAULT_LINK_LATENCY,
-};
+use rain_sim::{EventKind, Fault, Network, NodeId, SimDuration, Simulation, DEFAULT_LINK_LATENCY};
 
 use crate::election::{Announce, ElectionConfig, ElectionNode};
 
@@ -71,10 +69,8 @@ impl ElectionCluster {
         if members.is_empty() {
             return false;
         }
-        let leaders: std::collections::BTreeSet<NodeId> = members
-            .iter()
-            .map(|&m| self.nodes[&m].leader())
-            .collect();
+        let leaders: std::collections::BTreeSet<NodeId> =
+            members.iter().map(|&m| self.nodes[&m].leader()).collect();
         leaders.len() == 1 && members.contains(leaders.iter().next().unwrap())
     }
 
@@ -188,12 +184,14 @@ mod tests {
         // Let the cluster converge, then confirm leadership never changes
         // again while everything stays healthy.
         c.run_for(SimDuration::from_secs(1));
-        let settled: Vec<u64> = (0..6).map(|i| c.nodes[&NodeId(i)].leader_changes()).collect();
+        let settled: Vec<u64> = (0..6)
+            .map(|i| c.nodes[&NodeId(i)].leader_changes())
+            .collect();
         c.run_for(SimDuration::from_secs(5));
-        for i in 0..6 {
+        for (i, &expected) in settled.iter().enumerate() {
             assert_eq!(
                 c.nodes[&NodeId(i)].leader_changes(),
-                settled[i],
+                expected,
                 "node {i} churned after convergence"
             );
         }

@@ -50,7 +50,7 @@ impl ChannelSchedule {
         loop {
             let mean = if up { mean_up } else { mean_down };
             let span = rng.exponential(mean.as_micros() as f64).max(1.0) as u64;
-            t = t + SimDuration::from_micros(span);
+            t += SimDuration::from_micros(span);
             if t >= horizon {
                 break;
             }
@@ -190,7 +190,7 @@ pub fn run_schedule(config: &HarnessConfig, schedule: &ChannelSchedule) -> Harne
             let mut delivered = 0;
             flights.retain(|f| {
                 if f.deliver_at <= now {
-                    if !(drop_if_down && !channel_up) {
+                    if !drop_if_down || channel_up {
                         delivered += 1;
                     }
                     false
@@ -323,10 +323,8 @@ mod tests {
 
     #[test]
     fn single_outage_is_seen_once_by_both_sides() {
-        let schedule = ChannelSchedule::from_toggles(vec![
-            SimTime::from_secs(10),
-            SimTime::from_secs(20),
-        ]);
+        let schedule =
+            ChannelSchedule::from_toggles(vec![SimTime::from_secs(10), SimTime::from_secs(20)]);
         let report = run_schedule(&HarnessConfig::default(), &schedule);
         assert_eq!(report.transitions_a, 2, "Down then Up");
         assert_eq!(report.transitions_b, 2);

@@ -257,7 +257,7 @@ mod tests {
         let mut ep = LinkEndpoint::new(2);
         assert!(ep.step(LinkEvent::TimeOut).transition.is_some()); // Down, t=1
         assert!(ep.step(LinkEvent::TimeIn).transition.is_some()); // Up, t=0
-        // Out of tokens: the next raw event cannot become observable.
+                                                                  // Out of tokens: the next raw event cannot become observable.
         assert!(ep.step(LinkEvent::TimeOut).transition.is_none());
         assert_eq!(ep.view(), LinkView::Up);
         assert_eq!(ep.unacknowledged(), 2);

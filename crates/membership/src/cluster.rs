@@ -5,8 +5,7 @@
 use std::collections::HashMap;
 
 use rain_sim::{
-    EventKind, Fault, IfaceId, Network, NodeId, Port, SimDuration, Simulation,
-    DEFAULT_LINK_LATENCY,
+    EventKind, Fault, IfaceId, Network, NodeId, Port, SimDuration, Simulation, DEFAULT_LINK_LATENCY,
 };
 
 use crate::node::{MemberAction, MemberConfig, MemberEvent, MemberNode, TimerKind};
@@ -49,7 +48,12 @@ impl MembershipCluster {
     /// first `initial_members` participate from the start (node 0 creates
     /// the initial token). The rest can join later with
     /// [`MembershipCluster::join`].
-    pub fn new(total_nodes: usize, initial_members: usize, config: MemberConfig, seed: u64) -> Self {
+    pub fn new(
+        total_nodes: usize,
+        initial_members: usize,
+        config: MemberConfig,
+        seed: u64,
+    ) -> Self {
         assert!(initial_members >= 1 && initial_members <= total_nodes);
         let net = Network::full_mesh(total_nodes, DEFAULT_LINK_LATENCY, 0.0);
         let sim = Simulation::new(net, seed);
@@ -156,7 +160,8 @@ impl MembershipCluster {
                     generation,
                     delay,
                 } => {
-                    self.sim.set_timer(from, delay, encode_timer(kind, generation));
+                    self.sim
+                        .set_timer(from, delay, encode_timer(kind, generation));
                 }
                 MemberAction::ViewChanged { ring } => {
                     self.view_changes.push((self.sim.now(), from, ring));
@@ -205,13 +210,15 @@ impl MembershipCluster {
     /// Break the (bidirectional) direct link between two nodes.
     pub fn fail_link(&mut self, a: NodeId, b: NodeId) {
         let link = self.find_link(a, b);
-        self.sim.schedule_fault(SimDuration::from_micros(1), Fault::LinkDown(link));
+        self.sim
+            .schedule_fault(SimDuration::from_micros(1), Fault::LinkDown(link));
     }
 
     /// Repair the direct link between two nodes.
     pub fn heal_link(&mut self, a: NodeId, b: NodeId) {
         let link = self.find_link(a, b);
-        self.sim.schedule_fault(SimDuration::from_micros(1), Fault::LinkUp(link));
+        self.sim
+            .schedule_fault(SimDuration::from_micros(1), Fault::LinkUp(link));
     }
 
     fn find_link(&self, a: NodeId, b: NodeId) -> rain_sim::LinkId {
@@ -342,7 +349,10 @@ mod tests {
             .iter()
             .filter(|(t, _, _)| t.as_secs_f64() > 2.0)
             .any(|(_, _, ring)| !ring.is_empty() && !ring.contains(&NodeId(1)));
-        assert!(!node1_ever_excluded, "conservative detection must keep node 1");
+        assert!(
+            !node1_ever_excluded,
+            "conservative detection must keep node 1"
+        );
         assert!(c.converged_on(&ids(&[0, 1, 2, 3])));
     }
 
@@ -378,7 +388,11 @@ mod tests {
         assert!(c.converged_on(&ids(&[0, 1, 2])));
         c.join(NodeId(3), NodeId(1));
         c.run_for(SimDuration::from_secs(5));
-        assert!(c.converged_on(&ids(&[0, 1, 2, 3])), "views: {:?}", c.live_views());
+        assert!(
+            c.converged_on(&ids(&[0, 1, 2, 3])),
+            "views: {:?}",
+            c.live_views()
+        );
     }
 
     #[test]
@@ -387,9 +401,17 @@ mod tests {
         c.run_for(SimDuration::from_secs(2));
         c.crash(NodeId(2));
         c.run_for(SimDuration::from_secs(8));
-        assert!(c.converged_on(&ids(&[0, 1, 3])), "views: {:?}", c.live_views());
+        assert!(
+            c.converged_on(&ids(&[0, 1, 3])),
+            "views: {:?}",
+            c.live_views()
+        );
         c.recover(NodeId(2));
         c.run_for(SimDuration::from_secs(10));
-        assert!(c.converged_on(&ids(&[0, 1, 2, 3])), "views: {:?}", c.live_views());
+        assert!(
+            c.converged_on(&ids(&[0, 1, 2, 3])),
+            "views: {:?}",
+            c.live_views()
+        );
     }
 }

@@ -260,7 +260,11 @@ impl MemberNode {
         self.holding = Some(token);
         self.set_view(ring, &mut out);
         self.arm(TimerKind::HoldToken, self.config.hold_interval, &mut out);
-        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        self.arm(
+            TimerKind::Starvation,
+            self.config.starvation_timeout,
+            &mut out,
+        );
         out
     }
 
@@ -273,14 +277,22 @@ impl MemberNode {
                 seq: self.last_seen_seq,
             },
         }];
-        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        self.arm(
+            TimerKind::Starvation,
+            self.config.starvation_timeout,
+            &mut out,
+        );
         out
     }
 
     /// Arm the initial starvation timer for an ordinary (non-holder) member.
     pub fn start(&mut self) -> Vec<MemberAction> {
         let mut out = Vec::new();
-        self.arm(TimerKind::Starvation, self.config.starvation_timeout, &mut out);
+        self.arm(
+            TimerKind::Starvation,
+            self.config.starvation_timeout,
+            &mut out,
+        );
         out
     }
 
@@ -396,7 +408,12 @@ impl MemberNode {
 
     fn starve(&mut self, out: &mut Vec<MemberAction>) {
         // Ask every other node in our view for the right to regenerate.
-        let peers: Vec<NodeId> = self.view.iter().copied().filter(|&n| n != self.id).collect();
+        let peers: Vec<NodeId> = self
+            .view
+            .iter()
+            .copied()
+            .filter(|&n| n != self.id)
+            .collect();
         if peers.is_empty() {
             // Nobody else: regenerate immediately.
             self.regenerate(Vec::new(), out);
@@ -490,8 +507,8 @@ impl MemberNode {
                     TimerKind::ReplyWindow => {
                         if let Some(waiting) = self.awaiting_replies.take() {
                             let peers = self.view.iter().filter(|&&n| n != self.id).count();
-                            let all_live_approved = !waiting.denied
-                                && (waiting.approvals > 0 || peers == 0);
+                            let all_live_approved =
+                                !waiting.denied && (waiting.approvals > 0 || peers == 0);
                             if all_live_approved {
                                 self.regenerate(Vec::new(), &mut out);
                             }
@@ -644,7 +661,9 @@ mod tests {
         let starve = fire(&mut n2, &start, TimerKind::Starvation);
         let s = sends(&starve);
         assert_eq!(s.len(), 2, "911 to both peers");
-        assert!(s.iter().all(|(_, m)| matches!(m, MemberMsg::NineOneOne { .. })));
+        assert!(s
+            .iter()
+            .all(|(_, m)| matches!(m, MemberMsg::NineOneOne { .. })));
         // Both peers approve.
         for peer in [0usize, 1] {
             n2.step(MemberEvent::Receive {

@@ -195,10 +195,10 @@ impl MpiWorld {
                 self.send(root, rank, tag, data);
             }
         }
-        for rank in 0..self.size {
+        for (rank, slot) in out.iter_mut().enumerate() {
             if rank != root {
                 let (_, d) = self.recv(rank, Some(root), tag)?;
-                out[rank] = d;
+                *slot = d;
             }
         }
         Ok(out)
@@ -214,12 +214,9 @@ impl MpiWorld {
         assert_eq!(contributions.len(), self.size);
         let mut out = vec![Vec::new(); self.size];
         out[root] = contributions[root].clone();
-        for rank in 0..self.size {
+        for (rank, contribution) in contributions.iter().enumerate() {
             if rank != root {
-                let bytes: Vec<u8> = contributions[rank]
-                    .iter()
-                    .flat_map(|v| v.to_le_bytes())
-                    .collect();
+                let bytes: Vec<u8> = contribution.iter().flat_map(|v| v.to_le_bytes()).collect();
                 self.send(rank, root, tag, &bytes);
             }
         }
@@ -243,16 +240,16 @@ impl MpiWorld {
         assert_eq!(parts.len(), self.size);
         let mut out = vec![Vec::new(); self.size];
         out[root] = parts[root].clone();
-        for rank in 0..self.size {
+        for (rank, part) in parts.iter().enumerate() {
             if rank != root {
-                let bytes: Vec<u8> = parts[rank].iter().flat_map(|v| v.to_le_bytes()).collect();
+                let bytes: Vec<u8> = part.iter().flat_map(|v| v.to_le_bytes()).collect();
                 self.send(root, rank, tag, &bytes);
             }
         }
-        for rank in 0..self.size {
+        for (rank, slot) in out.iter_mut().enumerate() {
             if rank != root {
                 let (_, bytes) = self.recv(rank, Some(root), tag)?;
-                out[rank] = bytes
+                *slot = bytes
                     .chunks_exact(8)
                     .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
                     .collect();

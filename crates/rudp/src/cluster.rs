@@ -98,7 +98,10 @@ impl RudpCluster {
 
     /// Queue an application datagram.
     pub fn send(&mut self, from: NodeId, to: NodeId, payload: Bytes) {
-        self.nodes.get_mut(&from).expect("unknown node").send(to, payload);
+        self.nodes
+            .get_mut(&from)
+            .expect("unknown node")
+            .send(to, payload);
     }
 
     /// Datagrams delivered to `node` so far, in order, as `(sender, payload)`.

@@ -355,19 +355,14 @@ impl RudpNode {
                 }
                 // Deliver any now-contiguous prefix in order.
                 while let Some(payload) = peer.out_of_order.remove(&peer.expected) {
-                    events.push(RudpEvent::Delivered {
-                        from,
-                        payload,
-                    });
+                    events.push(RudpEvent::Delivered { from, payload });
                     peer.expected += 1;
                     peer.delivered += 1;
                 }
                 out.push(Transmit {
                     to: from,
                     via: (local_iface, remote_iface),
-                    packet: Packet::Ack {
-                        ack: peer.expected,
-                    },
+                    packet: Packet::Ack { ack: peer.expected },
                 });
             }
         }
@@ -480,7 +475,10 @@ mod tests {
             a.send(NodeId(1), Bytes::from(vec![i]));
         }
         let (transmits, _) = a.poll(SimTime::from_millis(1));
-        for t in transmits.iter().filter(|t| matches!(t.packet, Packet::Data { .. })) {
+        for t in transmits
+            .iter()
+            .filter(|t| matches!(t.packet, Packet::Data { .. }))
+        {
             assert_eq!(t.via.0.iface, 0);
         }
     }
@@ -490,11 +488,15 @@ mod tests {
         let (mut a, _b) = two_path_pair();
         a.send(NodeId(1), Bytes::from_static(b"x"));
         let (first, _) = a.poll(SimTime::from_millis(1));
-        assert!(first.iter().any(|t| matches!(t.packet, Packet::Data { .. })));
+        assert!(first
+            .iter()
+            .any(|t| matches!(t.packet, Packet::Data { .. })));
         // No ack arrives; after the retransmission timeout (but before the
         // path itself is declared down) the data goes out again.
         let (second, _) = a.poll(SimTime::from_millis(210));
-        assert!(second.iter().any(|t| matches!(t.packet, Packet::Data { .. })));
+        assert!(second
+            .iter()
+            .any(|t| matches!(t.packet, Packet::Data { .. })));
         assert_eq!(a.retransmissions(NodeId(1)), 1);
     }
 

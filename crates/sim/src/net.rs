@@ -388,7 +388,11 @@ impl Network {
                     iface: ti,
                 };
                 if let Some(path) = self.route(Port::Iface(src), Port::Iface(dst)) {
-                    if best.as_ref().map(|(_, _, p)| path.len() < p.len()).unwrap_or(true) {
+                    if best
+                        .as_ref()
+                        .map(|(_, _, p)| path.len() < p.len())
+                        .unwrap_or(true)
+                    {
                         best = Some((src, dst, path));
                     }
                 }

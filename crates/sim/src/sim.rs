@@ -156,7 +156,8 @@ impl<M> Simulation<M> {
     /// `token`. Timers on crashed nodes are silently discarded when they
     /// fire.
     pub fn set_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
-        self.queue.push(self.now + delay, Pending::Timer { node, token });
+        self.queue
+            .push(self.now + delay, Pending::Timer { node, token });
     }
 
     /// Send `msg` from `from` to `to` over the best currently-healthy path,
@@ -479,7 +480,10 @@ mod tests {
         sim.install_fault_plan(plan);
         let e = sim.step().unwrap();
         assert_eq!(e.time, SimTime::from_millis(5));
-        assert!(matches!(e.kind, EventKind::Fault(Fault::NodeCrash(NodeId(2)))));
+        assert!(matches!(
+            e.kind,
+            EventKind::Fault(Fault::NodeCrash(NodeId(2)))
+        ));
         assert!(!sim.network().node_up(NodeId(2)));
         let e = sim.step().unwrap();
         assert!(matches!(e.kind, EventKind::Fault(Fault::NodeRecover(_))));
@@ -494,7 +498,13 @@ mod tests {
         sim.schedule_fault(SimDuration::from_micros(10), Fault::NodeCrash(NodeId(1)));
         let kinds: Vec<_> = std::iter::from_fn(|| sim.step()).map(|e| e.kind).collect();
         assert_eq!(kinds.len(), 2, "fault + node-0 timer; node-1 timer dropped");
-        assert!(matches!(kinds[1], EventKind::Timer { node: NodeId(0), token: 77 }));
+        assert!(matches!(
+            kinds[1],
+            EventKind::Timer {
+                node: NodeId(0),
+                token: 77
+            }
+        ));
     }
 
     #[test]

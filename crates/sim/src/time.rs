@@ -179,7 +179,10 @@ mod tests {
         assert_eq!(t.as_millis(), 1_500);
         assert_eq!((t - SimTime::from_secs(1)).as_millis(), 500);
         // Subtraction saturates rather than panicking.
-        assert_eq!((SimTime::from_secs(1) - SimTime::from_secs(2)).as_micros(), 0);
+        assert_eq!(
+            (SimTime::from_secs(1) - SimTime::from_secs(2)).as_micros(),
+            0
+        );
         let mut t = SimTime::ZERO;
         t += SimDuration::from_micros(7);
         assert_eq!(t.as_micros(), 7);

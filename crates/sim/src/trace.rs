@@ -131,7 +131,10 @@ impl Trace {
 
     /// Total messages dropped for any reason.
     pub fn dropped_total(&self) -> u64 {
-        self.dropped_no_route + self.dropped_loss + self.dropped_dest_down + self.dropped_source_down
+        self.dropped_no_route
+            + self.dropped_loss
+            + self.dropped_dest_down
+            + self.dropped_source_down
     }
 
     /// Delivered / sent, or 1.0 when nothing was sent.
@@ -187,7 +190,10 @@ mod tests {
         assert_eq!(tr.delivered, 1);
         assert_eq!(tr.dropped_total(), 2);
         assert!((tr.delivery_ratio() - 1.0).abs() < 1e-12);
-        assert!(tr.events().is_empty(), "counters-only trace keeps no events");
+        assert!(
+            tr.events().is_empty(),
+            "counters-only trace keeps no events"
+        );
     }
 
     #[test]

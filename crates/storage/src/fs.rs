@@ -118,7 +118,9 @@ impl RainFs {
             })?;
         let mut out = Vec::with_capacity(meta.size);
         for i in 0..meta.blocks {
-            let (block, _) = self.store.retrieve(&Self::block_key(name, i), self.policy)?;
+            let (block, _) = self
+                .store
+                .retrieve(&Self::block_key(name, i), self.policy)?;
             out.extend_from_slice(&block);
         }
         out.truncate(meta.size);

@@ -195,7 +195,7 @@ impl DistributedStore {
         framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
         framed.extend_from_slice(data);
         let pad = (unit - framed.len() % unit) % unit;
-        framed.extend(std::iter::repeat(0u8).take(pad));
+        framed.extend(std::iter::repeat_n(0u8, pad));
 
         let shares = self.code.encode(&framed)?;
         for (i, share) in shares.into_iter().enumerate() {
@@ -253,12 +253,13 @@ impl DistributedStore {
         policy: SelectionPolicy,
         allowed: Option<&[NodeId]>,
     ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
-        let original_len = *self
-            .objects
-            .get(object)
-            .ok_or_else(|| StorageError::UnknownObject {
-                object: object.to_string(),
-            })?;
+        let original_len =
+            *self
+                .objects
+                .get(object)
+                .ok_or_else(|| StorageError::UnknownObject {
+                    object: object.to_string(),
+                })?;
         let sources = self.pick_sources(policy, object, allowed);
         if sources.len() < self.code.k() {
             return Err(StorageError::NotEnoughNodes {
@@ -365,7 +366,10 @@ mod tests {
         s.fail_node(NodeId(0)).unwrap();
         assert!(matches!(
             s.retrieve("obj", SelectionPolicy::FirstK),
-            Err(StorageError::NotEnoughNodes { available: 3, needed: 4 })
+            Err(StorageError::NotEnoughNodes {
+                available: 3,
+                needed: 4
+            })
         ));
     }
 
@@ -428,7 +432,7 @@ mod tests {
     #[test]
     fn nearest_selection_prefers_close_nodes() {
         let mut s = store();
-        s.store("obj", &vec![2u8; 120]).unwrap();
+        s.store("obj", &[2u8; 120]).unwrap();
         // Make nodes 3..6 the closest.
         for (i, d) in [(0usize, 10u64), (1, 11), (2, 12), (3, 0), (4, 1), (5, 2)] {
             s.set_distance(NodeId(i), d).unwrap();

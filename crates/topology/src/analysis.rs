@@ -252,9 +252,17 @@ mod tests {
         let naive_out = sweep_switch_faults(&naive, 2);
         let diam_out = sweep_switch_faults(&diam, 2);
         // Fig. 4b: the naive attachment can lose a whole arc of nodes.
-        assert!(naive_out.max_lost_nodes >= 4, "got {}", naive_out.max_lost_nodes);
+        assert!(
+            naive_out.max_lost_nodes >= 4,
+            "got {}",
+            naive_out.max_lost_nodes
+        );
         // The diameter construction loses at most a constant few.
-        assert!(diam_out.max_lost_nodes <= 4, "got {}", diam_out.max_lost_nodes);
+        assert!(
+            diam_out.max_lost_nodes <= 4,
+            "got {}",
+            diam_out.max_lost_nodes
+        );
     }
 
     #[test]

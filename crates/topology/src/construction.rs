@@ -26,7 +26,10 @@ pub fn naive_ring(n: usize) -> Topology {
 /// diameter apart, so that every node bridges two nearly-opposite points of
 /// the ring. Tolerates any 3 faults without partitioning (Theorem 2.1).
 pub fn diameter_ring(n: usize) -> Topology {
-    assert!(n >= 5, "the diameter construction needs at least 5 switches");
+    assert!(
+        n >= 5,
+        "the diameter construction needs at least 5 switches"
+    );
     let offset = n / 2 - 1;
     let mut t = Topology::new(format!("diameter-ring-{n}"), n, n);
     for i in 0..n {
@@ -45,7 +48,10 @@ pub fn diameter_ring(n: usize) -> Topology {
 /// but stays constant with respect to `n`.
 pub fn diameter_ring_multi(n: usize, multiplier: usize) -> Topology {
     assert!(multiplier >= 1);
-    assert!(n >= 5, "the diameter construction needs at least 5 switches");
+    assert!(
+        n >= 5,
+        "the diameter construction needs at least 5 switches"
+    );
     let offset = n / 2 - 1;
     let mut t = Topology::new(
         format!("diameter-ring-{n}-x{multiplier}"),
@@ -142,7 +148,10 @@ mod tests {
                     })
                     .collect();
                 attached.sort_unstable();
-                assert!(pairs.insert(attached), "duplicate pair for node {i} (n={n})");
+                assert!(
+                    pairs.insert(attached),
+                    "duplicate pair for node {i} (n={n})"
+                );
             }
         }
     }

@@ -165,8 +165,8 @@ impl Topology {
         }
 
         let mut counts = std::collections::HashMap::new();
-        for node in 0..self.nodes {
-            if node_dead[node] {
+        for (node, &dead) in node_dead.iter().enumerate() {
+            if dead {
                 continue;
             }
             let root = find(&mut parent, node);

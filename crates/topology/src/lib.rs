@@ -35,7 +35,9 @@ pub use analysis::{
     combinations, exhaustive_sweep, monte_carlo_sweep, resilience_curve, sweep_mixed_faults,
     sweep_switch_faults, SweepOutcome,
 };
-pub use construction::{clique, diameter_ring, diameter_ring_general, diameter_ring_multi, naive_ring};
+pub use construction::{
+    clique, diameter_ring, diameter_ring_general, diameter_ring_multi, naive_ring,
+};
 pub use graph::{Edge, Element, PartitionStats, Topology};
 
 #[cfg(test)]

@@ -1,0 +1,399 @@
+//! Offline stand-in for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so this crate provides a
+//! deterministic mini property-testing engine with the same surface syntax:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and one or more `fn name(arg in strategy, ..) { body }` items,
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`],
+//! * `any::<T>()`, integer-range strategies, `collection::vec`, and
+//!   `sample::select`.
+//!
+//! Unlike real proptest there is **no shrinking** and the case streams are
+//! seeded from the test name, so every run explores the same inputs. That
+//! trades minimality of counterexamples for byte-for-byte reproducibility,
+//! which suits an offline CI better anyway.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it.
+    Reject,
+    /// `prop_assert!`-style failure: abort the whole test.
+    Fail(String),
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic generator used by the strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed deterministically from a label (the test function name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.bytes() {
+            state ^= b as u64;
+            state = state.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A value generator. The stub generates independent random values with no
+/// shrinking.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "anything" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for a type: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element_strategy, min..max)` — a vector of `min..max` elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`proptest::sample::select`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy choosing uniformly from a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Choose uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror so `prop::sample::select` and friends resolve.
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `proptest::prelude::*`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => write!(f, "case rejected by prop_assume!"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// Skip the current case (without counting it) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fail the property unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the property unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fail the property unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left != right) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Define property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:ident in $strategy:expr),* $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                let max_attempts = config.cases.saturating_mul(20).max(64);
+                while accepted < config.cases {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest stub: too many rejected cases in {} ({} attempts, {} accepted)",
+                        stringify!($name),
+                        attempts,
+                        accepted
+                    );
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case failed in {}: {}", stringify!($name), msg)
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let v = crate::Strategy::sample(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let b = crate::Strategy::sample(&crate::any::<u8>(), &mut rng);
+            let _ = b; // all u8 values are valid
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = crate::TestRng::deterministic("vec");
+        let strat = crate::collection::vec(crate::any::<u8>(), 1..64);
+        for _ in 0..200 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!((1..64).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn select_only_yields_options() {
+        let mut rng = crate::TestRng::deterministic("select");
+        let strat = crate::sample::select(vec![2usize, 4, 8]);
+        for _ in 0..100 {
+            let v = crate::Strategy::sample(&strat, &mut rng);
+            assert!([2, 4, 8].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro grammar itself: config header, docs, multiple args.
+        #[test]
+        fn prop_macro_smoke(a in 0usize..10, b in any::<u8>()) {
+            prop_assume!(a != 9);
+            prop_assert!(a < 10);
+            prop_assert_eq!(u32::from(b) + a as u32 - a as u32, u32::from(b));
+        }
+
+        #[test]
+        fn prop_second_fn_in_same_block(x in 1u64..100) {
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for the subset of the `rayon` API this workspace uses.
+//!
+//! `into_par_iter()` simply yields the underlying sequential iterator, and a
+//! blanket extension supplies the rayon-specific combinators the workspace
+//! calls (`flat_map_iter`). Results are bit-identical to a rayon run — the
+//! topology sweeps were written to be schedule-independent — just without the
+//! parallel speedup, which only matters for very large sweeps.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Return a "parallel" (here: sequential) iterator over `self`.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type yielded by the iterator.
+        type Iter: Iterator;
+
+        /// Return a "parallel" (here: sequential) iterator over `&self`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator<Item = &'a T>,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only combinators, provided for every sequential iterator.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// `flat_map` under rayon's name for sequential inner iterators.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_matches_sequential() {
+        let doubled: Vec<i32> = (0..10).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v: Vec<usize> = (0..3)
+            .into_par_iter()
+            .flat_map_iter(|i| vec![i; i])
+            .collect();
+        assert_eq!(v, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1, 2, 3];
+        let sum: i32 = data.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline stand-in for the subset of the `serde` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the trait names it mentions: `Serialize` / `Deserialize` (satisfied by
+//! no-op derives from the sibling `serde_derive` stub) and the
+//! `Serializer` / `Deserializer` traits referenced by hand-written adapter
+//! modules such as `rain_rudp::packet::serde_bytes_compat`. No actual data
+//! format ships here; swapping in the real `serde` restores full
+//! functionality without source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Stand-in for `serde::Serializer`: just enough surface for byte-oriented
+/// adapter modules.
+pub trait Serializer: Sized {
+    /// Output of a successful serialisation.
+    type Ok;
+    /// Serialisation error type.
+    type Error;
+
+    /// Serialise a raw byte string.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialise from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Stand-in for `serde::Deserializer`: just enough surface for byte-oriented
+/// adapter modules.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialisation error type.
+    type Error;
+
+    /// Produce a raw byte string.
+    fn take_byte_buf(self) -> Result<Vec<u8>, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for Vec<u8> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.take_byte_buf()
+    }
+}
+
+pub mod ser {
+    //! Serialisation-side re-exports.
+    pub use crate::{Serialize, Serializer};
+}
+
+pub mod de {
+    //! Deserialisation-side re-exports.
+    pub use crate::{Deserialize, Deserializer};
+}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros backing the
+//! vendored `serde` stub.
+//!
+//! The workspace derives the serde traits on many types for forward
+//! compatibility with a real serialisation backend, but nothing in-tree
+//! invokes serialisation generically, so the derives can expand to nothing.
+//! Both macros accept (and ignore) `#[serde(...)]` attributes such as
+//! `#[serde(with = "...")]` so annotated types keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
