@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rain_codes::ErasureCode;
+use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
 use rain_storage::{DistributedStore, SelectionPolicy, StorageError};
 
@@ -55,6 +55,11 @@ impl VideoSystem {
             videos: Vec::new(),
             clients: Vec::new(),
         }
+    }
+
+    /// Create a service from a serializable code description.
+    pub fn from_spec(spec: CodeSpec, block_size: usize) -> Result<Self, StorageError> {
+        Ok(Self::new(build_code(spec)?, block_size))
     }
 
     /// Number of servers.
@@ -207,12 +212,13 @@ impl VideoSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rain_codes::BCode;
+    use rain_codes::CodeKind;
 
     fn system() -> VideoSystem {
         // The paper's testbed streams from 10 servers; the (10, 8) B-Code
-        // matches the DESIGN.md parameters for E12.
-        VideoSystem::new(Arc::new(BCode::new(10).unwrap()), 256)
+        // matches the DESIGN.md parameters for E12. Selected by spec, as a
+        // deployment would from its config file.
+        VideoSystem::from_spec(CodeSpec::new(CodeKind::BCode, 10, 8), 256).expect("valid spec")
     }
 
     #[test]

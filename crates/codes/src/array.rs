@@ -19,8 +19,28 @@
 use crate::error::CodeError;
 use crate::matrix::solve_gf2_sparse;
 use crate::metrics::CodeCost;
-use crate::traits::{validate_data_len, validate_shares};
+use crate::share::{ShareSet, ShareView};
+use crate::traits::{validate_data_len, validate_decode_out, validate_encode_cols};
 use crate::xor::xor_into;
+
+/// XOR cell `src` into cell `dst` within one flat buffer of `cell_len`-byte
+/// cells. The cells must be distinct; `split_at_mut` proves disjointness.
+fn xor_cells(buf: &mut [u8], cell_len: usize, dst: usize, src: usize) {
+    debug_assert_ne!(dst, src);
+    if dst < src {
+        let (lo, hi) = buf.split_at_mut(src * cell_len);
+        xor_into(
+            &mut lo[dst * cell_len..(dst + 1) * cell_len],
+            &hi[..cell_len],
+        );
+    } else {
+        let (lo, hi) = buf.split_at_mut(dst * cell_len);
+        xor_into(
+            &mut hi[..cell_len],
+            &lo[src * cell_len..(src + 1) * cell_len],
+        );
+    }
+}
 
 /// One cell of an array-code column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -265,36 +285,50 @@ impl ArrayCode {
         self.layout.num_data_cells()
     }
 
-    /// Encode `data` into `n` column buffers.
-    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+    /// Encode `data` into `n` pre-sized column slices without allocating.
+    /// Each slice must be `(data.len() / num_data_cells) * cells_per_column`
+    /// bytes; every byte is overwritten.
+    pub fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
         validate_data_len(data.len(), self.data_len_unit())?;
         let d = self.layout.num_data_cells();
         let cell_len = data.len() / d;
-        let data_cell = |i: usize| &data[i * cell_len..(i + 1) * cell_len];
-
-        // Compute parity cells.
-        let mut parities: Vec<Vec<u8>> = Vec::with_capacity(self.layout.equations.len());
-        for eq in &self.layout.equations {
-            let mut p = vec![0u8; cell_len];
-            for &dc in eq {
-                xor_into(&mut p, data_cell(dc));
-            }
-            parities.push(p);
-        }
-
-        // Assemble columns.
-        let mut out = Vec::with_capacity(self.n());
-        for col in &self.layout.column_cells {
-            let mut buf = Vec::with_capacity(col.len() * cell_len);
-            for cell in col {
+        let r = self.layout.cells_per_column();
+        validate_encode_cols(shares, self.n(), r * cell_len)?;
+        for (c, col) in self.layout.column_cells.iter().enumerate() {
+            for (slot, cell) in col.iter().enumerate() {
+                let dst = &mut shares[c][slot * cell_len..(slot + 1) * cell_len];
                 match *cell {
-                    Cell::Data(i) => buf.extend_from_slice(data_cell(i)),
-                    Cell::Parity(i) => buf.extend_from_slice(&parities[i]),
+                    Cell::Data(i) => {
+                        dst.copy_from_slice(&data[i * cell_len..(i + 1) * cell_len]);
+                    }
+                    Cell::Parity(p) => {
+                        dst.fill(0);
+                        for &dc in &self.layout.equations[p] {
+                            xor_into(dst, &data[dc * cell_len..(dc + 1) * cell_len]);
+                        }
+                    }
                 }
             }
-            out.push(buf);
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Decode surviving shares into the pre-sized `out` slice
+    /// (`num_data_cells * cell_len` bytes, fully overwritten), discarding
+    /// the trace. No share storage is allocated; the Gaussian fallback (rare
+    /// two-column stalls) is the only allocating path.
+    pub fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+        self.decode_slices_impl(shares, out, None)
+    }
+
+    /// Encode `data` into `n` freshly allocated column buffers.
+    pub fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        validate_data_len(data.len(), self.data_len_unit())?;
+        let cell_len = data.len() / self.layout.num_data_cells();
+        let mut set = ShareSet::with_layout(self.n(), cell_len * self.layout.cells_per_column());
+        let mut cols = set.columns_mut();
+        self.encode_slices(data, &mut cols)?;
+        Ok(set.to_vecs())
     }
 
     /// Decode, discarding the trace.
@@ -307,88 +341,276 @@ impl ArrayCode {
         &self,
         shares: &[Option<Vec<u8>>],
     ) -> Result<(Vec<u8>, DecodeTrace), CodeError> {
-        let share_len = validate_shares(shares, self.n(), self.k())?;
+        let view = ShareView::from_options(shares);
+        let share_len = view.validate(self.n(), self.k())?;
         let r = self.layout.cells_per_column();
-        if share_len % r != 0 {
+        // Sized for the happy case; a share length not divisible by the cell
+        // count is rejected inside decode_slices_impl before `out` is used.
+        let mut out = vec![0u8; (share_len / r) * self.layout.num_data_cells()];
+        let mut trace = DecodeTrace::default();
+        self.decode_slices_impl(&view, &mut out, Some(&mut trace))?;
+        Ok((out, trace))
+    }
+
+    /// Reconstruct the single column `missing` from the surviving shares,
+    /// writing it to `out` (`share_len` bytes). Only the erased data cells
+    /// are recovered and only the target column's parity equations are
+    /// re-evaluated — no full decode, no full re-encode. Any value present
+    /// in slot `missing` of the view is ignored.
+    pub fn repair_slices(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        let share_len = shares.validate_excluding(self.n(), self.k(), missing)?;
+        let r = self.layout.cells_per_column();
+        if !share_len.is_multiple_of(r) {
+            return Err(CodeError::DecodeFailure {
+                reason: format!("share length {share_len} not divisible by {r} cells"),
+            });
+        }
+        let cell_len = share_len / r;
+        validate_decode_out(out.len(), share_len)?;
+
+        // Borrow known data cells and parity values from the survivors.
+        let d = self.layout.num_data_cells();
+        let mut data_src: Vec<Option<&[u8]>> = vec![None; d];
+        let mut parity_src: Vec<Option<&[u8]>> = vec![None; self.layout.equations.len()];
+        for (c, share) in shares.iter().enumerate() {
+            if c == missing {
+                continue;
+            }
+            let Some(buf) = share else { continue };
+            for (slot, cell) in self.layout.column_cells[c].iter().enumerate() {
+                let bytes = &buf[slot * cell_len..(slot + 1) * cell_len];
+                match *cell {
+                    Cell::Data(i) => data_src[i] = Some(bytes),
+                    Cell::Parity(p) => parity_src[p] = Some(bytes),
+                }
+            }
+        }
+
+        // Recover the erased data cells into a compact scratch buffer
+        // (erased cells only — not the whole data block).
+        let mut known: Vec<bool> = (0..d).map(|i| data_src[i].is_some()).collect();
+        let mut rec_slot = vec![usize::MAX; d];
+        let mut num_missing = 0;
+        for (dc, slot) in rec_slot.iter_mut().enumerate() {
+            if !known[dc] {
+                *slot = num_missing;
+                num_missing += 1;
+            }
+        }
+        let mut recovered = vec![0u8; num_missing * cell_len];
+
+        // Peel (decoding chains), then Gaussian fallback if stalled.
+        loop {
+            let mut progressed = false;
+            for (eq_idx, eq) in self.layout.equations.iter().enumerate() {
+                let Some(parity) = parity_src[eq_idx] else {
+                    continue;
+                };
+                let mut unknowns = 0;
+                let mut target = usize::MAX;
+                for &dc in eq {
+                    if !known[dc] {
+                        unknowns += 1;
+                        target = dc;
+                    }
+                }
+                if unknowns != 1 {
+                    continue;
+                }
+                let t = rec_slot[target];
+                {
+                    let cell = &mut recovered[t * cell_len..(t + 1) * cell_len];
+                    cell.fill(0);
+                    xor_into(cell, parity);
+                }
+                for &dc in eq {
+                    if dc == target {
+                        continue;
+                    }
+                    match data_src[dc] {
+                        Some(src) => {
+                            xor_into(&mut recovered[t * cell_len..(t + 1) * cell_len], src);
+                        }
+                        None => xor_cells(&mut recovered, cell_len, t, rec_slot[dc]),
+                    }
+                }
+                known[target] = true;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let still_missing: Vec<usize> = (0..d).filter(|&i| !known[i]).collect();
+        if !still_missing.is_empty() {
+            let unknown_index: std::collections::HashMap<usize, usize> = still_missing
+                .iter()
+                .enumerate()
+                .map(|(i, &dc)| (dc, i))
+                .collect();
+            let mut eqs: Vec<Vec<usize>> = Vec::new();
+            let mut rhs: Vec<Vec<u8>> = Vec::new();
+            for (eq_idx, eq) in self.layout.equations.iter().enumerate() {
+                let Some(parity) = parity_src[eq_idx] else {
+                    continue;
+                };
+                let mut unknowns = Vec::new();
+                let mut value = parity.to_vec();
+                for &dc in eq {
+                    if let Some(idx) = unknown_index.get(&dc) {
+                        unknowns.push(*idx);
+                    } else if let Some(src) = data_src[dc] {
+                        xor_into(&mut value, src);
+                    } else {
+                        let s = rec_slot[dc];
+                        xor_into(&mut value, &recovered[s * cell_len..(s + 1) * cell_len]);
+                    }
+                }
+                if !unknowns.is_empty() {
+                    eqs.push(unknowns);
+                    rhs.push(value);
+                }
+            }
+            let solution = solve_gf2_sparse(still_missing.len(), &eqs, &rhs).ok_or_else(|| {
+                CodeError::DecodeFailure {
+                    reason: "surviving parity equations do not determine the lost share".into(),
+                }
+            })?;
+            for (i, &dc) in still_missing.iter().enumerate() {
+                let s = rec_slot[dc];
+                recovered[s * cell_len..(s + 1) * cell_len].copy_from_slice(&solution[i]);
+            }
+        }
+
+        // Emit the target column: data cells from the recovered scratch,
+        // parity cells re-evaluated from their equations.
+        let cell_of = |dc: usize| -> &[u8] {
+            match data_src[dc] {
+                Some(src) => src,
+                None => {
+                    let s = rec_slot[dc];
+                    &recovered[s * cell_len..(s + 1) * cell_len]
+                }
+            }
+        };
+        for (slot, cell) in self.layout.column_cells[missing].iter().enumerate() {
+            let dst = &mut out[slot * cell_len..(slot + 1) * cell_len];
+            match *cell {
+                Cell::Data(i) => dst.copy_from_slice(cell_of(i)),
+                Cell::Parity(p) => {
+                    dst.fill(0);
+                    for &dc in &self.layout.equations[p] {
+                        xor_into(dst, cell_of(dc));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Shared decode path: peel (recording chains into `trace` when given),
+    /// then the GF(2) Gaussian fallback.
+    fn decode_slices_impl(
+        &self,
+        shares: &ShareView<'_>,
+        out: &mut [u8],
+        mut trace: Option<&mut DecodeTrace>,
+    ) -> Result<(), CodeError> {
+        let share_len = shares.validate(self.n(), self.k())?;
+        let r = self.layout.cells_per_column();
+        if !share_len.is_multiple_of(r) {
             return Err(CodeError::DecodeFailure {
                 reason: format!("share length {share_len} not divisible by {r} cells"),
             });
         }
         let cell_len = share_len / r;
         let d = self.layout.num_data_cells();
+        validate_decode_out(out.len(), d * cell_len)?;
 
-        // Collect known data cells and available parity values.
-        let mut data_cells: Vec<Option<Vec<u8>>> = vec![None; d];
-        let mut parity_values: Vec<Option<Vec<u8>>> = vec![None; self.layout.equations.len()];
+        // Copy known data cells into place; borrow available parity values.
+        let mut known = vec![false; d];
+        let mut parity_src: Vec<Option<&[u8]>> = vec![None; self.layout.equations.len()];
         for (c, share) in shares.iter().enumerate() {
             let Some(buf) = share else { continue };
             for (slot, cell) in self.layout.column_cells[c].iter().enumerate() {
-                let bytes = buf[slot * cell_len..(slot + 1) * cell_len].to_vec();
+                let bytes = &buf[slot * cell_len..(slot + 1) * cell_len];
                 match *cell {
-                    Cell::Data(i) => data_cells[i] = Some(bytes),
-                    Cell::Parity(i) => parity_values[i] = Some(bytes),
+                    Cell::Data(i) => {
+                        out[i * cell_len..(i + 1) * cell_len].copy_from_slice(bytes);
+                        known[i] = true;
+                    }
+                    Cell::Parity(p) => parity_src[p] = Some(bytes),
                 }
             }
         }
-
-        let mut trace = DecodeTrace::default();
-        let missing: Vec<usize> = (0..d).filter(|&i| data_cells[i].is_none()).collect();
-        if !missing.is_empty() {
-            self.peel(&mut data_cells, &parity_values, cell_len, &mut trace);
+        if known.iter().all(|&is_known| is_known) {
+            return Ok(());
         }
+
+        self.peel_slices(out, &mut known, &parity_src, cell_len, &mut trace);
 
         // If peeling stalled, finish with Gaussian elimination over GF(2).
-        let still_missing: Vec<usize> = (0..d).filter(|&i| data_cells[i].is_none()).collect();
+        let still_missing: Vec<usize> = (0..d).filter(|&i| !known[i]).collect();
         if !still_missing.is_empty() {
-            trace.used_gaussian_fallback = true;
-            self.gaussian_finish(&mut data_cells, &parity_values, cell_len, &still_missing)?;
+            if let Some(t) = trace {
+                t.used_gaussian_fallback = true;
+            }
+            self.gaussian_finish(out, &known, &parity_src, cell_len, &still_missing)?;
         }
-
-        let mut out = Vec::with_capacity(d * cell_len);
-        for cell in data_cells {
-            out.extend_from_slice(&cell.expect("all data cells recovered"));
-        }
-        Ok((out, trace))
+        Ok(())
     }
 
     /// Peeling decoder: repeatedly find a surviving parity equation with
-    /// exactly one unknown data cell and solve it. This is the "decoding
-    /// chain" procedure of Section 4.1.
-    fn peel(
+    /// exactly one unknown data cell and solve it **in place** in `out`.
+    /// This is the "decoding chain" procedure of Section 4.1.
+    fn peel_slices(
         &self,
-        data_cells: &mut [Option<Vec<u8>>],
-        parity_values: &[Option<Vec<u8>>],
+        out: &mut [u8],
+        known: &mut [bool],
+        parity_src: &[Option<&[u8]>],
         cell_len: usize,
-        trace: &mut DecodeTrace,
+        trace: &mut Option<&mut DecodeTrace>,
     ) {
         loop {
             let mut progressed = false;
             for (eq_idx, eq) in self.layout.equations.iter().enumerate() {
-                let Some(parity) = &parity_values[eq_idx] else {
+                let Some(parity) = parity_src[eq_idx] else {
                     continue;
                 };
-                let unknowns: Vec<usize> = eq
-                    .iter()
-                    .copied()
-                    .filter(|&dc| data_cells[dc].is_none())
-                    .collect();
-                if unknowns.len() != 1 {
-                    continue;
-                }
-                let target = unknowns[0];
-                let mut value = vec![0u8; cell_len];
-                xor_into(&mut value, parity);
+                let mut unknowns = 0;
+                let mut target = usize::MAX;
                 for &dc in eq {
-                    if dc != target {
-                        xor_into(&mut value, data_cells[dc].as_ref().expect("known"));
+                    if !known[dc] {
+                        unknowns += 1;
+                        target = dc;
                     }
                 }
-                data_cells[target] = Some(value);
-                trace.chain.push(ChainStep {
-                    recovered_data_cell: target,
-                    equation: eq_idx,
-                    parity_column: self.parity_column_of_eq[eq_idx],
-                });
+                if unknowns != 1 {
+                    continue;
+                }
+                {
+                    let cell = &mut out[target * cell_len..(target + 1) * cell_len];
+                    cell.fill(0);
+                    xor_into(cell, parity);
+                }
+                for &dc in eq {
+                    if dc != target {
+                        xor_cells(out, cell_len, target, dc);
+                    }
+                }
+                known[target] = true;
+                if let Some(t) = trace {
+                    t.chain.push(ChainStep {
+                        recovered_data_cell: target,
+                        equation: eq_idx,
+                        parity_column: self.parity_column_of_eq[eq_idx],
+                    });
+                }
                 progressed = true;
             }
             if !progressed {
@@ -401,8 +623,9 @@ impl ArrayCode {
     /// stalls (every surviving equation has >= 2 unknowns).
     fn gaussian_finish(
         &self,
-        data_cells: &mut [Option<Vec<u8>>],
-        parity_values: &[Option<Vec<u8>>],
+        out: &mut [u8],
+        known: &[bool],
+        parity_src: &[Option<&[u8]>],
         cell_len: usize,
         missing: &[usize],
     ) -> Result<(), CodeError> {
@@ -411,16 +634,16 @@ impl ArrayCode {
         let mut eqs: Vec<Vec<usize>> = Vec::new();
         let mut rhs: Vec<Vec<u8>> = Vec::new();
         for (eq_idx, eq) in self.layout.equations.iter().enumerate() {
-            let Some(parity) = &parity_values[eq_idx] else {
+            let Some(parity) = parity_src[eq_idx] else {
                 continue;
             };
             let mut unknowns = Vec::new();
-            let mut value = vec![0u8; cell_len];
-            xor_into(&mut value, parity);
+            let mut value = parity.to_vec();
             for &dc in eq {
-                match data_cells[dc].as_ref() {
-                    Some(known) => xor_into(&mut value, known),
-                    None => unknowns.push(unknown_index[&dc]),
+                if known[dc] {
+                    xor_into(&mut value, &out[dc * cell_len..(dc + 1) * cell_len]);
+                } else {
+                    unknowns.push(unknown_index[&dc]);
                 }
             }
             if !unknowns.is_empty() {
@@ -434,7 +657,7 @@ impl ArrayCode {
             }
         })?;
         for (i, &dc) in missing.iter().enumerate() {
-            data_cells[dc] = Some(solution[i].clone());
+            out[dc * cell_len..(dc + 1) * cell_len].copy_from_slice(&solution[i]);
         }
         Ok(())
     }
@@ -523,6 +746,58 @@ mod tests {
                 assert!(!trace.used_gaussian_fallback);
             }
         }
+    }
+
+    #[test]
+    fn repair_matches_encode_for_every_single_erasure() {
+        let code = ArrayCode::new(tiny_layout()).unwrap();
+        let data = vec![1u8, 2, 3, 4, 5, 6];
+        let shares = code.encode(&data).unwrap();
+        for lost in 0..3 {
+            let mut view = ShareView::missing(3);
+            for (i, s) in shares.iter().enumerate() {
+                if i != lost {
+                    view.set(i, s);
+                }
+            }
+            let mut out = vec![0u8; shares[lost].len()];
+            code.repair_slices(&view, lost, &mut out).unwrap();
+            assert_eq!(out, shares[lost], "repaired column {lost}");
+        }
+    }
+
+    #[test]
+    fn repair_rejects_bad_target_and_too_few_survivors() {
+        let code = ArrayCode::new(tiny_layout()).unwrap();
+        let data = vec![1u8, 2, 3, 4, 5, 6];
+        let shares = code.encode(&data).unwrap();
+        let mut out = vec![0u8; shares[0].len()];
+        let view = ShareView::missing(3);
+        assert!(matches!(
+            code.repair_slices(&view, 9, &mut out),
+            Err(CodeError::BadShareIndex { .. })
+        ));
+        // Only one survivor for a k = 2 code.
+        let mut view = ShareView::missing(3);
+        view.set(1, &shares[1]);
+        assert!(matches!(
+            code.repair_slices(&view, 0, &mut out),
+            Err(CodeError::TooManyErasures { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_slices_rejects_misshapen_columns() {
+        let code = ArrayCode::new(tiny_layout()).unwrap();
+        let data = vec![1u8, 2, 3, 4, 5, 6];
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 3];
+        let mut short = vec![0u8; 2];
+        let mut cols: Vec<&mut [u8]> = vec![&mut a, &mut b, &mut short];
+        assert!(matches!(
+            code.encode_slices(&data, &mut cols),
+            Err(CodeError::InconsistentShareLength)
+        ));
     }
 
     #[test]

@@ -27,6 +27,20 @@ pub enum CodeError {
     },
     /// Shares have inconsistent lengths.
     InconsistentShareLength,
+    /// A caller-provided output buffer has the wrong length.
+    BadOutputLength {
+        /// Length of the buffer the caller provided.
+        got: usize,
+        /// Exact length required.
+        expected: usize,
+    },
+    /// A share index outside `0..n` was passed (e.g. as a repair target).
+    BadShareIndex {
+        /// The index the caller provided.
+        got: usize,
+        /// Number of shares the code produces.
+        n: usize,
+    },
     /// Not enough surviving shares to reconstruct the data.
     TooManyErasures {
         /// Number of shares still available.
@@ -57,6 +71,15 @@ impl fmt::Display for CodeError {
             }
             CodeError::InconsistentShareLength => {
                 write!(f, "shares have inconsistent lengths")
+            }
+            CodeError::BadOutputLength { got, expected } => {
+                write!(
+                    f,
+                    "output buffer is {got} bytes, exactly {expected} required"
+                )
+            }
+            CodeError::BadShareIndex { got, n } => {
+                write!(f, "share index {got} out of range for {n} shares")
             }
             CodeError::TooManyErasures { available, needed } => write!(
                 f,

@@ -19,24 +19,56 @@
 //! a Gaussian-elimination fallback, and exact XOR-operation accounting used
 //! by the optimality experiments (E10 in `DESIGN.md`).
 //!
+//! ## The two-level API
+//!
+//! Every code implements the [`ErasureCode`] trait, which is layered:
+//!
+//! * **Buffer core** — [`ErasureCode::encode_into`] writes into a reusable
+//!   [`ShareSet`] (one flat backing allocation, reused across calls),
+//!   [`ErasureCode::decode_into`] reads a borrowed [`ShareView`] (no share
+//!   cloning) into a reusable `Vec`, and [`ErasureCode::repair`]
+//!   reconstructs a **single lost share** without round-tripping through the
+//!   full data block. Hot paths — the storage layer, node repair, streaming
+//!   — live here.
+//! * **Convenience layer** — the allocating [`ErasureCode::encode`] /
+//!   [`ErasureCode::decode`] (`Vec<Vec<u8>>` / `&[Option<Vec<u8>>]`) are
+//!   provided on top for tests, examples, and cold paths. They are default
+//!   trait methods, so code written against the old API keeps compiling.
+//!
+//! Large blocks can be wrapped in a [`StripedCodec`], which splits the
+//! input into fixed-size stripes and encodes/decodes/repairs them across
+//! worker threads while producing bit-identical shares.
+//!
+//! Codes are selected from serializable configuration via
+//! [`CodeSpec`] + [`build_code`] instead of hard-coded constructors.
+//!
 //! ## Quick example
 //!
 //! ```
-//! use rain_codes::{bcode::BCode, ErasureCode};
+//! use rain_codes::{bcode::BCode, ErasureCode, ShareSet};
 //!
 //! let code = BCode::new(6).unwrap();           // the paper's (6,4) code
 //! let data = vec![42u8; code.data_len_unit() * 16];
-//! let shares = code.encode(&data).unwrap();
-//! assert_eq!(shares.len(), 6);
+//!
+//! // Zero-alloc steady state: the set's backing buffer is reused.
+//! let mut shares = ShareSet::new();
+//! code.encode_into(&data, &mut shares).unwrap();
+//! assert_eq!(shares.n(), 6);
 //!
 //! // lose any two symbols ...
-//! let mut partial: Vec<Option<Vec<u8>>> = shares.into_iter().map(Some).collect();
-//! partial[0] = None;
-//! partial[3] = None;
+//! let mut view = shares.as_view();
+//! view.clear(0);
+//! view.clear(3);
 //!
 //! // ... and recover the original data from the remaining four.
-//! let recovered = code.decode(&partial).unwrap();
+//! let mut recovered = Vec::new();
+//! code.decode_into(&view, &mut recovered).unwrap();
 //! assert_eq!(recovered, data);
+//!
+//! // Or re-derive just the lost share 0 (what node repair needs).
+//! let mut lost = vec![0u8; shares.share_len()];
+//! code.repair(&view, 0, &mut lost).unwrap();
+//! assert_eq!(lost, shares.share(0));
 //! ```
 
 #![warn(missing_docs)]
@@ -50,6 +82,9 @@ pub mod matrix;
 pub mod metrics;
 pub mod reed_solomon;
 pub mod replication;
+pub mod share;
+pub mod spec;
+pub mod striped;
 pub mod traits;
 pub mod xcode;
 pub mod xor;
@@ -61,6 +96,9 @@ pub use evenodd::EvenOdd;
 pub use metrics::{CodeCost, CostModel};
 pub use reed_solomon::ReedSolomon;
 pub use replication::{Mirroring, SingleParity};
+pub use share::{ShareSet, ShareView};
+pub use spec::{build_code, CodeSpec};
+pub use striped::StripedCodec;
 pub use traits::{CodeKind, ErasureCode};
 pub use xcode::XCode;
 

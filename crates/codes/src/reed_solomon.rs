@@ -15,7 +15,10 @@ use crate::error::CodeError;
 use crate::gf256::{Gf256, MulTable};
 use crate::matrix::GfMatrix;
 use crate::metrics::{CodeCost, CostModel};
-use crate::traits::{validate_data_len, validate_shares, CodeKind, ErasureCode};
+use crate::share::ShareView;
+use crate::traits::{
+    validate_data_len, validate_decode_out, validate_encode_cols, CodeKind, ErasureCode,
+};
 
 /// A systematic `(n, k)` Reed-Solomon erasure code over GF(2^8).
 #[derive(Debug, Clone)]
@@ -88,41 +91,40 @@ impl ErasureCode for ReedSolomon {
         self.k
     }
 
-    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
         validate_data_len(data.len(), self.k)?;
         let symbol_len = data.len() / self.k;
+        validate_encode_cols(shares, self.n, symbol_len)?;
         let data_symbol = |i: usize| &data[i * symbol_len..(i + 1) * symbol_len];
 
-        let mut shares = Vec::with_capacity(self.n);
         // Systematic part: identity rows copy the data straight through.
-        for row in 0..self.k {
-            shares.push(data_symbol(row).to_vec());
+        for (row, share) in shares.iter_mut().enumerate().take(self.k) {
+            share.copy_from_slice(data_symbol(row));
         }
-        for tables in &self.parity_tables {
-            let mut out = vec![0u8; symbol_len];
+        for (row, tables) in self.parity_tables.iter().enumerate() {
+            shares[self.k + row].fill(0);
             for (col, table) in tables.iter().enumerate() {
-                table.mul_acc(&mut out, data_symbol(col));
+                table.mul_acc(shares[self.k + row], data_symbol(col));
             }
-            shares.push(out);
         }
-        Ok(shares)
+        Ok(())
     }
 
-    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
-        let symbol_len = validate_shares(shares, self.n, self.k)?;
+    fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+        let symbol_len = shares.validate(self.n, self.k)?;
+        validate_decode_out(out.len(), self.k * symbol_len)?;
 
         // Fast path: all systematic symbols present.
-        if shares.iter().take(self.k).all(|s| s.is_some()) {
-            let mut out = Vec::with_capacity(self.k * symbol_len);
-            for share in shares.iter().take(self.k) {
-                out.extend_from_slice(share.as_ref().unwrap());
+        if (0..self.k).all(|i| shares.share(i).is_some()) {
+            for (i, out_chunk) in out.chunks_mut(symbol_len.max(1)).enumerate().take(self.k) {
+                out_chunk.copy_from_slice(shares.share(i).expect("checked present"));
             }
-            return Ok(out);
+            return Ok(());
         }
 
         // General path: pick any k surviving rows, invert the corresponding
         // submatrix of the generator, and multiply.
-        let available: Vec<usize> = (0..self.n).filter(|&i| shares[i].is_some()).collect();
+        let available: Vec<usize> = (0..self.n).filter(|&i| shares.share(i).is_some()).collect();
         let chosen = &available[..self.k];
         let sub = self.generator.select_rows(chosen);
         let inv = sub
@@ -131,15 +133,63 @@ impl ErasureCode for ReedSolomon {
                 reason: "selected generator rows are singular (should be impossible for RS)".into(),
             })?;
 
-        let mut out = vec![0u8; self.k * symbol_len];
-        for (data_idx, out_chunk) in out.chunks_mut(symbol_len).enumerate() {
+        out.fill(0);
+        for (data_idx, out_chunk) in out.chunks_mut(symbol_len.max(1)).enumerate().take(self.k) {
             for (j, &row) in chosen.iter().enumerate() {
                 let coeff = inv.get(data_idx, j);
-                let share = shares[row].as_ref().unwrap();
+                let share = shares.share(row).expect("chosen rows are present");
                 self.gf.mul_acc_slice(out_chunk, share, coeff);
             }
         }
-        Ok(out)
+        Ok(())
+    }
+
+    fn repair(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        let symbol_len = shares.validate_excluding(self.n, self.k, missing)?;
+        validate_decode_out(out.len(), symbol_len)?;
+        let available: Vec<usize> = (0..self.n)
+            .filter(|&i| i != missing && shares.share(i).is_some())
+            .collect();
+        let chosen = &available[..self.k];
+
+        // Fast path: every systematic symbol survives and the target is a
+        // parity row — use its precomputed split tables.
+        if missing >= self.k && chosen.iter().enumerate().all(|(i, &row)| row == i) {
+            out.fill(0);
+            for (col, table) in self.parity_tables[missing - self.k].iter().enumerate() {
+                table.mul_acc(out, shares.share(col).expect("systematic row present"));
+            }
+            return Ok(());
+        }
+
+        // General path: share_missing = g_missing · data
+        //                             = (g_missing · inv) · chosen_shares,
+        // so fold the inverted submatrix into ONE coefficient row and apply
+        // k multiply-accumulates — not the k·k of a full decode plus the
+        // k·(n-k) of a re-encode.
+        let sub = self.generator.select_rows(chosen);
+        let inv = sub
+            .invert(&self.gf)
+            .ok_or_else(|| CodeError::DecodeFailure {
+                reason: "selected generator rows are singular (should be impossible for RS)".into(),
+            })?;
+        out.fill(0);
+        for (j, &row) in chosen.iter().enumerate() {
+            let mut coeff = 0u8;
+            for t in 0..self.k {
+                coeff ^= self.gf.mul(self.generator.get(missing, t), inv.get(t, j));
+            }
+            if coeff != 0 {
+                let share = shares.share(row).expect("chosen rows are present");
+                self.gf.mul_acc_slice(out, share, coeff);
+            }
+        }
+        Ok(())
     }
 
     fn cost(&self, data_len: usize) -> CodeCost {
@@ -213,6 +263,35 @@ mod tests {
                 partial[a] = None;
                 partial[b] = None;
                 assert_eq!(code.decode(&partial).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_matches_encode_for_every_target_and_extra_erasure() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let data = random_data(&mut rng, 4 * 48);
+        let shares = code.encode(&data).unwrap();
+        for target in 0..6 {
+            // Besides the repair target, erase up to one more share so both
+            // the systematic fast path and the submatrix path are exercised.
+            for extra in 0..6 {
+                if extra == target {
+                    continue;
+                }
+                let mut view = ShareView::missing(6);
+                for (i, s) in shares.iter().enumerate() {
+                    if i != target && i != extra {
+                        view.set(i, s);
+                    }
+                }
+                let mut out = vec![0u8; shares[target].len()];
+                code.repair(&view, target, &mut out).unwrap();
+                assert_eq!(
+                    out, shares[target],
+                    "target {target}, extra erasure {extra}"
+                );
             }
         }
     }

@@ -6,7 +6,10 @@
 use crate::array::{ArrayCode, ArrayLayout, Cell};
 use crate::error::CodeError;
 use crate::metrics::{CodeCost, CostModel};
-use crate::traits::{validate_data_len, validate_shares, CodeKind, ErasureCode};
+use crate::share::ShareView;
+use crate::traits::{
+    validate_data_len, validate_decode_out, validate_encode_cols, CodeKind, ErasureCode,
+};
 
 /// RAID-1-style mirroring: every node stores a full copy of the data.
 /// Tolerates `n - 1` erasures at a storage overhead of `n`.
@@ -40,19 +43,42 @@ impl ErasureCode for Mirroring {
         1
     }
 
-    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+    fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
         validate_data_len(data.len(), 1)?;
-        Ok(vec![data.to_vec(); self.copies])
+        validate_encode_cols(shares, self.copies, data.len())?;
+        for copy in shares.iter_mut() {
+            copy.copy_from_slice(data);
+        }
+        Ok(())
     }
 
-    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
-        validate_shares(shares, self.copies, 1)?;
-        Ok(shares
+    fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+        let share_len = shares.validate(self.copies, 1)?;
+        validate_decode_out(out.len(), share_len)?;
+        let survivor = shares
             .iter()
             .flatten()
             .next()
-            .expect("validate_shares guarantees at least one survivor")
-            .clone())
+            .expect("validate guarantees at least one survivor");
+        out.copy_from_slice(survivor);
+        Ok(())
+    }
+
+    fn repair(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        let share_len = shares.validate_excluding(self.copies, 1, missing)?;
+        validate_decode_out(out.len(), share_len)?;
+        let survivor = shares
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| if i == missing { None } else { s })
+            .expect("validate_excluding guarantees a survivor");
+        out.copy_from_slice(survivor);
+        Ok(())
     }
 
     fn cost(&self, data_len: usize) -> CodeCost {
@@ -121,12 +147,21 @@ impl ErasureCode for SingleParity {
         self.inner.data_len_unit()
     }
 
-    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
-        self.inner.encode(data)
+    fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
+        self.inner.encode_slices(data, shares)
     }
 
-    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
-        self.inner.decode(shares)
+    fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+        self.inner.decode_slices(shares, out)
+    }
+
+    fn repair(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        self.inner.repair_slices(shares, missing, out)
     }
 
     fn cost(&self, data_len: usize) -> CodeCost {

@@ -1,7 +1,27 @@
 //! The common erasure-code interface used by the storage layer.
+//!
+//! The trait is layered in two levels:
+//!
+//! 1. **Buffer core** (required): [`ErasureCode::encode_slices`],
+//!    [`ErasureCode::decode_slices`] and [`ErasureCode::repair`] operate on
+//!    caller-owned buffers — pre-sized column slices, a borrowed
+//!    [`ShareView`], a flat output slice — and never allocate share storage.
+//!    [`ErasureCode::encode_into`] / [`ErasureCode::decode_into`] are the
+//!    ergonomic entry points at this level: they size a reusable
+//!    [`ShareSet`] / output `Vec` for you, so steady-state loops allocate
+//!    nothing after the first call.
+//! 2. **Convenience layer** (provided): the original allocating
+//!    [`ErasureCode::encode`] / [`ErasureCode::decode`] survive as default
+//!    methods implemented on top of the core, so downstream code can migrate
+//!    incrementally.
+//!
+//! [`ErasureCode::repair`] reconstructs a **single lost share** directly,
+//! without round-tripping through the full data block — the operation node
+//! repair actually needs.
 
 use crate::error::CodeError;
 use crate::metrics::CodeCost;
+use crate::share::{ShareSet, ShareView};
 
 /// Identifies which family a code object belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -25,6 +45,7 @@ pub enum CodeKind {
 /// `k` of them (for the MDS codes in this crate).
 ///
 /// The trait is object-safe so the storage layer can swap codes at runtime.
+/// See the [module docs](self) for the two API levels.
 pub trait ErasureCode: Send + Sync {
     /// Which code family this is.
     fn kind(&self) -> CodeKind;
@@ -41,15 +62,9 @@ pub trait ErasureCode: Send + Sync {
     }
 
     /// The input length must be a positive multiple of this unit (in bytes).
+    /// The unit is always a multiple of `k`, so `share_len_for` divides
+    /// evenly.
     fn data_len_unit(&self) -> usize;
-
-    /// Encode `data` into `n` equally sized shares.
-    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError>;
-
-    /// Reconstruct the original data from surviving shares.
-    ///
-    /// `shares` must have exactly `n` entries; missing symbols are `None`.
-    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError>;
 
     /// Analytic cost model for encoding/decoding/updating `data_len` bytes.
     fn cost(&self, data_len: usize) -> CodeCost;
@@ -60,33 +75,92 @@ pub trait ErasureCode: Send + Sync {
     fn is_mds(&self) -> bool {
         true
     }
-}
 
-/// Validate a share vector: right count, consistent lengths, enough
-/// survivors. Returns the common share length.
-pub(crate) fn validate_shares(
-    shares: &[Option<Vec<u8>>],
-    n: usize,
-    k: usize,
-) -> Result<usize, CodeError> {
-    if shares.len() != n {
-        return Err(CodeError::BadShareCount {
-            got: shares.len(),
-            expected: n,
-        });
+    /// The serializable `(kind, n, k)` description of this code; feed it to
+    /// [`crate::spec::build_code`] to reconstruct an equivalent instance.
+    fn spec(&self) -> crate::spec::CodeSpec {
+        crate::spec::CodeSpec {
+            kind: self.kind(),
+            n: self.n(),
+            k: self.k(),
+        }
     }
-    let available: Vec<&Vec<u8>> = shares.iter().flatten().collect();
-    if available.len() < k {
-        return Err(CodeError::TooManyErasures {
-            available: available.len(),
-            needed: k,
-        });
+
+    /// Length in bytes of each encoded share for a `data_len`-byte input.
+    fn share_len_for(&self, data_len: usize) -> Result<usize, CodeError> {
+        validate_data_len(data_len, self.data_len_unit())?;
+        Ok(data_len / self.k())
     }
-    let len = available[0].len();
-    if available.iter().any(|s| s.len() != len) {
-        return Err(CodeError::InconsistentShareLength);
+
+    // ---- buffer core (required) ------------------------------------------
+
+    /// Encode `data` into `n` pre-sized column slices, each
+    /// `share_len_for(data.len())` bytes. Every byte of every slice is
+    /// overwritten. This is the lowest-level entry point; most callers want
+    /// [`ErasureCode::encode_into`].
+    fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError>;
+
+    /// Reconstruct the original data from surviving shares into `out`,
+    /// which must be exactly `share_len * k` bytes (fully overwritten).
+    /// Most callers want [`ErasureCode::decode_into`].
+    fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError>;
+
+    /// Reconstruct the single share `missing` from the surviving shares in
+    /// `shares`, writing it to `out` (which must be `share_len` bytes).
+    ///
+    /// Unlike decode + re-encode, this derives only the lost symbol: array
+    /// codes recover just the erased cells and the target column's parities;
+    /// Reed-Solomon folds the inverted submatrix into one coefficient row.
+    /// Any value present in slot `missing` of the view is ignored.
+    fn repair(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError>;
+
+    // ---- provided buffer layer -------------------------------------------
+
+    /// Encode `data` into a reusable [`ShareSet`]. The set is re-laid out
+    /// for this call (allocating only if it grew past its retained
+    /// capacity), then fully overwritten.
+    fn encode_into(&self, data: &[u8], shares: &mut ShareSet) -> Result<(), CodeError> {
+        let share_len = self.share_len_for(data.len())?;
+        shares.reset(self.n(), share_len);
+        let mut cols = shares.columns_mut();
+        self.encode_slices(data, &mut cols)
     }
-    Ok(len)
+
+    /// Reconstruct the original data into a reusable `Vec` (resized, fully
+    /// overwritten; steady-state calls reuse its allocation).
+    fn decode_into(&self, shares: &ShareView<'_>, out: &mut Vec<u8>) -> Result<(), CodeError> {
+        let share_len = shares.validate(self.n(), self.k())?;
+        out.resize(share_len * self.k(), 0);
+        self.decode_slices(shares, out)
+    }
+
+    // ---- allocating convenience layer (legacy API) -----------------------
+
+    /// Encode `data` into `n` freshly allocated shares.
+    ///
+    /// Convenience wrapper over [`ErasureCode::encode_into`]; hot paths
+    /// should hold a [`ShareSet`] and call that directly.
+    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
+        let mut set = ShareSet::new();
+        self.encode_into(data, &mut set)?;
+        Ok(set.to_vecs())
+    }
+
+    /// Reconstruct the original data from surviving shares.
+    ///
+    /// `shares` must have exactly `n` entries; missing symbols are `None`.
+    /// Convenience wrapper over [`ErasureCode::decode_into`].
+    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
+        let view = ShareView::from_options(shares);
+        let mut out = Vec::new();
+        self.decode_into(&view, &mut out)?;
+        Ok(out)
+    }
 }
 
 /// Validate an encode input length against the code's unit.
@@ -100,41 +174,68 @@ pub(crate) fn validate_data_len(data_len: usize, unit: usize) -> Result<(), Code
     Ok(())
 }
 
+/// Validate pre-sized encode output columns: `n` slices of `share_len`.
+pub(crate) fn validate_encode_cols(
+    shares: &[&mut [u8]],
+    n: usize,
+    share_len: usize,
+) -> Result<(), CodeError> {
+    if shares.len() != n {
+        return Err(CodeError::BadShareCount {
+            got: shares.len(),
+            expected: n,
+        });
+    }
+    if shares.iter().any(|s| s.len() != share_len) {
+        return Err(CodeError::InconsistentShareLength);
+    }
+    Ok(())
+}
+
+/// Validate a caller-provided output slice against the exact required length.
+pub(crate) fn validate_decode_out(out_len: usize, expected: usize) -> Result<(), CodeError> {
+    if out_len != expected {
+        return Err(CodeError::BadOutputLength {
+            got: out_len,
+            expected,
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn validate_shares_rejects_bad_count() {
-        let shares = vec![Some(vec![0u8; 4]); 3];
-        assert!(matches!(
-            validate_shares(&shares, 4, 2),
-            Err(CodeError::BadShareCount { .. })
-        ));
-    }
-
-    #[test]
-    fn validate_shares_rejects_too_many_erasures() {
-        let shares = vec![Some(vec![0u8; 4]), None, None, None];
-        assert!(matches!(
-            validate_shares(&shares, 4, 2),
-            Err(CodeError::TooManyErasures { .. })
-        ));
-    }
-
-    #[test]
-    fn validate_shares_rejects_inconsistent_lengths() {
-        let shares = vec![Some(vec![0u8; 4]), Some(vec![0u8; 5]), None, None];
-        assert!(matches!(
-            validate_shares(&shares, 4, 2),
-            Err(CodeError::InconsistentShareLength)
-        ));
-    }
 
     #[test]
     fn validate_data_len_enforces_unit() {
         assert!(validate_data_len(24, 12).is_ok());
         assert!(validate_data_len(0, 12).is_err());
         assert!(validate_data_len(13, 12).is_err());
+    }
+
+    #[test]
+    fn validate_encode_cols_checks_count_and_lengths() {
+        let mut a = vec![0u8; 4];
+        let mut b = vec![0u8; 4];
+        let mut cols: Vec<&mut [u8]> = vec![&mut a, &mut b];
+        assert!(validate_encode_cols(&cols, 2, 4).is_ok());
+        assert!(matches!(
+            validate_encode_cols(&cols, 3, 4),
+            Err(CodeError::BadShareCount { .. })
+        ));
+        cols.pop();
+        let mut c = vec![0u8; 5];
+        cols.push(&mut c);
+        assert!(matches!(
+            validate_encode_cols(&cols, 2, 4),
+            Err(CodeError::InconsistentShareLength)
+        ));
+    }
+
+    #[test]
+    fn validate_decode_out_requires_exact_length() {
+        assert!(validate_decode_out(16, 16).is_ok());
+        assert!(validate_decode_out(15, 16).is_err());
     }
 }

@@ -20,6 +20,7 @@ use crate::array::{ArrayCode, ArrayLayout, Cell, DecodeTrace};
 use crate::error::CodeError;
 use crate::evenodd::is_prime;
 use crate::metrics::{CodeCost, CostModel};
+use crate::share::ShareView;
 use crate::traits::{CodeKind, ErasureCode};
 
 /// The `(p, p-2)` X-Code for prime `p >= 3`.
@@ -118,12 +119,21 @@ impl ErasureCode for XCode {
         self.inner.data_len_unit()
     }
 
-    fn encode(&self, data: &[u8]) -> Result<Vec<Vec<u8>>, CodeError> {
-        self.inner.encode(data)
+    fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
+        self.inner.encode_slices(data, shares)
     }
 
-    fn decode(&self, shares: &[Option<Vec<u8>>]) -> Result<Vec<u8>, CodeError> {
-        self.inner.decode(shares)
+    fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+        self.inner.decode_slices(shares, out)
+    }
+
+    fn repair(
+        &self,
+        shares: &ShareView<'_>,
+        missing: usize,
+        out: &mut [u8],
+    ) -> Result<(), CodeError> {
+        self.inner.repair_slices(shares, missing, out)
     }
 
     fn cost(&self, data_len: usize) -> CodeCost {

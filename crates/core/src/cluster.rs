@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use rain_codes::{BCode, CodeError, ErasureCode, EvenOdd, ReedSolomon, XCode};
+use rain_codes::{build_code, CodeError, CodeKind, CodeSpec, ErasureCode};
 use rain_membership::{Detection, MemberConfig, MembershipCluster};
 use rain_rudp::{RudpCluster, RudpConfig};
 use rain_sim::{Network, NodeId, SimDuration, DEFAULT_LINK_LATENCY};
@@ -40,14 +40,19 @@ pub enum CodeChoice {
 }
 
 impl CodeChoice {
-    /// Instantiate the chosen code.
+    /// The serializable `(kind, n, k)` spec this choice names.
+    pub fn spec(self) -> CodeSpec {
+        match self {
+            CodeChoice::BCode { n } => CodeSpec::new(CodeKind::BCode, n, n.saturating_sub(2)),
+            CodeChoice::XCode { p } => CodeSpec::new(CodeKind::XCode, p, p.saturating_sub(2)),
+            CodeChoice::EvenOdd { p } => CodeSpec::new(CodeKind::EvenOdd, p + 2, p),
+            CodeChoice::ReedSolomon { n, k } => CodeSpec::new(CodeKind::ReedSolomon, n, k),
+        }
+    }
+
+    /// Instantiate the chosen code through the [`rain_codes`] registry.
     pub fn build(self) -> Result<Arc<dyn ErasureCode>, CodeError> {
-        Ok(match self {
-            CodeChoice::BCode { n } => Arc::new(BCode::new(n)?),
-            CodeChoice::XCode { p } => Arc::new(XCode::new(p)?),
-            CodeChoice::EvenOdd { p } => Arc::new(EvenOdd::new(p)?),
-            CodeChoice::ReedSolomon { n, k } => Arc::new(ReedSolomon::new(n, k)?),
-        })
+        build_code(self.spec())
     }
 }
 

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rain_codes::ErasureCode;
+use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
 
 use crate::store::{DistributedStore, SelectionPolicy, StorageError};
@@ -50,6 +50,11 @@ impl RainFs {
             block_size,
             policy: SelectionPolicy::LeastLoaded,
         }
+    }
+
+    /// Create a file system from a serializable code description.
+    pub fn from_spec(spec: CodeSpec, block_size: usize) -> Result<Self, StorageError> {
+        Ok(Self::new(build_code(spec)?, block_size))
     }
 
     /// Change the node-selection policy used for reads.
@@ -156,15 +161,33 @@ impl RainFs {
         *self = new_fs;
         Ok(())
     }
+
+    /// Like [`RainFs::reconfigure`], selecting the new code by spec.
+    pub fn reconfigure_spec(&mut self, spec: CodeSpec) -> Result<(), StorageError> {
+        self.reconfigure(build_code(spec)?)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rain_codes::{BCode, ReedSolomon, XCode};
+    use rain_codes::{BCode, CodeKind, ReedSolomon, XCode};
 
     fn fs() -> RainFs {
         RainFs::new(Arc::new(BCode::table_1a()), 64)
+    }
+
+    #[test]
+    fn from_spec_and_reconfigure_spec_select_codes_from_config() {
+        let mut f = RainFs::from_spec(CodeSpec::bcode_6_4(), 64).unwrap();
+        let data: Vec<u8> = (0..500).map(|i| (i % 249) as u8).collect();
+        f.write("file", &data).unwrap();
+        assert_eq!(f.read("file").unwrap(), data);
+        // Re-encode onto a (9, 6) Reed-Solomon configuration, spec-selected.
+        f.reconfigure_spec(CodeSpec::new(CodeKind::ReedSolomon, 9, 6))
+            .unwrap();
+        assert_eq!(f.read("file").unwrap(), data);
+        assert!(RainFs::from_spec(CodeSpec::new(CodeKind::XCode, 6, 4), 64).is_err());
     }
 
     #[test]

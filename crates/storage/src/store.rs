@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use rain_codes::{CodeError, ErasureCode};
+use rain_codes::{build_code, CodeError, CodeSpec, ErasureCode, ShareSet, ShareView};
 use rain_sim::NodeId;
 
 /// Why a store or retrieve failed.
@@ -93,7 +93,11 @@ pub struct RetrieveReport {
     pub sources: Vec<NodeId>,
     /// Bytes read from each source.
     pub bytes_per_source: usize,
-    /// True if fewer than `n` symbols were available (degraded read).
+    /// True if **this retrieve** had fewer than `n` shares of **this
+    /// object** available — because a holding node is down, a node lost the
+    /// symbol (e.g. hot-swapped but not yet repaired), or the caller's
+    /// allowed set excluded it. Unrelated node failures do not mark a read
+    /// of a fully available object as degraded.
     pub degraded: bool,
 }
 
@@ -102,6 +106,10 @@ pub struct DistributedStore {
     code: Arc<dyn ErasureCode>,
     nodes: Vec<StorageNode>,
     objects: HashMap<String, usize>,
+    /// Reusable encode output; one flat allocation across all `store` calls.
+    encode_shares: ShareSet,
+    /// Reusable framed-input / decoded-output buffer.
+    io_buf: Vec<u8>,
 }
 
 impl DistributedStore {
@@ -118,7 +126,14 @@ impl DistributedStore {
                 })
                 .collect(),
             objects: HashMap::new(),
+            encode_shares: ShareSet::new(),
+            io_buf: Vec::new(),
         }
+    }
+
+    /// Create a store from a serializable code description.
+    pub fn from_spec(spec: CodeSpec) -> Result<Self, StorageError> {
+        Ok(Self::new(build_code(spec)?))
     }
 
     /// The erasure code in use.
@@ -190,21 +205,31 @@ impl DistributedStore {
     /// The original length is recovered on retrieve.
     pub fn store(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
         // Frame: original length (8 bytes LE) + data, padded to the unit.
+        // Both the framed input and the encoded shares go through reusable
+        // buffers — a steady-state store loop allocates only the per-node
+        // symbol copies the nodes keep.
         let unit = self.code.data_len_unit();
-        let mut framed = Vec::with_capacity(8 + data.len() + unit);
-        framed.extend_from_slice(&(data.len() as u64).to_le_bytes());
-        framed.extend_from_slice(data);
-        let pad = (unit - framed.len() % unit) % unit;
-        framed.extend(std::iter::repeat_n(0u8, pad));
+        self.io_buf.clear();
+        self.io_buf
+            .extend_from_slice(&(data.len() as u64).to_le_bytes());
+        self.io_buf.extend_from_slice(data);
+        let pad = (unit - self.io_buf.len() % unit) % unit;
+        self.io_buf.extend(std::iter::repeat_n(0u8, pad));
 
-        let shares = self.code.encode(&framed)?;
-        for (i, share) in shares.into_iter().enumerate() {
-            self.nodes[i].symbols.insert(object.to_string(), share);
+        self.code
+            .encode_into(&self.io_buf, &mut self.encode_shares)?;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.symbols
+                .insert(object.to_string(), self.encode_shares.share(i).to_vec());
         }
         self.objects.insert(object.to_string(), data.len());
         Ok(())
     }
 
+    /// All nodes that could serve `object` right now (up, holding the
+    /// symbol, inside the caller's allowed set), ordered by `policy`. The
+    /// caller reads from the first `k`; the full count feeds the degraded
+    /// flag.
     fn pick_sources(
         &self,
         policy: SelectionPolicy,
@@ -230,7 +255,6 @@ impl DistributedStore {
                 candidates.sort_by_key(|&i| (self.nodes[i].distance, i));
             }
         }
-        candidates.truncate(self.code.k());
         candidates
     }
 
@@ -260,26 +284,34 @@ impl DistributedStore {
                 .ok_or_else(|| StorageError::UnknownObject {
                     object: object.to_string(),
                 })?;
-        let sources = self.pick_sources(policy, object, allowed);
+        let candidates = self.pick_sources(policy, object, allowed);
+        let degraded = candidates.len() < self.code.n();
+        let mut sources = candidates;
+        sources.truncate(self.code.k());
         if sources.len() < self.code.k() {
             return Err(StorageError::NotEnoughNodes {
                 available: sources.len(),
                 needed: self.code.k(),
             });
         }
-        let mut shares: Vec<Option<Vec<u8>>> = vec![None; self.code.n()];
+        // Account the served bytes, then decode straight out of the node
+        // buffers: the view borrows them, so no share is cloned.
         let mut bytes_per_source = 0;
         for &i in &sources {
-            let share = self.nodes[i].symbols[object].clone();
-            bytes_per_source = share.len();
-            self.nodes[i].bytes_served += share.len() as u64;
-            shares[i] = Some(share);
+            let len = self.nodes[i].symbols[object].len();
+            bytes_per_source = len;
+            self.nodes[i].bytes_served += len as u64;
         }
-        let framed = self.code.decode(&shares)?;
+        let mut view = ShareView::missing(self.code.n());
+        for &i in &sources {
+            view.set(i, &self.nodes[i].symbols[object]);
+        }
+        self.code.decode_into(&view, &mut self.io_buf)?;
+        drop(view);
+        let framed = &self.io_buf;
         let stored_len = u64::from_le_bytes(framed[..8].try_into().expect("frame header")) as usize;
         debug_assert_eq!(stored_len, original_len);
         let data = framed[8..8 + stored_len].to_vec();
-        let degraded = self.nodes.iter().any(|n| !n.up);
         Ok((
             data,
             RetrieveReport {
@@ -291,8 +323,9 @@ impl DistributedStore {
     }
 
     /// Re-derive and re-install every symbol a (replaced or recovered) node
-    /// is supposed to hold, by decoding each object from the other nodes and
-    /// re-encoding. Returns the number of symbols repaired.
+    /// is supposed to hold, reconstructing **only that node's share** from
+    /// the survivors with [`ErasureCode::repair`] — no full decode, no full
+    /// re-encode, no share cloning. Returns the number of symbols repaired.
     pub fn repair_node(&mut self, node: NodeId) -> Result<usize, StorageError> {
         if node.0 >= self.nodes.len() {
             return Err(StorageError::UnknownNode(node));
@@ -303,14 +336,16 @@ impl DistributedStore {
             if self.nodes[node.0].symbols.contains_key(&object) {
                 continue;
             }
-            // Collect shares from the other nodes.
-            let mut shares: Vec<Option<Vec<u8>>> = vec![None; self.code.n()];
+            // View the shares still held by the other live nodes.
+            let mut view = ShareView::missing(self.code.n());
             let mut available = 0;
+            let mut share_len = 0;
             for (i, n) in self.nodes.iter().enumerate() {
                 if i != node.0 && n.up {
                     if let Some(s) = n.symbols.get(&object) {
-                        shares[i] = Some(s.clone());
+                        view.set(i, s);
                         available += 1;
+                        share_len = s.len();
                     }
                 }
             }
@@ -320,11 +355,10 @@ impl DistributedStore {
                     needed: self.code.k(),
                 });
             }
-            let framed = self.code.decode(&shares)?;
-            let all = self.code.encode(&framed)?;
-            self.nodes[node.0]
-                .symbols
-                .insert(object.clone(), all[node.0].clone());
+            let mut symbol = vec![0u8; share_len];
+            self.code.repair(&view, node.0, &mut symbol)?;
+            drop(view);
+            self.nodes[node.0].symbols.insert(object.clone(), symbol);
             repaired += 1;
         }
         Ok(repaired)
@@ -335,7 +369,7 @@ impl DistributedStore {
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rain_codes::BCode;
+    use rain_codes::{BCode, CodeSpec};
 
     fn store() -> DistributedStore {
         DistributedStore::new(Arc::new(BCode::table_1a()))
@@ -390,6 +424,63 @@ mod tests {
             s.retrieve_from("obj", SelectionPolicy::FirstK, Some(&few)),
             Err(StorageError::NotEnoughNodes { .. })
         ));
+    }
+
+    #[test]
+    fn from_spec_builds_a_working_store() {
+        let mut s = DistributedStore::from_spec(CodeSpec::bcode_6_4()).unwrap();
+        assert_eq!(s.num_nodes(), 6);
+        assert_eq!(s.code().spec(), CodeSpec::bcode_6_4());
+        let data = vec![11u8; 100];
+        s.store("obj", &data).unwrap();
+        assert_eq!(s.retrieve("obj", SelectionPolicy::FirstK).unwrap().0, data);
+        assert!(DistributedStore::from_spec(CodeSpec::new(
+            rain_codes::CodeKind::ReedSolomon,
+            4,
+            4
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn degraded_tracks_this_objects_availability_not_cluster_health() {
+        let mut s = store();
+        s.store("obj", &[5u8; 200]).unwrap();
+
+        // A hot-swapped (blank but up) node: every node is up, yet only 5 of
+        // 6 shares of the object exist -> degraded.
+        s.replace_node(NodeId(2)).unwrap();
+        assert_eq!(s.nodes_up(), 6);
+        let (_, report) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        assert!(
+            report.degraded,
+            "missing symbol must mark the read degraded"
+        );
+
+        // After repair the object is fully available again -> not degraded.
+        s.repair_node(NodeId(2)).unwrap();
+        let (_, report) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        assert!(!report.degraded);
+
+        // A node failure that does NOT affect a freshly stored object...
+        // (store writes to all nodes, so fail a node and store afterwards:
+        // the down node misses the new object's share).
+        s.fail_node(NodeId(5)).unwrap();
+        let (_, report) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+        assert!(report.degraded, "share on the down node is unavailable");
+
+        // An allowed set smaller than n also caps this read's availability.
+        s.recover_node(NodeId(5)).unwrap();
+        let allowed: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let (_, report) = s
+            .retrieve_from("obj", SelectionPolicy::FirstK, Some(&allowed))
+            .unwrap();
+        assert!(report.degraded, "allowed set exposed only k of n shares");
+        let all: Vec<NodeId> = (0..6).map(NodeId).collect();
+        let (_, report) = s
+            .retrieve_from("obj", SelectionPolicy::FirstK, Some(&all))
+            .unwrap();
+        assert!(!report.degraded);
     }
 
     #[test]
