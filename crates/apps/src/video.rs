@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
-use rain_storage::{DistributedStore, SelectionPolicy, StorageError};
+use rain_storage::{DistributedStore, GroupConfig, SelectionPolicy, StorageError};
 
 /// One streaming client and its playback state.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -48,9 +48,18 @@ pub struct VideoSystem {
 impl VideoSystem {
     /// Create a service over `code.n()` servers with the given block size.
     pub fn new(code: Arc<dyn ErasureCode>, block_size: usize) -> Self {
+        Self::new_grouped(code, block_size, GroupConfig::disabled())
+    }
+
+    /// Create a service whose store batches small video blocks into coding
+    /// groups (one encode and one symbol per node per *group* of blocks —
+    /// the right shape for low-bitrate renditions whose blocks are tiny).
+    /// [`VideoSystem::ingest`] seals the open group when it finishes, so a
+    /// fully ingested video is always erasure-coded durable.
+    pub fn new_grouped(code: Arc<dyn ErasureCode>, block_size: usize, config: GroupConfig) -> Self {
         assert!(block_size > 0);
         VideoSystem {
-            store: DistributedStore::new(code),
+            store: DistributedStore::with_groups(code, config),
             block_size,
             videos: Vec::new(),
             clients: Vec::new(),
@@ -60,6 +69,15 @@ impl VideoSystem {
     /// Create a service from a serializable code description.
     pub fn from_spec(spec: CodeSpec, block_size: usize) -> Result<Self, StorageError> {
         Ok(Self::new(build_code(spec)?, block_size))
+    }
+
+    /// Like [`VideoSystem::new_grouped`], selecting the code by spec.
+    pub fn from_spec_grouped(
+        spec: CodeSpec,
+        block_size: usize,
+        config: GroupConfig,
+    ) -> Result<Self, StorageError> {
+        Ok(Self::new_grouped(build_code(spec)?, block_size, config))
     }
 
     /// Number of servers.
@@ -82,8 +100,17 @@ impl VideoSystem {
         if data.is_empty() {
             self.store.store(&format!("{name}/0"), &[])?;
         }
+        // Seal the open coding group (a no-op for ungrouped stores): every
+        // block of the video is erasure-coded durable once ingest returns.
+        self.store.flush()?;
         self.videos.push((name.to_string(), blocks));
         Ok(blocks)
+    }
+
+    /// Grouping counters of the underlying store (all zero when the
+    /// service was built without grouping).
+    pub fn group_stats(&self) -> rain_storage::GroupStats {
+        self.store.group_stats()
     }
 
     /// Register a client that will stream `video` from the beginning.
@@ -231,6 +258,36 @@ mod tests {
         assert!(v.run(100));
         assert_eq!(v.total_stalls(), 0);
         assert_eq!(v.client(0).blocks_played, 16);
+    }
+
+    #[test]
+    fn grouped_ingest_plays_back_through_failures_like_ungrouped() {
+        // Tiny 256-byte blocks batched into coding groups: the whole film
+        // fits in a handful of group encodes instead of one per block.
+        let mut v = VideoSystem::from_spec_grouped(
+            CodeSpec::new(CodeKind::BCode, 10, 8),
+            256,
+            GroupConfig {
+                threshold: 1024,
+                capacity: 2048,
+                compact_watermark: 0.5,
+            },
+        )
+        .expect("valid spec");
+        let film: Vec<u8> = (0..4096u32).map(|i| (i % 249) as u8).collect();
+        v.ingest("film", &film).unwrap();
+        let stats = v.group_stats();
+        assert_eq!(stats.grouped_objects, 16, "every block rides in a group");
+        assert!(stats.groups < 16, "blocks share group encodes");
+        assert_eq!(stats.open_bytes, 0, "ingest seals the open group");
+        // Playback behaves exactly like the per-block store, including
+        // under the code's full fault tolerance.
+        v.crash_server(NodeId(0)).unwrap();
+        v.crash_server(NodeId(9)).unwrap();
+        let c = v.add_client("film");
+        assert!(v.run(100));
+        assert_eq!(v.client(c).blocks_played, 16);
+        assert_eq!(v.total_stalls(), 0);
     }
 
     #[test]

@@ -16,10 +16,50 @@
 //! ([`rain_codes::xor::xor_into`] and the table-driven
 //! [`rain_codes::gf256::MulTable::mul_acc`]) are at least 4x their retained
 //! scalar baselines on 64 KiB blocks, that the zero-alloc `encode_into`
-//! beats the allocating `encode` at 4 KiB, and that single-share `repair`
-//! beats decode + re-encode at 1 MiB — so an API-layer regression fails the
-//! bench run itself. Debug builds skip the assertions — unoptimised timings
-//! say nothing about the kernels.
+//! beats the allocating `encode` at 4 KiB, that single-share `repair`
+//! beats decode + re-encode at 1 MiB, and that the grouped small-object
+//! store is at least 2x the per-object path at 1 KiB — so an API-layer
+//! regression fails the bench run itself. Debug builds skip the assertions
+//! — unoptimised timings say nothing about the kernels.
+//!
+//! ## `BENCH_codes.json` schema (`rain-bench-codes/v2`)
+//!
+//! The emitted document is one JSON object with a `schema` marker and six
+//! measurement sections. All throughputs are decimal MB/s; every `speedup`
+//! is `candidate / baseline` of the same row.
+//!
+//! * **`config`** — how the run was taken: `smoke` (short windows),
+//!   `optimized_build`, `gf_bulk_kernel` (the GF(256) kernel dispatched on
+//!   this CPU, e.g. `"avx2"` or `"portable"`), `min_seconds` per
+//!   measurement, `required_kernel_speedup`, and `workers` (available
+//!   parallelism; striped rows only mean something when it is > 1).
+//! * **`kernels`** — microbenchmarks of the shared kernels against the
+//!   retained scalar baselines: `{kernel, block_bytes, fast_mb_s,
+//!   scalar_mb_s, speedup}` per `(kernel, block size)` point.
+//! * **`codes`** — whole-code throughput through the buffer API:
+//!   `{code, n, k, data_bytes, encode_mb_s, decode_mb_s,
+//!   encode_xors_per_data_byte}`. Decode rows drop the first `n - k`
+//!   shares, so the decoder reconstructs data instead of reassembling it.
+//!   These are the rows the `--baseline` regression diff compares.
+//! * **`api`** — allocating `encode` vs zero-alloc `encode_into` at 4 KiB:
+//!   `{code, n, k, data_bytes, encode_alloc_mb_s, encode_into_mb_s,
+//!   speedup}`.
+//! * **`striped`** — single-thread vs [`rain_codes::StripedCodec`] encoding
+//!   at 1 MiB: `{code, n, k, data_bytes, single_mb_s, striped_mb_s,
+//!   speedup}`.
+//! * **`repair`** — decode + re-encode vs single-share `repair` at 1 MiB:
+//!   `{code, n, k, data_bytes, decode_reencode_mb_s, repair_mb_s,
+//!   speedup}`.
+//! * **`grouped`** — the storage layer's coding-group batching vs the
+//!   per-object path for small objects: `{code, op, n, k, object_bytes,
+//!   objects, per_object_mb_s, grouped_mb_s, speedup}` where `op` is
+//!   `store` (steady-state churn, grouped side sealing every batch),
+//!   `retrieve` (co-located reads amortised by the group decode cache), or
+//!   `repair` (hot-swapped node re-derived: one reconstruction per object
+//!   vs one per group). Throughput counts object payload bytes on both
+//!   sides, so the columns are directly comparable.
+
+#![warn(missing_docs)]
 
 use std::time::Instant;
 

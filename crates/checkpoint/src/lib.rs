@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
-use rain_storage::{DistributedStore, SelectionPolicy, StorageError};
+use rain_storage::{DistributedStore, GroupConfig, SelectionPolicy, StorageError};
 
 /// A synthetic deterministic workload: the state after `s` steps is a chain
 /// of mixes of the step counter, so it can only be obtained by executing (or
@@ -128,11 +128,17 @@ pub struct RainCheck {
 impl RainCheck {
     /// Create a system over `code.n()` nodes that checkpoints every
     /// `checkpoint_interval` steps.
+    ///
+    /// Checkpoints are a few bytes each, so the store batches them into
+    /// coding groups: all checkpoints of one scheduler round share a single
+    /// group encode (a group commit), sealed at the end of
+    /// [`RainCheck::round`], instead of paying the full encode setup per
+    /// job.
     pub fn new(code: Arc<dyn ErasureCode>, checkpoint_interval: u64) -> Self {
         assert!(checkpoint_interval >= 1);
         let n = code.n();
         RainCheck {
-            store: DistributedStore::new(code),
+            store: DistributedStore::with_groups(code, GroupConfig::small_objects()),
             nodes_up: vec![true; n],
             jobs: BTreeMap::new(),
             checkpoint_interval,
@@ -256,9 +262,17 @@ impl RainCheck {
         self.assign_unowned();
     }
 
+    /// The underlying store (checkpoint placement, grouping counters).
+    pub fn store(&self) -> &DistributedStore {
+        &self.store
+    }
+
     /// Execute one scheduler round: every live node advances each of its
     /// jobs by one step; jobs checkpoint every `checkpoint_interval` steps
-    /// and at completion.
+    /// and at completion. The round ends with a **group commit**: dead
+    /// checkpoint groups are compacted away and the open coding group is
+    /// sealed, so every checkpoint written this round becomes erasure-coded
+    /// durable together, at the cost of one encode.
     pub fn round(&mut self) -> Result<(), CheckpointError> {
         let ids: Vec<u64> = self.jobs.keys().copied().collect();
         for id in ids {
@@ -282,6 +296,15 @@ impl RainCheck {
                 self.checkpoints_written += 1;
             }
         }
+        // Group commit: reclaim groups full of overwritten checkpoints,
+        // then seal this round's group. Compaction decodes survivor bytes,
+        // so it is the step that surfaces a cluster below `k` live nodes.
+        self.store
+            .compact()
+            .map_err(CheckpointError::InsufficientNodes)?;
+        self.store
+            .flush()
+            .map_err(CheckpointError::InsufficientNodes)?;
         Ok(())
     }
 
@@ -419,6 +442,30 @@ mod tests {
         let third = rc.crash_node(NodeId(2));
         let run = rc.run(1_000);
         assert!(third.is_err() || run.is_err());
+    }
+
+    #[test]
+    fn checkpoints_are_group_committed_not_stored_individually() {
+        let mut rc = system(10);
+        for j in 0..6 {
+            rc.submit(j, j + 11, 100);
+        }
+        let report = rc.run(1_000).unwrap();
+        assert!(report.all_finished);
+        assert!(rc.all_states_correct());
+        let stats = rc.store().group_stats();
+        // Every live checkpoint rides in a coding group, and compaction has
+        // kept the group population near the live set: far fewer groups
+        // than the checkpoints written (all six jobs checkpoint in the same
+        // round and share one group encode).
+        assert_eq!(stats.grouped_objects, 6, "one live checkpoint per job");
+        assert_eq!(stats.open_bytes, 0, "rounds end sealed");
+        assert!(
+            (stats.groups as u64) < report.checkpoints_written / 4,
+            "{} groups for {} checkpoints",
+            stats.groups,
+            report.checkpoints_written
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! The **B-Code**: a lowest-density `(n, n-2)` MDS array code (Xu, Bohossian,
-//! Bruck & Wagner, cited as [55]/[57] in the RAIN paper).
+//! Bruck & Wagner, cited as references 55 and 57 in the RAIN paper).
 //!
 //! Section 4.1 of the RAIN paper presents the `(6, 4)` B-Code of Table 1a as
 //! its running example: 12 data pieces `a..f, A..F` are placed in 6 columns of

@@ -1,4 +1,4 @@
-//! The EVENODD code of Blaum, Brady, Bruck and Menon (cited as [8] in the
+//! The EVENODD code of Blaum, Brady, Bruck and Menon (cited as reference 8 in the
 //! RAIN paper): a `(p+2, p)` MDS array code for prime `p`, tolerating any two
 //! column erasures using only XOR operations.
 //!

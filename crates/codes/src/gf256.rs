@@ -1,7 +1,7 @@
 //! Arithmetic in GF(2^8), used by the Reed-Solomon baseline.
 //!
-//! The field is GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1), i.e. the primitive
-//! polynomial `0x11d` that is conventional for storage-oriented
+//! The field is `GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1)`, i.e. the
+//! primitive polynomial `0x11d` that is conventional for storage-oriented
 //! Reed-Solomon codes. Scalar multiplication and division go through log/exp
 //! tables built once at start-up.
 //!

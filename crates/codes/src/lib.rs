@@ -14,7 +14,7 @@
 //!   **single parity** ([`replication`]).
 //!
 //! All XOR-based codes are expressed through a common sparse-equation
-//! framework ([`array`]) which provides generic vectorised encoding, a
+//! framework ([`mod@array`]) which provides generic vectorised encoding, a
 //! peeling ("decoding chain") decoder matching the description in the paper,
 //! a Gaussian-elimination fallback, and exact XOR-operation accounting used
 //! by the optimality experiments (E10 in `DESIGN.md`).
@@ -93,7 +93,7 @@ pub use array::{ArrayCode, ArrayLayout, Cell, DecodeTrace};
 pub use bcode::BCode;
 pub use error::CodeError;
 pub use evenodd::EvenOdd;
-pub use metrics::{CodeCost, CostModel};
+pub use metrics::{CodeCost, CodeMetrics, CostModel};
 pub use reed_solomon::ReedSolomon;
 pub use replication::{Mirroring, SingleParity};
 pub use share::{ShareSet, ShareView};

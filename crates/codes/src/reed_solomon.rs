@@ -11,17 +11,46 @@
 //! generator matrix are linearly independent, so any `k` surviving symbols
 //! reconstruct the data by inverting the corresponding `k x k` submatrix.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
 use crate::error::CodeError;
 use crate::gf256::{Gf256, MulTable};
 use crate::matrix::GfMatrix;
-use crate::metrics::{CodeCost, CostModel};
+use crate::metrics::{CodeCost, CodeMetrics, CostModel};
 use crate::share::ShareView;
 use crate::traits::{
     validate_data_len, validate_decode_out, validate_encode_cols, CodeKind, ErasureCode,
 };
 
-/// A systematic `(n, k)` Reed-Solomon erasure code over GF(2^8).
+/// Capacity of the per-code repair coefficient-row cache. A repair storm
+/// hits one (or a handful of) erasure patterns over and over; 16 rows cover
+/// every single-failure pattern of the `(n, k)` points this workspace uses
+/// while keeping the linear-scan LRU trivially cheap.
+const REPAIR_ROW_CACHE_CAP: usize = 16;
+
+/// One cached repair row: for the erasure pattern `(missing, chosen)`, the
+/// non-zero folded coefficients of `g_missing · inv(G[chosen])`, each with
+/// its split multiply tables ready for the bulk kernel.
 #[derive(Debug, Clone)]
+struct RepairRow {
+    missing: usize,
+    chosen: Vec<usize>,
+    /// `(survivor share index, tables for its folded coefficient)`.
+    tables: Vec<(usize, MulTable)>,
+}
+
+/// A tiny move-to-back LRU over [`RepairRow`]s. Linear scan: at 16 entries
+/// a probe is a handful of compares, far below the matrix inversion it
+/// replaces.
+#[derive(Debug, Default)]
+struct RepairRowCache {
+    /// Least recently used first.
+    rows: Vec<RepairRow>,
+}
+
+/// A systematic `(n, k)` Reed-Solomon erasure code over GF(2^8).
+#[derive(Debug)]
 pub struct ReedSolomon {
     n: usize,
     k: usize,
@@ -32,6 +61,31 @@ pub struct ReedSolomon {
     /// `k..n`), one [`MulTable`] per matrix entry, precomputed so encoding
     /// never rebuilds tables (see the [`crate::gf256`] module docs).
     parity_tables: Vec<Vec<MulTable>>,
+    /// LRU of folded repair coefficient rows keyed by erasure pattern (the
+    /// ROADMAP "decode-path tables" item, repair-storm case). Interior
+    /// mutability because [`ErasureCode::repair`] takes `&self`.
+    repair_rows: Mutex<RepairRowCache>,
+    /// Repairs served from `repair_rows` without a matrix inversion.
+    repair_row_hits: AtomicU64,
+    /// Repairs that inverted the survivor submatrix and folded a fresh row.
+    repair_row_misses: AtomicU64,
+}
+
+impl Clone for ReedSolomon {
+    /// Clones share the code, not the cache: the clone starts with an empty
+    /// repair-row LRU and zeroed hit/miss counters.
+    fn clone(&self) -> Self {
+        ReedSolomon {
+            n: self.n,
+            k: self.k,
+            gf: self.gf.clone(),
+            generator: self.generator.clone(),
+            parity_tables: self.parity_tables.clone(),
+            repair_rows: Mutex::new(RepairRowCache::default()),
+            repair_row_hits: AtomicU64::new(0),
+            repair_row_misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl ReedSolomon {
@@ -65,12 +119,95 @@ impl ReedSolomon {
             gf,
             generator,
             parity_tables,
+            repair_rows: Mutex::new(RepairRowCache::default()),
+            repair_row_hits: AtomicU64::new(0),
+            repair_row_misses: AtomicU64::new(0),
         })
     }
 
     /// Access the generator matrix (used by tests).
     pub fn generator(&self) -> &GfMatrix {
         &self.generator
+    }
+
+    /// Snapshot of the repair-row cache counters (see [`CodeMetrics`]).
+    pub fn metrics(&self) -> CodeMetrics {
+        CodeMetrics {
+            repair_row_hits: self.repair_row_hits.load(Ordering::Relaxed),
+            repair_row_misses: self.repair_row_misses.load(Ordering::Relaxed),
+            repair_rows_cached: self.repair_rows.lock().expect("cache lock").rows.len(),
+        }
+    }
+
+    /// Invert the survivor submatrix for `chosen` and fold it with row
+    /// `missing` of the generator into one coefficient row, keeping only the
+    /// non-zero coefficients with their split tables.
+    fn compute_repair_row(
+        &self,
+        chosen: &[usize],
+        missing: usize,
+    ) -> Result<Vec<(usize, MulTable)>, CodeError> {
+        let sub = self.generator.select_rows(chosen);
+        let inv = sub
+            .invert(&self.gf)
+            .ok_or_else(|| CodeError::DecodeFailure {
+                reason: "selected generator rows are singular (should be impossible for RS)".into(),
+            })?;
+        Ok(chosen
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &row)| {
+                let mut coeff = 0u8;
+                for t in 0..self.k {
+                    coeff ^= self.gf.mul(self.generator.get(missing, t), inv.get(t, j));
+                }
+                (coeff != 0).then(|| (row, self.gf.mul_table(coeff)))
+            })
+            .collect())
+    }
+
+    /// The folded coefficient row for the erasure pattern `(missing,
+    /// chosen)`, from the LRU when the pattern repeats (a repair storm), or
+    /// computed, counted, and cached on a miss.
+    fn cached_repair_row(
+        &self,
+        chosen: &[usize],
+        missing: usize,
+    ) -> Result<Vec<(usize, MulTable)>, CodeError> {
+        {
+            let mut cache = self.repair_rows.lock().expect("cache lock");
+            if let Some(pos) = cache
+                .rows
+                .iter()
+                .position(|r| r.missing == missing && r.chosen == chosen)
+            {
+                let row = cache.rows.remove(pos);
+                let tables = row.tables.clone();
+                cache.rows.push(row);
+                self.repair_row_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(tables);
+            }
+        }
+        // Invert outside the lock: concurrent striped repairs of different
+        // patterns should not serialise on the cache.
+        let tables = self.compute_repair_row(chosen, missing)?;
+        self.repair_row_misses.fetch_add(1, Ordering::Relaxed);
+        let mut cache = self.repair_rows.lock().expect("cache lock");
+        let raced = cache
+            .rows
+            .iter()
+            .any(|r| r.missing == missing && r.chosen == chosen);
+        if !raced {
+            if cache.rows.len() >= REPAIR_ROW_CACHE_CAP {
+                cache.rows.remove(0);
+            }
+            cache.rows.push(RepairRow {
+                missing,
+                chosen: chosen.to_vec(),
+                tables: tables.clone(),
+            });
+        }
+        Ok(tables)
     }
 }
 
@@ -171,23 +308,14 @@ impl ErasureCode for ReedSolomon {
         //                             = (g_missing · inv) · chosen_shares,
         // so fold the inverted submatrix into ONE coefficient row and apply
         // k multiply-accumulates — not the k·k of a full decode plus the
-        // k·(n-k) of a re-encode.
-        let sub = self.generator.select_rows(chosen);
-        let inv = sub
-            .invert(&self.gf)
-            .ok_or_else(|| CodeError::DecodeFailure {
-                reason: "selected generator rows are singular (should be impossible for RS)".into(),
-            })?;
+        // k·(n-k) of a re-encode. The folded row (with split tables) is
+        // served from the LRU when the erasure pattern repeats, so a repair
+        // storm pays the inversion once, not once per object or group.
+        let row_tables = self.cached_repair_row(chosen, missing)?;
         out.fill(0);
-        for (j, &row) in chosen.iter().enumerate() {
-            let mut coeff = 0u8;
-            for t in 0..self.k {
-                coeff ^= self.gf.mul(self.generator.get(missing, t), inv.get(t, j));
-            }
-            if coeff != 0 {
-                let share = shares.share(row).expect("chosen rows are present");
-                self.gf.mul_acc_slice(out, share, coeff);
-            }
+        for (row, table) in &row_tables {
+            let share = shares.share(*row).expect("chosen rows are present");
+            table.mul_acc(out, share);
         }
         Ok(())
     }
@@ -316,6 +444,119 @@ mod tests {
             code.decode(&partial),
             Err(CodeError::TooManyErasures { .. })
         ));
+    }
+
+    #[test]
+    fn repair_storm_hits_the_coefficient_row_cache() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let data = random_data(&mut rng, 4 * 32);
+        let shares = code.encode(&data).unwrap();
+
+        // Erase a *systematic* share so the general (cached) path runs.
+        let target = 1usize;
+        let mut view = ShareView::missing(6);
+        for (i, s) in shares.iter().enumerate() {
+            if i != target {
+                view.set(i, s);
+            }
+        }
+        let mut out = vec![0u8; shares[target].len()];
+        for round in 0..50 {
+            code.repair(&view, target, &mut out).unwrap();
+            assert_eq!(out, shares[target], "round {round}");
+        }
+        let m = code.metrics();
+        assert_eq!(m.repair_row_misses, 1, "one inversion for the storm");
+        assert_eq!(m.repair_row_hits, 49);
+        assert_eq!(m.repair_rows_cached, 1);
+        assert!(m.repair_row_hit_rate() > 0.97);
+    }
+
+    #[test]
+    fn distinct_erasure_patterns_get_distinct_cached_rows() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
+        let data = random_data(&mut rng, 4 * 16);
+        let shares = code.encode(&data).unwrap();
+        // Repair each systematic share twice; each pattern must miss once
+        // then hit, and every result must still match the encoded share.
+        for pass in 0..2 {
+            for target in 0..4 {
+                let mut view = ShareView::missing(6);
+                for (i, s) in shares.iter().enumerate() {
+                    if i != target {
+                        view.set(i, s);
+                    }
+                }
+                let mut out = vec![0u8; shares[target].len()];
+                code.repair(&view, target, &mut out).unwrap();
+                assert_eq!(out, shares[target], "pass {pass}, target {target}");
+            }
+        }
+        let m = code.metrics();
+        assert_eq!(m.repair_row_misses, 4);
+        assert_eq!(m.repair_row_hits, 4);
+        assert_eq!(m.repair_rows_cached, 4);
+    }
+
+    #[test]
+    fn repair_row_cache_is_bounded_and_clones_start_cold() {
+        // (20, 16): enough distinct single-erasure patterns to overflow the
+        // 16-row cache.
+        let code = ReedSolomon::new(20, 16).unwrap();
+        let mut rng = StdRng::seed_from_u64(47);
+        let data = random_data(&mut rng, 16 * 8);
+        let shares = code.encode(&data).unwrap();
+        for target in 0..code.k() {
+            let mut view = ShareView::missing(20);
+            for (i, s) in shares.iter().enumerate() {
+                if i != target {
+                    view.set(i, s);
+                }
+            }
+            let mut out = vec![0u8; shares[target].len()];
+            code.repair(&view, target, &mut out).unwrap();
+            assert_eq!(out, shares[target]);
+        }
+        // 16 distinct patterns fit exactly; one more evicts the oldest. An
+        // extra erasure alongside the repair target changes the survivor
+        // set, so (missing = 0, shares 0 and 1 gone) is a fresh pattern.
+        assert_eq!(code.metrics().repair_rows_cached, 16);
+        let mut view = ShareView::missing(20);
+        for (i, s) in shares.iter().enumerate() {
+            if i != 0 && i != 1 {
+                view.set(i, s);
+            }
+        }
+        let mut out = vec![0u8; shares[0].len()];
+        code.repair(&view, 0, &mut out).unwrap();
+        assert_eq!(out, shares[0]);
+        let m = code.metrics();
+        assert_eq!(m.repair_rows_cached, 16, "LRU stays bounded");
+        assert_eq!(m.repair_row_misses, 17);
+
+        let clone = code.clone();
+        assert_eq!(clone.metrics(), CodeMetrics::default());
+    }
+
+    #[test]
+    fn parity_fast_path_bypasses_the_cache() {
+        let code = ReedSolomon::new(6, 4).unwrap();
+        let data = vec![3u8; 4 * 8];
+        let shares = code.encode(&data).unwrap();
+        // All systematic shares survive; repairing a parity share uses the
+        // precomputed parity tables and must not touch the LRU.
+        let mut view = ShareView::missing(6);
+        for (i, s) in shares.iter().enumerate() {
+            if i != 5 {
+                view.set(i, s);
+            }
+        }
+        let mut out = vec![0u8; shares[5].len()];
+        code.repair(&view, 5, &mut out).unwrap();
+        assert_eq!(out, shares[5]);
+        assert_eq!(code.metrics(), CodeMetrics::default());
     }
 
     #[test]

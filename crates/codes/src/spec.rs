@@ -139,4 +139,40 @@ mod tests {
         let spec = CodeSpec::bcode_6_4();
         assert_eq!(spec.to_string(), "BCode(6,4)");
     }
+
+    #[test]
+    fn rejection_errors_name_the_offending_spec() {
+        // Family-constraint rejections carry the family's reason...
+        let err = build_code(CodeSpec::new(CodeKind::ReedSolomon, 300, 4))
+            .err()
+            .expect("n = 300 must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("n=300"), "unhelpful error: {msg}");
+        // ...and shape mismatches print the full spec, so a config typo is
+        // diagnosable from the error alone.
+        for (bad, needle) in [
+            (CodeSpec::new(CodeKind::Mirroring, 3, 2), "Mirroring(3,2)"),
+            (
+                CodeSpec::new(CodeKind::SingleParity, 5, 3),
+                "SingleParity(5,3)",
+            ),
+            (CodeSpec::new(CodeKind::EvenOdd, 9, 5), "EvenOdd(9,5)"),
+        ] {
+            let msg = build_code(bad)
+                .err()
+                .unwrap_or_else(|| panic!("{bad} must be rejected"))
+                .to_string();
+            assert!(msg.contains(needle), "{bad}: unhelpful error: {msg}");
+        }
+    }
+
+    #[test]
+    fn evenodd_spec_with_wrong_n_is_caught_by_the_shape_check() {
+        // EvenOdd::new takes k and derives n = k + 2; a spec asking for a
+        // different n must not silently build the wrong-shaped code.
+        let bad = CodeSpec::new(CodeKind::EvenOdd, 9, 5);
+        assert!(build_code(bad).is_err());
+        let good = CodeSpec::new(CodeKind::EvenOdd, 7, 5);
+        assert_eq!(build_code(good).unwrap().n(), 7);
+    }
 }

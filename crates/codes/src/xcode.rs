@@ -1,4 +1,4 @@
-//! The **X-Code** (Xu & Bruck, cited as [56] in the RAIN paper): a `(p, p-2)`
+//! The **X-Code** (Xu & Bruck, cited as reference 56 in the RAIN paper): a `(p, p-2)`
 //! MDS array code for prime `p` with *optimal encoding and update complexity*.
 //!
 //! The codeword is a `p x p` array: rows `0..p-2` hold data, rows `p-2` and

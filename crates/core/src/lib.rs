@@ -35,7 +35,7 @@ pub use rain_apps as apps;
 pub use rain_checkpoint as checkpoint;
 /// Re-export: MDS array codes (Section 4.1).
 pub use rain_codes as codes;
-/// Re-export: leader election (Section 5.3 / reference [29]).
+/// Re-export: leader election (Section 5.3 / the paper's reference 29).
 pub use rain_election as election;
 /// Re-export: consistent-history link monitoring (Sections 2.2–2.4).
 pub use rain_link as link;

@@ -1,7 +1,7 @@
 //! Leader election for asynchronous fully-connected components.
 //!
 //! Section 5.3 of the paper uses a leader-election protocol (Franceschetti &
-//! Bruck, reference [29]) to designate a unique node in every connected set
+//! Bruck, the paper's reference 29) to designate a unique node in every connected set
 //! of nodes as the job dispatcher of the RAINCheck system. The essential
 //! guarantees are:
 //!

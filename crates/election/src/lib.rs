@@ -2,7 +2,7 @@
 //!
 //! The RAINCheck distributed checkpointing application (Section 5.3 of
 //! *Computing in the RAIN*) relies on a leader-election protocol (reference
-//! [29] of the paper) that keeps exactly one node designated as *leader* in
+//! 29 of the paper) that keeps exactly one node designated as *leader* in
 //! every connected set of nodes: the leader assigns jobs and reassigns them
 //! when nodes fail. This crate provides that building block: a small
 //! announcement-based election protocol ([`election`]) with the same

@@ -1,0 +1,367 @@
+//! Coding groups: batching small objects into one erasure-coded block.
+//!
+//! The per-call cost of a distributed store — GF-table preparation,
+//! share-set relayout, per-object metadata, one symbol insert per node — is
+//! independent of the object size, so a store serving millions of tiny
+//! objects pays it millions of times. A coding group amortises it: small
+//! objects are packed back to back into one contiguous data block, the
+//! whole block is encoded with a **single** `encode_into`, and each node
+//! holds one symbol per *group* instead of one per object. Objects are
+//! addressed as `(group, offset, len)` sub-ranges of the block (the XBOF
+//! move of amortising across objects, applied at the storage layer).
+//!
+//! Lifecycle: a group is **open** while objects accumulate in its block
+//! (the coordinator's write buffer — not yet erasure-coded); it is
+//! **sealed** once the block reaches the configured capacity (or on an
+//! explicit flush), which encodes the block and distributes the symbols.
+//! Deletes tombstone the sub-range; a compaction pass rewrites sealed
+//! groups whose live fraction has dropped below the watermark, repacking
+//! the survivors into the current open group.
+//!
+//! This module owns the pure bookkeeping (packing, tombstones, live
+//! accounting, the decoded-block cache); the distributed parts — encoding,
+//! symbol placement, group decode, per-group repair — live in
+//! [`crate::store::DistributedStore`].
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a coding group within one store.
+pub type GroupId = u64;
+
+/// Knobs for coding-group batching. Constructed via
+/// [`GroupConfig::small_objects`] (sensible defaults) or
+/// [`GroupConfig::disabled`] (the `Default`, and the behaviour of stores
+/// built with [`crate::DistributedStore::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Objects **strictly smaller** than this many bytes are packed into
+    /// coding groups; objects at or above the threshold keep the one-
+    /// object-per-encode path. `0` disables grouping entirely.
+    pub threshold: usize,
+    /// The open group is sealed (encoded and distributed) once its packed
+    /// block reaches this many bytes.
+    pub capacity: usize,
+    /// A sealed group whose live fraction (`live_bytes / packed_len`)
+    /// drops below this watermark is rewritten by the next
+    /// [`crate::DistributedStore::compact`] pass.
+    pub compact_watermark: f64,
+}
+
+impl GroupConfig {
+    /// Grouping disabled: every object is stored individually.
+    pub fn disabled() -> Self {
+        GroupConfig {
+            threshold: 0,
+            capacity: 64 * 1024,
+            compact_watermark: 0.5,
+        }
+    }
+
+    /// Defaults tuned for the small-object regime: group objects under
+    /// 4 KiB, seal at 64 KiB, compact below 50% live.
+    pub fn small_objects() -> Self {
+        GroupConfig {
+            threshold: 4 * 1024,
+            capacity: 64 * 1024,
+            compact_watermark: 0.5,
+        }
+    }
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig::disabled()
+    }
+}
+
+/// Where an object lives inside its group's data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjSpan {
+    /// Byte offset of the object in the packed block.
+    pub offset: usize,
+    /// Object length in bytes.
+    pub len: usize,
+}
+
+/// One coding group: a contiguous data block shared by many small objects,
+/// encoded as a single erasure-coded unit.
+///
+/// The group holds only the block and live *counters*. Object spans live in
+/// the store's object table (one lookup resolves an object all the way to
+/// its bytes), so the grouped hot path touches no per-member map; the rare
+/// compaction pass recovers a group's member list by scanning that table.
+#[derive(Debug, Clone)]
+pub(crate) struct CodingGroup {
+    /// The packed data block. Holds the bytes only while the group is
+    /// open; sealing encodes the block and drops this buffer (the bytes
+    /// then live in the per-node symbols, like any stored object).
+    pub data: Vec<u8>,
+    /// Packed length at seal time (the block is zero-padded past this to
+    /// the code's input unit before encoding).
+    pub packed_len: usize,
+    /// Bytes still referenced by live objects.
+    pub live_bytes: usize,
+    /// Live (non-tombstoned) members.
+    pub live_objects: usize,
+    /// True once the block has been encoded and distributed.
+    pub sealed: bool,
+}
+
+impl CodingGroup {
+    /// A fresh, open, empty group.
+    #[cfg(test)]
+    pub fn open() -> Self {
+        Self::open_with_buffer(Vec::new())
+    }
+
+    /// A fresh open group reusing `buffer` (cleared) as its block — the
+    /// store recycles the previous group's buffer so steady-state grouped
+    /// appends allocate nothing.
+    pub fn open_with_buffer(mut buffer: Vec<u8>) -> Self {
+        buffer.clear();
+        CodingGroup {
+            data: buffer,
+            packed_len: 0,
+            live_bytes: 0,
+            live_objects: 0,
+            sealed: false,
+        }
+    }
+
+    /// Restart an emptied **open** group: discard the dead bytes but keep
+    /// the buffer.
+    pub fn reset_open(&mut self) {
+        assert!(!self.sealed, "sealed groups are dropped, not reset");
+        debug_assert_eq!(self.live_objects, 0);
+        self.data.clear();
+        self.packed_len = 0;
+        self.live_bytes = 0;
+    }
+
+    /// Append an object's bytes to the open block, returning its span (the
+    /// caller records it in the object table).
+    ///
+    /// Panics if the group is already sealed — the store only ever appends
+    /// to the open group.
+    pub fn append(&mut self, bytes: &[u8]) -> ObjSpan {
+        assert!(!self.sealed, "cannot append to a sealed group");
+        let span = ObjSpan {
+            offset: self.data.len(),
+            len: bytes.len(),
+        };
+        self.data.extend_from_slice(bytes);
+        self.packed_len = self.data.len();
+        self.live_bytes += bytes.len();
+        self.live_objects += 1;
+        span
+    }
+
+    /// Tombstone a member: its sub-range stays in the block (and, for a
+    /// sealed group, in the encoded symbols) but no longer counts as live.
+    /// The caller owns span bookkeeping (the object table is the single
+    /// source of truth), so this only adjusts the live counters.
+    pub fn tombstone(&mut self, span: ObjSpan) {
+        debug_assert!(self.live_objects > 0 && self.live_bytes >= span.len);
+        self.live_bytes -= span.len;
+        self.live_objects -= 1;
+    }
+
+    /// Fraction of the packed block still referenced by live objects.
+    /// An empty (or all-empty-object) block counts as fully live — there
+    /// is nothing to reclaim.
+    pub fn live_fraction(&self) -> f64 {
+        if self.packed_len == 0 {
+            1.0
+        } else {
+            self.live_bytes as f64 / self.packed_len as f64
+        }
+    }
+
+    /// True if a compaction pass should rewrite this group.
+    pub fn wants_compaction(&self, watermark: f64) -> bool {
+        self.sealed && self.live_objects > 0 && self.live_fraction() < watermark
+    }
+}
+
+/// Counters describing the grouping state of a store; see
+/// [`crate::DistributedStore::group_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupStats {
+    /// Groups currently tracked (open + sealed).
+    pub groups: usize,
+    /// Sealed (encoded and distributed) groups.
+    pub sealed_groups: usize,
+    /// Live objects stored through groups.
+    pub grouped_objects: usize,
+    /// Bytes buffered in the open group, not yet erasure-coded.
+    pub open_bytes: usize,
+    /// Live bytes across all groups.
+    pub live_bytes: usize,
+    /// Packed bytes across all groups (live + tombstoned).
+    pub packed_bytes: usize,
+    /// Group retrieves served from the decoded-block cache.
+    pub decode_cache_hits: u64,
+    /// Group retrieves that had to run a full decode.
+    pub decode_cache_misses: u64,
+}
+
+/// Result of a [`crate::DistributedStore::compact`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompactReport {
+    /// Sealed groups rewritten (their survivors repacked, their symbols
+    /// dropped from every node).
+    pub groups_compacted: usize,
+    /// Live objects moved into the open group.
+    pub objects_moved: usize,
+    /// Tombstoned bytes reclaimed.
+    pub bytes_reclaimed: usize,
+}
+
+/// Small LRU of decoded group blocks: N retrieves of co-located objects
+/// cost one group decode. Blocks are invalidated when their group is
+/// compacted away; node failures do not invalidate (the bytes are already
+/// reconstructed).
+#[derive(Debug, Default)]
+pub(crate) struct GroupDecodeCache {
+    /// Least recently used first. Each entry holds the **padded** decoded
+    /// block (object spans only ever index below `packed_len`).
+    blocks: Vec<(GroupId, Vec<u8>)>,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Decoded blocks kept per store. Groups are capacity-bounded (64 KiB by
+/// default), so this caps cache memory near 256 KiB.
+const DECODE_CACHE_CAP: usize = 4;
+
+impl GroupDecodeCache {
+    /// Borrow a cached block without touching recency or counters.
+    pub fn get(&self, id: GroupId) -> Option<&[u8]> {
+        self.blocks
+            .iter()
+            .find(|(gid, _)| *gid == id)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Record a lookup: on a hit the entry becomes most recently used.
+    /// Returns true on a hit.
+    pub fn touch(&mut self, id: GroupId) -> bool {
+        if let Some(pos) = self.blocks.iter().position(|(gid, _)| *gid == id) {
+            let entry = self.blocks.remove(pos);
+            self.blocks.push(entry);
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Insert a freshly decoded block as most recently used, evicting the
+    /// least recently used entry beyond the capacity.
+    pub fn insert(&mut self, id: GroupId, block: Vec<u8>) {
+        self.blocks.retain(|(gid, _)| *gid != id);
+        if self.blocks.len() >= DECODE_CACHE_CAP {
+            self.blocks.remove(0);
+        }
+        self.blocks.push((id, block));
+    }
+
+    /// Drop a group's block (compaction removed the group).
+    pub fn remove(&mut self, id: GroupId) {
+        self.blocks.retain(|(gid, _)| *gid != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_packs_back_to_back_and_tracks_live_bytes() {
+        let mut g = CodingGroup::open();
+        let a = g.append(b"hello");
+        let b = g.append(b"worlds!");
+        assert_eq!(a, ObjSpan { offset: 0, len: 5 });
+        assert_eq!(b, ObjSpan { offset: 5, len: 7 });
+        assert_eq!(g.packed_len, 12);
+        assert_eq!(g.live_bytes, 12);
+        assert_eq!(g.live_objects, 2);
+        assert_eq!(g.live_fraction(), 1.0);
+        assert_eq!(&g.data[a.offset..a.offset + a.len], b"hello");
+    }
+
+    #[test]
+    fn tombstones_shrink_live_but_not_packed() {
+        let mut g = CodingGroup::open();
+        let a = g.append(&[1u8; 30]);
+        let b = g.append(&[2u8; 10]);
+        g.sealed = true;
+        g.tombstone(a);
+        assert_eq!(g.packed_len, 40);
+        assert_eq!(g.live_bytes, 10);
+        assert!((g.live_fraction() - 0.25).abs() < 1e-12);
+        assert!(g.wants_compaction(0.5));
+        assert!(!g.wants_compaction(0.2));
+        // A fully dead group is dropped outright, not compacted.
+        g.tombstone(b);
+        assert!(!g.wants_compaction(0.5));
+    }
+
+    #[test]
+    fn empty_objects_are_members_with_zero_len_spans() {
+        let mut g = CodingGroup::open();
+        let span = g.append(b"");
+        assert_eq!(span.len, 0);
+        assert_eq!(g.live_objects, 1);
+        assert_eq!(g.live_fraction(), 1.0, "nothing to reclaim");
+    }
+
+    #[test]
+    fn open_groups_never_want_compaction() {
+        let mut g = CodingGroup::open();
+        let a = g.append(&[0u8; 100]);
+        g.append(&[0u8; 4]);
+        g.tombstone(a);
+        assert!(g.live_fraction() < 0.5);
+        assert!(!g.wants_compaction(0.5), "only sealed groups compact");
+        // Emptying the open group restarts its block, keeping the buffer.
+        let mut g = CodingGroup::open_with_buffer(Vec::with_capacity(256));
+        let a = g.append(&[0u8; 100]);
+        g.tombstone(a);
+        g.reset_open();
+        assert_eq!(g.packed_len, 0);
+        assert!(g.data.capacity() >= 256, "buffer retained");
+    }
+
+    #[test]
+    fn decode_cache_is_a_bounded_lru() {
+        let mut cache = GroupDecodeCache::default();
+        for id in 0..5u64 {
+            assert!(!cache.touch(id));
+            cache.insert(id, vec![id as u8]);
+        }
+        // Capacity 4: group 0 was evicted, 1..=4 remain.
+        assert!(cache.get(0).is_none());
+        assert_eq!(cache.get(1), Some(&[1u8][..]));
+        // Touch 1 to make it most recent, then insert a new block: 2 (now
+        // the least recent) is evicted, 1 survives.
+        assert!(cache.touch(1));
+        cache.insert(5, vec![5]);
+        assert!(cache.get(2).is_none());
+        assert_eq!(cache.get(1), Some(&[1u8][..]));
+        cache.remove(1);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 5);
+    }
+
+    #[test]
+    fn config_defaults_are_disabled() {
+        assert_eq!(GroupConfig::default(), GroupConfig::disabled());
+        assert_eq!(GroupConfig::default().threshold, 0);
+        let small = GroupConfig::small_objects();
+        assert!(small.threshold > 0 && small.threshold <= small.capacity);
+        assert!(small.compact_watermark > 0.0 && small.compact_watermark < 1.0);
+    }
+}

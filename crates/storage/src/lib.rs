@@ -9,6 +9,10 @@
 //!
 //! * [`store`] — the object store: encode/place/retrieve, node failure and
 //!   replacement, repair, selection policies (experiment E11);
+//! * [`group`] — coding groups: small objects batched into one encoded
+//!   block, so the per-call encode setup amortises across the group and a
+//!   node repair costs one reconstruction per *group* instead of per
+//!   object;
 //! * [`fs`] — a flat-namespace, block-oriented file layer on top of it (the
 //!   paper's future-work distributed file system), including whole-namespace
 //!   re-encoding onto a different code.
@@ -16,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod fs;
+pub mod group;
 pub mod store;
 
 pub use fs::{FileMeta, RainFs};
+pub use group::{CompactReport, GroupConfig, GroupStats, ObjSpan};
 pub use store::{DistributedStore, RetrieveReport, SelectionPolicy, StorageError};

@@ -10,6 +10,12 @@
 //!   survivors),
 //! * load balancing — since any `k` symbols suffice, the reader is free to
 //!   pick the least-loaded or nearest `k` nodes.
+//!
+//! Small objects can additionally be batched into **coding groups** (see
+//! [`crate::group`]): one encode, one symbol per node, and one repair per
+//! *group* of objects instead of per object. Grouping is off by default
+//! ([`DistributedStore::new`]) and enabled with
+//! [`DistributedStore::with_groups`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -18,6 +24,10 @@ use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeError, CodeSpec, ErasureCode, ShareSet, ShareView};
 use rain_sim::NodeId;
+
+use crate::group::{
+    CodingGroup, CompactReport, GroupConfig, GroupDecodeCache, GroupId, GroupStats, ObjSpan,
+};
 
 /// Why a store or retrieve failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,12 +88,25 @@ pub enum SelectionPolicy {
 #[derive(Debug, Clone, Default)]
 struct StorageNode {
     up: bool,
-    /// Symbols held, keyed by object id.
+    /// Symbols of individually stored objects, keyed by object id.
     symbols: HashMap<String, Vec<u8>>,
+    /// Symbols of sealed coding groups, keyed by group id — one symbol per
+    /// *group*, shared by every object packed into it.
+    group_symbols: HashMap<GroupId, Vec<u8>>,
     /// Total bytes served to readers (load metric).
     bytes_served: u64,
     /// Abstract distance from the reader (nearness metric).
     distance: u64,
+}
+
+/// Where a stored object's bytes live. Carrying the span here keeps the
+/// grouped hot path to a single map lookup per object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Placement {
+    /// One erasure-coded object per key; `len` is the unframed length.
+    Whole { len: usize },
+    /// A sub-range of a coding group's packed block.
+    Grouped { group: GroupId, span: ObjSpan },
 }
 
 /// Statistics describing one retrieve operation.
@@ -105,16 +128,36 @@ pub struct RetrieveReport {
 pub struct DistributedStore {
     code: Arc<dyn ErasureCode>,
     nodes: Vec<StorageNode>,
-    objects: HashMap<String, usize>,
+    objects: HashMap<String, Placement>,
     /// Reusable encode output; one flat allocation across all `store` calls.
     encode_shares: ShareSet,
     /// Reusable framed-input / decoded-output buffer.
     io_buf: Vec<u8>,
+    /// Recycled block buffer handed to the next open group, so sealing one
+    /// group and opening the next allocates nothing in steady state.
+    spare_block: Vec<u8>,
+    /// Coding-group batching knobs; `threshold == 0` disables grouping.
+    group_config: GroupConfig,
+    /// All tracked coding groups (one open at most, the rest sealed).
+    groups: HashMap<GroupId, CodingGroup>,
+    /// The group currently accepting appends, if any.
+    open_group: Option<GroupId>,
+    next_group_id: GroupId,
+    /// Decoded group blocks, so co-located retrieves cost one decode.
+    decode_cache: GroupDecodeCache,
 }
 
 impl DistributedStore {
     /// Create a store over `code.n()` nodes using the given erasure code.
+    /// Coding-group batching is disabled; every object is stored
+    /// individually (see [`DistributedStore::with_groups`]).
     pub fn new(code: Arc<dyn ErasureCode>) -> Self {
+        Self::with_groups(code, GroupConfig::disabled())
+    }
+
+    /// Create a store with coding-group batching: objects strictly smaller
+    /// than `config.threshold` bytes are packed into shared groups.
+    pub fn with_groups(code: Arc<dyn ErasureCode>, config: GroupConfig) -> Self {
         let n = code.n();
         DistributedStore {
             code,
@@ -128,12 +171,28 @@ impl DistributedStore {
             objects: HashMap::new(),
             encode_shares: ShareSet::new(),
             io_buf: Vec::new(),
+            spare_block: Vec::new(),
+            group_config: config,
+            groups: HashMap::new(),
+            open_group: None,
+            next_group_id: 0,
+            decode_cache: GroupDecodeCache::default(),
         }
     }
 
     /// Create a store from a serializable code description.
     pub fn from_spec(spec: CodeSpec) -> Result<Self, StorageError> {
         Ok(Self::new(build_code(spec)?))
+    }
+
+    /// Create a grouped store from a serializable code description.
+    pub fn from_spec_grouped(spec: CodeSpec, config: GroupConfig) -> Result<Self, StorageError> {
+        Ok(Self::with_groups(build_code(spec)?, config))
+    }
+
+    /// The grouping configuration in effect.
+    pub fn group_config(&self) -> GroupConfig {
+        self.group_config
     }
 
     /// The erasure code in use.
@@ -197,13 +256,42 @@ impl DistributedStore {
             .ok_or(StorageError::UnknownNode(node))?;
         slot.up = true;
         slot.symbols.clear();
+        slot.group_symbols.clear();
         slot.bytes_served = 0;
         Ok(())
     }
 
-    /// Store a block under `object`, padding it to the code's input unit.
-    /// The original length is recovered on retrieve.
+    /// Store a block under `object`. Objects strictly smaller than the
+    /// grouping threshold are appended to the open coding group (encoded
+    /// when the group seals — see [`DistributedStore::flush`]); everything
+    /// else is encoded individually, padded to the code's input unit. The
+    /// original length is recovered on retrieve either way. Storing an
+    /// existing key overwrites it (tombstoning the old copy if grouped).
     pub fn store(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
+        let grouped = self.group_config.threshold > 0 && data.len() < self.group_config.threshold;
+        // Overwrite handling. A whole -> whole overwrite just replaces the
+        // per-node symbols below; the other shapes retire the old copy
+        // first (the `objects` entry itself is replaced by the new store).
+        match self.objects.get(object) {
+            Some(&Placement::Grouped { group, span }) => {
+                self.tombstone_member(group, span);
+            }
+            Some(Placement::Whole { .. }) if grouped => {
+                for node in &mut self.nodes {
+                    node.symbols.remove(object);
+                }
+            }
+            _ => {}
+        }
+        if grouped {
+            self.store_grouped(object, data)
+        } else {
+            self.store_whole(object, data)
+        }
+    }
+
+    /// The individual-object path: frame, encode, one symbol per node.
+    fn store_whole(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
         // Frame: original length (8 bytes LE) + data, padded to the unit.
         // Both the framed input and the encoded shares go through reusable
         // buffers — a steady-state store loop allocates only the per-node
@@ -222,7 +310,96 @@ impl DistributedStore {
             node.symbols
                 .insert(object.to_string(), self.encode_shares.share(i).to_vec());
         }
-        self.objects.insert(object.to_string(), data.len());
+        self.objects
+            .insert(object.to_string(), Placement::Whole { len: data.len() });
+        Ok(())
+    }
+
+    /// The batched path: append to the open group; seal it when full.
+    fn store_grouped(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
+        let gid = match self.open_group {
+            Some(gid) => gid,
+            None => {
+                let gid = self.next_group_id;
+                self.next_group_id += 1;
+                let buffer = std::mem::take(&mut self.spare_block);
+                self.groups
+                    .insert(gid, CodingGroup::open_with_buffer(buffer));
+                self.open_group = Some(gid);
+                gid
+            }
+        };
+        let group = self.groups.get_mut(&gid).expect("open group exists");
+        let span = group.append(data);
+        let full = group.packed_len >= self.group_config.capacity;
+        let placement = Placement::Grouped { group: gid, span };
+        // Overwrites reuse the existing key, so the steady-state churn loop
+        // allocates no strings.
+        match self.objects.get_mut(object) {
+            Some(slot) => *slot = placement,
+            None => {
+                self.objects.insert(object.to_string(), placement);
+            }
+        }
+        if full {
+            self.seal_group(gid)?;
+        }
+        Ok(())
+    }
+
+    /// Seal the open coding group, if any: encode its packed block with a
+    /// **single** `encode_into` and install one symbol per node. Until a
+    /// group is sealed its objects live only in the coordinator's write
+    /// buffer and are *not* erasure-coded — a caller that needs the
+    /// batched objects durable now (e.g. at the end of a checkpoint round)
+    /// calls this explicitly.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        match self.open_group {
+            Some(gid) => self.seal_group(gid),
+            None => Ok(()),
+        }
+    }
+
+    /// Encode and distribute group `gid`, dropping its packed buffer.
+    fn seal_group(&mut self, gid: GroupId) -> Result<(), StorageError> {
+        let group = self.groups.get_mut(&gid).expect("sealing a known group");
+        debug_assert!(!group.sealed);
+        if group.live_objects == 0 {
+            // Every member was overwritten or deleted while the group was
+            // still open; there is nothing worth encoding.
+            self.groups.remove(&gid);
+            self.open_group = None;
+            return Ok(());
+        }
+        // Pad the packed block to the code's input unit (at least one unit:
+        // a group of empty objects still needs a decodable block) and
+        // encode it in place — no copy into a staging buffer.
+        let unit = self.code.data_len_unit();
+        let packed_len = group.packed_len;
+        let padded = packed_len.div_ceil(unit).max(1) * unit;
+        let mut block = std::mem::take(&mut group.data);
+        block.resize(padded, 0);
+        if let Err(e) = self.code.encode_into(&block, &mut self.encode_shares) {
+            // Put the buffered objects back: the group stays open and every
+            // recorded span remains valid, so nothing is lost on a failed
+            // seal.
+            block.truncate(packed_len);
+            self.groups
+                .get_mut(&gid)
+                .expect("sealing a known group")
+                .data = block;
+            return Err(e.into());
+        }
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            node.group_symbols
+                .insert(gid, self.encode_shares.share(i).to_vec());
+        }
+        let group = self.groups.get_mut(&gid).expect("sealing a known group");
+        group.sealed = true;
+        // Recycle the block buffer for the next open group.
+        block.clear();
+        self.spare_block = block;
+        self.open_group = None;
         Ok(())
     }
 
@@ -236,13 +413,31 @@ impl DistributedStore {
         object: &str,
         allowed: Option<&[NodeId]>,
     ) -> Vec<usize> {
+        self.pick_holders(policy, allowed, |n| n.symbols.contains_key(object))
+    }
+
+    /// Like [`DistributedStore::pick_sources`], for a group symbol.
+    fn pick_group_sources(
+        &self,
+        policy: SelectionPolicy,
+        group: GroupId,
+        allowed: Option<&[NodeId]>,
+    ) -> Vec<usize> {
+        self.pick_holders(policy, allowed, |n| n.group_symbols.contains_key(&group))
+    }
+
+    fn pick_holders(
+        &self,
+        policy: SelectionPolicy,
+        allowed: Option<&[NodeId]>,
+        holds: impl Fn(&StorageNode) -> bool,
+    ) -> Vec<usize> {
         let mut candidates: Vec<usize> = self
             .nodes
             .iter()
             .enumerate()
             .filter(|(i, n)| {
-                n.up && n.symbols.contains_key(object)
-                    && allowed.map(|a| a.contains(&NodeId(*i))).unwrap_or(true)
+                n.up && holds(n) && allowed.map(|a| a.contains(&NodeId(*i))).unwrap_or(true)
             })
             .map(|(i, _)| i)
             .collect();
@@ -277,13 +472,18 @@ impl DistributedStore {
         policy: SelectionPolicy,
         allowed: Option<&[NodeId]>,
     ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
-        let original_len =
-            *self
-                .objects
-                .get(object)
-                .ok_or_else(|| StorageError::UnknownObject {
-                    object: object.to_string(),
-                })?;
+        let placement = *self
+            .objects
+            .get(object)
+            .ok_or_else(|| StorageError::UnknownObject {
+                object: object.to_string(),
+            })?;
+        let original_len = match placement {
+            Placement::Whole { len } => len,
+            Placement::Grouped { group, span } => {
+                return self.retrieve_grouped(group, span, policy, allowed)
+            }
+        };
         let candidates = self.pick_sources(policy, object, allowed);
         let degraded = candidates.len() < self.code.n();
         let mut sources = candidates;
@@ -322,16 +522,240 @@ impl DistributedStore {
         ))
     }
 
+    /// Retrieve an object that lives in a coding group.
+    ///
+    /// * **Open group** — the bytes are still in the coordinator's write
+    ///   buffer: served directly, no node reads ([`RetrieveReport::sources`]
+    ///   is empty, the read is never degraded). They are not yet
+    ///   erasure-coded; see [`DistributedStore::flush`].
+    /// * **Sealed group** — the group block is decoded **once** from any
+    ///   `k` group symbols and cached, so retrieves of co-located objects
+    ///   cost one decode; cache hits also report no sources. The cache
+    ///   short-circuits the decode *work*, never the availability check:
+    ///   a group the cluster could not currently serve (fewer than `k`
+    ///   reachable symbols) fails the retrieve even when its block is
+    ///   still cached, so callers observe real durability, not coordinator
+    ///   memory.
+    fn retrieve_grouped(
+        &mut self,
+        gid: GroupId,
+        span: ObjSpan,
+        policy: SelectionPolicy,
+        allowed: Option<&[NodeId]>,
+    ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
+        let group = self.groups.get(&gid).expect("placement names a group");
+        if !group.sealed {
+            let data = group.data[span.offset..span.offset + span.len].to_vec();
+            return Ok((
+                data,
+                RetrieveReport {
+                    sources: Vec::new(),
+                    bytes_per_source: 0,
+                    degraded: false,
+                },
+            ));
+        }
+        let (sources, bytes_per_source, degraded) = self.decode_group(gid, policy, allowed)?;
+        let block = self
+            .decode_cache
+            .get(gid)
+            .expect("decode_group just populated the cache");
+        let data = block[span.offset..span.offset + span.len].to_vec();
+        Ok((
+            data,
+            RetrieveReport {
+                sources: sources.into_iter().map(NodeId).collect(),
+                bytes_per_source,
+                degraded,
+            },
+        ))
+    }
+
+    /// Ensure the decoded block of sealed group `gid` is in the cache.
+    /// Returns the nodes read, the bytes read per node — both zero on a
+    /// cache hit, where no node is touched at all — and the degraded flag
+    /// (fewer than `n` symbols of this group available to this call). One
+    /// candidate scan serves the availability check, the degraded flag,
+    /// and source selection; the check applies on cache hits too, so the
+    /// cache never masks a group the cluster cannot currently serve.
+    fn decode_group(
+        &mut self,
+        gid: GroupId,
+        policy: SelectionPolicy,
+        allowed: Option<&[NodeId]>,
+    ) -> Result<(Vec<usize>, usize, bool), StorageError> {
+        let mut sources = self.pick_group_sources(policy, gid, allowed);
+        if sources.len() < self.code.k() {
+            return Err(StorageError::NotEnoughNodes {
+                available: sources.len(),
+                needed: self.code.k(),
+            });
+        }
+        let degraded = sources.len() < self.code.n();
+        if self.decode_cache.touch(gid) {
+            return Ok((Vec::new(), 0, degraded));
+        }
+        sources.truncate(self.code.k());
+        let mut bytes_per_source = 0;
+        for &i in &sources {
+            let len = self.nodes[i].group_symbols[&gid].len();
+            bytes_per_source = len;
+            self.nodes[i].bytes_served += len as u64;
+        }
+        let mut view = ShareView::missing(self.code.n());
+        for &i in &sources {
+            view.set(i, &self.nodes[i].group_symbols[&gid]);
+        }
+        self.code.decode_into(&view, &mut self.io_buf)?;
+        drop(view);
+        self.decode_cache.insert(gid, self.io_buf.clone());
+        Ok((sources, bytes_per_source, degraded))
+    }
+
+    /// Delete an object. Individually stored objects drop their symbols
+    /// from every node; grouped objects tombstone their sub-range (the
+    /// encoded block is untouched). A sealed group whose last live member
+    /// is deleted is dropped outright; partially dead groups are reclaimed
+    /// by [`DistributedStore::compact`].
+    pub fn delete(&mut self, object: &str) -> Result<(), StorageError> {
+        let placement = self
+            .objects
+            .remove(object)
+            .ok_or_else(|| StorageError::UnknownObject {
+                object: object.to_string(),
+            })?;
+        match placement {
+            Placement::Whole { .. } => {
+                for node in &mut self.nodes {
+                    node.symbols.remove(object);
+                }
+            }
+            Placement::Grouped { group, span } => self.tombstone_member(group, span),
+        }
+        Ok(())
+    }
+
+    /// Tombstone one member of a group, dropping the group if it died: a
+    /// fully dead sealed group frees its symbols immediately, a fully dead
+    /// open group restarts its block so dead bytes are never encoded.
+    fn tombstone_member(&mut self, gid: GroupId, span: ObjSpan) {
+        let group = self.groups.get_mut(&gid).expect("placement names a group");
+        group.tombstone(span);
+        if group.live_objects == 0 {
+            if group.sealed {
+                self.drop_group(gid);
+            } else {
+                group.reset_open();
+            }
+        }
+    }
+
+    /// Remove a sealed group entirely: symbols, cache entry, bookkeeping.
+    fn drop_group(&mut self, gid: GroupId) {
+        for node in &mut self.nodes {
+            node.group_symbols.remove(&gid);
+        }
+        self.decode_cache.remove(gid);
+        self.groups.remove(&gid);
+    }
+
+    /// Compaction pass: rewrite every sealed group whose live fraction has
+    /// dropped below the configured watermark, repacking its live objects
+    /// into the current open group and dropping the old group's symbols
+    /// from every node. Needs `k` reachable symbols per rewritten group
+    /// (it decodes the survivors' bytes).
+    pub fn compact(&mut self) -> Result<CompactReport, StorageError> {
+        let watermark = self.group_config.compact_watermark;
+        let candidates: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.wants_compaction(watermark))
+            .map(|(&gid, _)| gid)
+            .collect();
+        if candidates.is_empty() {
+            return Ok(CompactReport::default());
+        }
+        // Recover the member lists with one scan of the object table — the
+        // hot paths keep no per-member map, and compaction is the rare,
+        // explicitly requested pass that can afford the scan.
+        let mut movers: HashMap<GroupId, Vec<(String, ObjSpan)>> =
+            candidates.iter().map(|&gid| (gid, Vec::new())).collect();
+        for (name, placement) in &self.objects {
+            if let Placement::Grouped { group, span } = placement {
+                if let Some(members) = movers.get_mut(group) {
+                    members.push((name.clone(), *span));
+                }
+            }
+        }
+        let mut report = CompactReport::default();
+        for gid in candidates {
+            self.decode_group(gid, SelectionPolicy::LeastLoaded, None)?;
+            let block = self
+                .decode_cache
+                .get(gid)
+                .expect("decode_group populated the cache");
+            let members = movers.remove(&gid).unwrap_or_default();
+            let moved: Vec<(String, Vec<u8>)> = members
+                .into_iter()
+                .map(|(name, span)| (name, block[span.offset..span.offset + span.len].to_vec()))
+                .collect();
+            let group = self.groups.get(&gid).expect("candidate exists");
+            report.bytes_reclaimed += group.packed_len - group.live_bytes;
+            self.drop_group(gid);
+            for (name, bytes) in moved {
+                self.objects.remove(&name);
+                // Route through the normal placement logic so a threshold
+                // change between store and compaction is honoured.
+                if self.group_config.threshold > 0 && bytes.len() < self.group_config.threshold {
+                    self.store_grouped(&name, &bytes)?;
+                } else {
+                    self.store_whole(&name, &bytes)?;
+                }
+                report.objects_moved += 1;
+            }
+            report.groups_compacted += 1;
+        }
+        Ok(report)
+    }
+
+    /// Counters describing the grouping state (see [`GroupStats`]).
+    pub fn group_stats(&self) -> GroupStats {
+        let mut stats = GroupStats {
+            groups: self.groups.len(),
+            decode_cache_hits: self.decode_cache.hits,
+            decode_cache_misses: self.decode_cache.misses,
+            ..GroupStats::default()
+        };
+        for (gid, group) in &self.groups {
+            if group.sealed {
+                stats.sealed_groups += 1;
+            } else if Some(*gid) == self.open_group {
+                stats.open_bytes += group.packed_len;
+            }
+            stats.grouped_objects += group.live_objects;
+            stats.live_bytes += group.live_bytes;
+            stats.packed_bytes += group.packed_len;
+        }
+        stats
+    }
+
     /// Re-derive and re-install every symbol a (replaced or recovered) node
     /// is supposed to hold, reconstructing **only that node's share** from
-    /// the survivors with [`ErasureCode::repair`] — no full decode, no full
-    /// re-encode, no share cloning. Returns the number of symbols repaired.
+    /// the survivors with [`ErasureCode::repair`]. Whole objects need one
+    /// repair each; a coding group needs one repair for **all** of its
+    /// objects — the group symbol is the unit of placement. Returns the
+    /// number of symbols repaired (whole objects + groups).
     pub fn repair_node(&mut self, node: NodeId) -> Result<usize, StorageError> {
         if node.0 >= self.nodes.len() {
             return Err(StorageError::UnknownNode(node));
         }
-        let objects: Vec<String> = self.objects.keys().cloned().collect();
-        let mut repaired = 0;
+        let mut repaired = self.repair_node_groups(node)?;
+        let objects: Vec<String> = self
+            .objects
+            .iter()
+            .filter(|(_, p)| matches!(p, Placement::Whole { .. }))
+            .map(|(name, _)| name.clone())
+            .collect();
         for object in objects {
             if self.nodes[node.0].symbols.contains_key(&object) {
                 continue;
@@ -359,6 +783,44 @@ impl DistributedStore {
             self.code.repair(&view, node.0, &mut symbol)?;
             drop(view);
             self.nodes[node.0].symbols.insert(object.clone(), symbol);
+            repaired += 1;
+        }
+        Ok(repaired)
+    }
+
+    /// Repair the group symbols a node is missing: **one** repair per
+    /// sealed group, regardless of how many objects are packed into it.
+    fn repair_node_groups(&mut self, node: NodeId) -> Result<usize, StorageError> {
+        let missing: Vec<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(gid, g)| g.sealed && !self.nodes[node.0].group_symbols.contains_key(gid))
+            .map(|(&gid, _)| gid)
+            .collect();
+        let mut repaired = 0;
+        for gid in missing {
+            let mut view = ShareView::missing(self.code.n());
+            let mut available = 0;
+            let mut share_len = 0;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if i != node.0 && n.up {
+                    if let Some(s) = n.group_symbols.get(&gid) {
+                        view.set(i, s);
+                        available += 1;
+                        share_len = s.len();
+                    }
+                }
+            }
+            if available < self.code.k() {
+                return Err(StorageError::NotEnoughNodes {
+                    available,
+                    needed: self.code.k(),
+                });
+            }
+            let mut symbol = vec![0u8; share_len];
+            self.code.repair(&view, node.0, &mut symbol)?;
+            drop(view);
+            self.nodes[node.0].group_symbols.insert(gid, symbol);
             repaired += 1;
         }
         Ok(repaired)
@@ -440,6 +902,20 @@ mod tests {
             4
         ))
         .is_err());
+        // The grouped constructor surfaces the same spec errors.
+        assert!(matches!(
+            DistributedStore::from_spec_grouped(
+                CodeSpec::new(rain_codes::CodeKind::XCode, 6, 4),
+                GroupConfig::small_objects()
+            ),
+            Err(StorageError::Code(_))
+        ));
+        let grouped = DistributedStore::from_spec_grouped(
+            CodeSpec::bcode_6_4(),
+            GroupConfig::small_objects(),
+        )
+        .unwrap();
+        assert_eq!(grouped.group_config(), GroupConfig::small_objects());
     }
 
     #[test]
@@ -551,6 +1027,421 @@ mod tests {
         s.fail_node(NodeId(5)).unwrap();
         let (out, _) = s.retrieve("a", SelectionPolicy::FirstK).unwrap();
         assert_eq!(out, data);
+    }
+
+    use rain_codes::ReedSolomon;
+
+    use crate::group::GroupConfig;
+
+    /// A grouped store over the paper's (6, 4) B-Code: objects under 64
+    /// bytes are batched, groups seal at 256 bytes.
+    fn grouped_store() -> DistributedStore {
+        DistributedStore::with_groups(
+            Arc::new(BCode::table_1a()),
+            GroupConfig {
+                threshold: 64,
+                capacity: 256,
+                compact_watermark: 0.5,
+            },
+        )
+    }
+
+    #[test]
+    fn grouped_store_round_trips_before_and_after_flush() {
+        let mut s = grouped_store();
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; 40 + i as usize]).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            s.store(&format!("obj-{i}"), p).unwrap();
+        }
+        // Open-group reads come straight from the write buffer.
+        let (out, report) = s.retrieve("obj-2", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, payloads[2]);
+        assert!(report.sources.is_empty(), "no node reads before sealing");
+        assert!(!report.degraded);
+
+        s.flush().unwrap();
+        let stats = s.group_stats();
+        assert_eq!(stats.sealed_groups, stats.groups);
+        assert_eq!(stats.grouped_objects, 5);
+        assert_eq!(stats.open_bytes, 0);
+
+        for (i, p) in payloads.iter().enumerate() {
+            let (out, _) = s
+                .retrieve(&format!("obj-{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            assert_eq!(&out, p);
+        }
+    }
+
+    #[test]
+    fn co_located_retrieves_cost_one_decode() {
+        let mut s = grouped_store();
+        for i in 0..4 {
+            s.store(&format!("o{i}"), &[i as u8; 50]).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..4 {
+            let (_, report) = s
+                .retrieve(&format!("o{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            if i == 0 {
+                assert_eq!(report.sources.len(), 4, "first read decodes from k nodes");
+            } else {
+                assert!(report.sources.is_empty(), "cache hit reads no node");
+            }
+        }
+        let stats = s.group_stats();
+        assert_eq!(stats.decode_cache_misses, 1);
+        assert_eq!(stats.decode_cache_hits, 3);
+    }
+
+    #[test]
+    fn object_exactly_at_the_threshold_is_stored_individually() {
+        let mut s = grouped_store();
+        s.store("at-threshold", &[7u8; 64]).unwrap(); // len == threshold
+        s.store("below", &[8u8; 63]).unwrap(); // len == threshold - 1
+        let stats = s.group_stats();
+        assert_eq!(stats.grouped_objects, 1, "only the strictly smaller one");
+        assert_eq!(s.num_objects(), 2);
+        // The at-threshold object is durable without a flush (whole path)…
+        s.fail_node(NodeId(0)).unwrap();
+        s.fail_node(NodeId(1)).unwrap();
+        let (out, _) = s.retrieve("at-threshold", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, vec![7u8; 64]);
+        // …and both survive once the group is sealed too.
+        s.recover_node(NodeId(0)).unwrap();
+        s.recover_node(NodeId(1)).unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            s.retrieve("below", SelectionPolicy::FirstK).unwrap().0,
+            vec![8u8; 63]
+        );
+    }
+
+    #[test]
+    fn groups_seal_automatically_at_capacity() {
+        let mut s = grouped_store();
+        // 6 x 50 = 300 bytes > 256-byte capacity: the 6th store seals the
+        // group (50-byte objects, so the threshold routes all of them).
+        for i in 0..6 {
+            s.store(&format!("o{i}"), &[i as u8; 50]).unwrap();
+        }
+        let stats = s.group_stats();
+        assert_eq!(stats.sealed_groups, 1);
+        assert_eq!(stats.open_bytes, 0, "nothing left buffered");
+        // Sealed without any flush call: survives node loss immediately.
+        s.fail_node(NodeId(2)).unwrap();
+        s.fail_node(NodeId(5)).unwrap();
+        for i in 0..6 {
+            let (out, report) = s
+                .retrieve(&format!("o{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            assert_eq!(out, vec![i as u8; 50]);
+            if i == 0 {
+                assert!(report.degraded, "only 4 of 6 group symbols reachable");
+            }
+        }
+    }
+
+    #[test]
+    fn group_retrieve_with_failed_nodes_and_beyond_tolerance() {
+        let mut s = grouped_store();
+        for i in 0..3 {
+            s.store(&format!("o{i}"), &[9u8; 30]).unwrap();
+        }
+        s.flush().unwrap();
+        // Prime the decode cache while everything is healthy: the cache
+        // must not mask unavailability below.
+        s.retrieve("o0", SelectionPolicy::FirstK).unwrap();
+        // Three failures exceed the (6,4) tolerance; the group cannot be
+        // served even though its decoded block is still cached.
+        for n in 0..3 {
+            s.fail_node(NodeId(n)).unwrap();
+        }
+        assert!(matches!(
+            s.retrieve("o1", SelectionPolicy::FirstK),
+            Err(StorageError::NotEnoughNodes {
+                available: 3,
+                needed: 4
+            })
+        ));
+        // Recovering one node brings the group back, degraded.
+        s.recover_node(NodeId(0)).unwrap();
+        let (out, report) = s.retrieve("o1", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, vec![9u8; 30]);
+        assert!(report.degraded);
+    }
+
+    #[test]
+    fn delete_then_compact_round_trips_the_survivors() {
+        let mut s = grouped_store();
+        for i in 0..5 {
+            s.store(&format!("o{i}"), &[i as u8; 40]).unwrap();
+        }
+        s.flush().unwrap();
+        // Tombstone 3 of 5: live fraction 80/200 < 0.5 watermark.
+        for i in 0..3 {
+            s.delete(&format!("o{i}")).unwrap();
+        }
+        assert!(matches!(
+            s.retrieve("o0", SelectionPolicy::FirstK),
+            Err(StorageError::UnknownObject { .. })
+        ));
+        let report = s.compact().unwrap();
+        assert_eq!(report.groups_compacted, 1);
+        assert_eq!(report.objects_moved, 2);
+        assert_eq!(report.bytes_reclaimed, 3 * 40);
+        // The old group's symbols are gone from every node; the survivors
+        // moved into a fresh open group and still read back correctly.
+        let stats = s.group_stats();
+        assert_eq!(stats.sealed_groups, 0);
+        assert_eq!(stats.grouped_objects, 2);
+        for i in 3..5 {
+            let (out, _) = s
+                .retrieve(&format!("o{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            assert_eq!(out, vec![i as u8; 40]);
+        }
+        // Seal the compacted group and check durability end to end.
+        s.flush().unwrap();
+        s.fail_node(NodeId(1)).unwrap();
+        s.fail_node(NodeId(3)).unwrap();
+        assert_eq!(
+            s.retrieve("o4", SelectionPolicy::FirstK).unwrap().0,
+            vec![4u8; 40]
+        );
+    }
+
+    #[test]
+    fn deleting_the_last_member_drops_a_sealed_group() {
+        let mut s = grouped_store();
+        s.store("only", &[1u8; 20]).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.group_stats().sealed_groups, 1);
+        s.delete("only").unwrap();
+        let stats = s.group_stats();
+        assert_eq!(stats.groups, 0, "fully dead group is dropped outright");
+        assert!(matches!(
+            s.delete("only"),
+            Err(StorageError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn emptied_open_group_restarts_its_block() {
+        let mut s = grouped_store();
+        s.store("a", &[1u8; 30]).unwrap();
+        s.store("b", &[2u8; 30]).unwrap();
+        s.delete("a").unwrap();
+        s.delete("b").unwrap();
+        assert_eq!(s.group_stats().packed_bytes, 0, "dead bytes discarded");
+        // The group keeps working for new appends.
+        s.store("c", &[3u8; 30]).unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            s.retrieve("c", SelectionPolicy::FirstK).unwrap().0,
+            vec![3u8; 30]
+        );
+    }
+
+    #[test]
+    fn overwriting_a_grouped_object_tombstones_the_old_copy() {
+        let mut s = grouped_store();
+        s.store("x", &[1u8; 40]).unwrap();
+        s.store("keep", &[5u8; 40]).unwrap();
+        s.flush().unwrap();
+        s.store("x", &[2u8; 48]).unwrap();
+        s.flush().unwrap();
+        assert_eq!(
+            s.retrieve("x", SelectionPolicy::FirstK).unwrap().0,
+            vec![2u8; 48]
+        );
+        assert_eq!(
+            s.retrieve("keep", SelectionPolicy::FirstK).unwrap().0,
+            vec![5u8; 40]
+        );
+        let stats = s.group_stats();
+        assert_eq!(stats.grouped_objects, 2);
+        assert!(stats.live_bytes < stats.packed_bytes, "old copy tombstoned");
+    }
+
+    #[test]
+    fn empty_objects_round_trip_through_groups() {
+        let mut s = grouped_store();
+        s.store("empty", &[]).unwrap();
+        s.flush().unwrap();
+        let (out, _) = s.retrieve("empty", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn repair_is_per_group_not_per_object() {
+        let mut s = grouped_store();
+        // 4 grouped objects in one group + 2 whole objects.
+        for i in 0..4 {
+            s.store(&format!("small-{i}"), &[i as u8; 40]).unwrap();
+        }
+        s.flush().unwrap();
+        s.store("big-a", &[7u8; 100]).unwrap();
+        s.store("big-b", &[8u8; 100]).unwrap();
+        s.replace_node(NodeId(3)).unwrap();
+        let repaired = s.repair_node(NodeId(3)).unwrap();
+        assert_eq!(repaired, 3, "one group symbol + two whole symbols");
+        // The repaired node serves group reads again: kill two others.
+        s.fail_node(NodeId(0)).unwrap();
+        s.fail_node(NodeId(1)).unwrap();
+        for i in 0..4 {
+            assert_eq!(
+                s.retrieve(&format!("small-{i}"), SelectionPolicy::FirstK)
+                    .unwrap()
+                    .0,
+                vec![i as u8; 40]
+            );
+        }
+    }
+
+    /// Wraps a real code but fails encodes on demand, to exercise the
+    /// seal-failure path (only reachable with a faulty code, since the
+    /// store always hands `encode_into` a valid block).
+    struct FlakyCode {
+        inner: BCode,
+        fail_encode: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyCode {
+        fn set_failing(&self, failing: bool) {
+            self.fail_encode
+                .store(failing, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    impl ErasureCode for FlakyCode {
+        fn kind(&self) -> rain_codes::CodeKind {
+            self.inner.kind()
+        }
+        fn n(&self) -> usize {
+            self.inner.n()
+        }
+        fn k(&self) -> usize {
+            self.inner.k()
+        }
+        fn data_len_unit(&self) -> usize {
+            self.inner.data_len_unit()
+        }
+        fn cost(&self, data_len: usize) -> rain_codes::CodeCost {
+            self.inner.cost(data_len)
+        }
+        fn encode_slices(&self, data: &[u8], shares: &mut [&mut [u8]]) -> Result<(), CodeError> {
+            if self.fail_encode.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(CodeError::DecodeFailure {
+                    reason: "injected encode failure".into(),
+                });
+            }
+            self.inner.encode_slices(data, shares)
+        }
+        fn decode_slices(&self, shares: &ShareView<'_>, out: &mut [u8]) -> Result<(), CodeError> {
+            self.inner.decode_slices(shares, out)
+        }
+        fn repair(
+            &self,
+            shares: &ShareView<'_>,
+            missing: usize,
+            out: &mut [u8],
+        ) -> Result<(), CodeError> {
+            self.inner.repair(shares, missing, out)
+        }
+    }
+
+    #[test]
+    fn failed_seal_keeps_the_open_group_intact() {
+        let code = Arc::new(FlakyCode {
+            inner: BCode::table_1a(),
+            fail_encode: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mut s = DistributedStore::with_groups(
+            code.clone(),
+            GroupConfig {
+                threshold: 64,
+                capacity: 256,
+                compact_watermark: 0.5,
+            },
+        );
+        s.store("a", &[1u8; 40]).unwrap();
+        s.store("b", &[2u8; 40]).unwrap();
+        code.set_failing(true);
+        assert!(matches!(s.flush(), Err(StorageError::Code(_))));
+        // The buffered objects survive the failed seal: spans stay valid,
+        // the group stays open, nothing is erasure-coded yet.
+        let (out, report) = s.retrieve("b", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, vec![2u8; 40]);
+        assert!(report.sources.is_empty(), "still in the write buffer");
+        assert_eq!(s.group_stats().open_bytes, 80);
+        // Once the code recovers, the same group seals and decodes fine.
+        code.set_failing(false);
+        s.flush().unwrap();
+        assert_eq!(s.group_stats().open_bytes, 0);
+        assert_eq!(
+            s.retrieve("a", SelectionPolicy::FirstK).unwrap().0,
+            vec![1u8; 40]
+        );
+    }
+
+    #[test]
+    fn grouped_store_works_with_reed_solomon_too() {
+        let mut s = DistributedStore::with_groups(
+            Arc::new(ReedSolomon::new(9, 6).unwrap()),
+            GroupConfig::small_objects(),
+        );
+        for i in 0..20 {
+            s.store(&format!("o{i}"), &vec![i as u8; 1024]).unwrap();
+        }
+        s.flush().unwrap();
+        for n in 0..3 {
+            s.fail_node(NodeId(n)).unwrap();
+        }
+        for i in 0..20 {
+            assert_eq!(
+                s.retrieve(&format!("o{i}"), SelectionPolicy::LeastLoaded)
+                    .unwrap()
+                    .0,
+                vec![i as u8; 1024]
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Grouped and whole placements agree with the stored bytes for
+        /// arbitrary sizes straddling the threshold, arbitrary deletes, and
+        /// up to n - k failures.
+        #[test]
+        fn prop_grouped_store_round_trips(
+            sizes in proptest::collection::vec(0usize..96, 1..24),
+            delete_mask in proptest::collection::vec(any::<bool>(), 24..25),
+            kill in 0usize..6,
+        ) {
+            let mut s = grouped_store();
+            for (i, &len) in sizes.iter().enumerate() {
+                s.store(&format!("o{i}"), &vec![(i % 251) as u8; len]).unwrap();
+            }
+            let mut kept = Vec::new();
+            for (i, &len) in sizes.iter().enumerate() {
+                if delete_mask[i] {
+                    s.delete(&format!("o{i}")).unwrap();
+                } else {
+                    kept.push((i, len));
+                }
+            }
+            s.flush().unwrap();
+            s.compact().unwrap();
+            s.flush().unwrap();
+            s.fail_node(NodeId(kill)).unwrap();
+            for (i, len) in kept {
+                let (out, _) = s.retrieve(&format!("o{i}"), SelectionPolicy::FirstK).unwrap();
+                prop_assert_eq!(out, vec![(i % 251) as u8; len]);
+            }
+        }
     }
 
     proptest! {

@@ -3,6 +3,9 @@
 //! This crate exists to host the repository-level integration tests
 //! (`tests/`) and runnable examples (`examples/`). The actual library
 //! surface lives in the `rain-*` crates; see [`rain_core`] for the
-//! recommended entry point.
+//! recommended entry point, and `docs/ARCHITECTURE.md` for the map from
+//! the paper's sections to the workspace crates.
+
+#![warn(missing_docs)]
 
 pub use rain_core as core;
