@@ -585,6 +585,7 @@ fn grouped_bench_config() -> GroupConfig {
         threshold: 8 * 1024,
         capacity: 64 * 1024,
         compact_watermark: 0.5,
+        ..GroupConfig::disabled()
     }
 }
 

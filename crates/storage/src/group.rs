@@ -28,6 +28,24 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a coding group within one store.
 pub type GroupId = u64;
 
+/// What happens to acked-but-unsealed objects if the coordinator crashes.
+///
+/// Objects buffered in an **open** group live only in coordinator memory
+/// until the group seals; this knob decides whether that window is
+/// protected by a write-ahead log (see [`crate::wal`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Durability {
+    /// No log: a coordinator crash loses every acked object whose group has
+    /// not sealed. [`GroupStats::bytes_at_risk`] counts that exposure.
+    #[default]
+    Volatile,
+    /// Every group-affecting mutation is appended to a write-ahead log
+    /// before it is applied, and [`crate::DistributedStore::recover`]
+    /// replays the log after a restart — acked objects survive coordinator
+    /// crashes.
+    Logged,
+}
+
 /// Knobs for coding-group batching. Constructed via
 /// [`GroupConfig::small_objects`] (sensible defaults) or
 /// [`GroupConfig::disabled`] (the `Default`, and the behaviour of stores
@@ -45,6 +63,9 @@ pub struct GroupConfig {
     /// drops below this watermark is rewritten by the next
     /// [`crate::DistributedStore::compact`] pass.
     pub compact_watermark: f64,
+    /// Whether acked-but-unsealed objects are protected by a write-ahead
+    /// log (see [`Durability`]).
+    pub durability: Durability,
 }
 
 impl GroupConfig {
@@ -54,6 +75,7 @@ impl GroupConfig {
             threshold: 0,
             capacity: 64 * 1024,
             compact_watermark: 0.5,
+            durability: Durability::Volatile,
         }
     }
 
@@ -64,7 +86,15 @@ impl GroupConfig {
             threshold: 4 * 1024,
             capacity: 64 * 1024,
             compact_watermark: 0.5,
+            durability: Durability::Volatile,
         }
+    }
+
+    /// The same configuration with [`Durability::Logged`]: mutations are
+    /// written ahead to a log so a coordinator crash loses nothing acked.
+    pub fn logged(mut self) -> Self {
+        self.durability = Durability::Logged;
+        self
     }
 }
 
@@ -203,6 +233,27 @@ pub struct GroupStats {
     pub decode_cache_hits: u64,
     /// Group retrieves that had to run a full decode.
     pub decode_cache_misses: u64,
+    /// Live bytes of acked objects whose group has **not** sealed: their
+    /// records are in the write-ahead log (when [`Durability::Logged`]) but
+    /// they are not yet erasure-coded, so they depend on the log — or, under
+    /// [`Durability::Volatile`], on nothing at all — to survive a
+    /// coordinator crash.
+    pub bytes_at_risk: usize,
+    /// Records appended to the write-ahead log (0 without one).
+    pub wal_records: u64,
+    /// Frame bytes appended to the write-ahead log (0 without one).
+    pub wal_bytes: u64,
+}
+
+/// What a [`crate::DistributedStore::flush`] call made durable, so callers
+/// (checkpoint rounds, crash tests) can assert exactly what committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlushReport {
+    /// Groups sealed by this flush (0 when nothing was buffered, 1 when the
+    /// open group sealed).
+    pub groups_sealed: usize,
+    /// Live objects that became erasure-coded durable with the seal.
+    pub objects_committed: usize,
 }
 
 /// Result of a [`crate::DistributedStore::compact`] pass.
@@ -363,5 +414,12 @@ mod tests {
         let small = GroupConfig::small_objects();
         assert!(small.threshold > 0 && small.threshold <= small.capacity);
         assert!(small.compact_watermark > 0.0 && small.compact_watermark < 1.0);
+        // Durability defaults to Volatile; `.logged()` flips only the knob.
+        assert_eq!(small.durability, Durability::Volatile);
+        let logged = small.logged();
+        assert_eq!(logged.durability, Durability::Logged);
+        assert_eq!(logged.threshold, small.threshold);
+        assert_eq!(FlushReport::default().groups_sealed, 0);
+        assert_eq!(FlushReport::default().objects_committed, 0);
     }
 }

@@ -15,14 +15,22 @@
 //!   object;
 //! * [`fs`] — a flat-namespace, block-oriented file layer on top of it (the
 //!   paper's future-work distributed file system), including whole-namespace
-//!   re-encoding onto a different code.
+//!   re-encoding onto a different code;
+//! * [`wal`] — a write-ahead log protecting acked-but-unsealed grouped
+//!   objects from coordinator crashes: mutations are logged before they are
+//!   applied, and [`DistributedStore::recover`] replays the log after a
+//!   restart.
 
 #![warn(missing_docs)]
 
 pub mod fs;
 pub mod group;
 pub mod store;
+pub mod wal;
 
 pub use fs::{FileMeta, RainFs};
-pub use group::{CompactReport, GroupConfig, GroupStats, ObjSpan};
-pub use store::{DistributedStore, RetrieveReport, SelectionPolicy, StorageError};
+pub use group::{CompactReport, Durability, FlushReport, GroupConfig, GroupStats, ObjSpan};
+pub use store::{
+    DistributedStore, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError, SurvivingNodes,
+};
+pub use wal::{CrashFuse, LogBackend, MemLog, WalError, WalRecord, WriteAheadLog};

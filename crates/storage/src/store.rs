@@ -26,8 +26,10 @@ use rain_codes::{build_code, CodeError, CodeSpec, ErasureCode, ShareSet, ShareVi
 use rain_sim::NodeId;
 
 use crate::group::{
-    CodingGroup, CompactReport, GroupConfig, GroupDecodeCache, GroupId, GroupStats, ObjSpan,
+    CodingGroup, CompactReport, Durability, FlushReport, GroupConfig, GroupDecodeCache, GroupId,
+    GroupStats, ObjSpan,
 };
+use crate::wal::{RecordView, WalError, WalRecord, WriteAheadLog};
 
 /// Why a store or retrieve failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +50,13 @@ pub enum StorageError {
     Code(CodeError),
     /// The caller asked for a node outside the cluster.
     UnknownNode(NodeId),
+    /// The write-ahead log rejected an append or replay.
+    Wal(WalError),
+    /// Replaying the log could not rebuild a consistent store.
+    Recovery {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -59,6 +68,8 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownObject { object } => write!(f, "unknown object {object}"),
             StorageError::Code(e) => write!(f, "code error: {e}"),
             StorageError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            StorageError::Wal(e) => write!(f, "write-ahead log error: {e}"),
+            StorageError::Recovery { reason } => write!(f, "recovery failed: {reason}"),
         }
     }
 }
@@ -68,6 +79,12 @@ impl std::error::Error for StorageError {}
 impl From<CodeError> for StorageError {
     fn from(e: CodeError) -> Self {
         StorageError::Code(e)
+    }
+}
+
+impl From<WalError> for StorageError {
+    fn from(e: WalError) -> Self {
+        StorageError::Wal(e)
     }
 }
 
@@ -101,10 +118,14 @@ struct StorageNode {
 
 /// Where a stored object's bytes live. Carrying the span here keeps the
 /// grouped hot path to a single map lookup per object.
+///
+/// A whole placement carries no length: the frame written to the nodes is
+/// self-describing (its first 8 bytes are the original length), which is
+/// what lets log recovery rebuild whole entries without decoding anything.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Placement {
-    /// One erasure-coded object per key; `len` is the unframed length.
-    Whole { len: usize },
+    /// One erasure-coded object per key.
+    Whole,
     /// A sub-range of a coding group's packed block.
     Grouped { group: GroupId, span: ObjSpan },
 }
@@ -122,6 +143,57 @@ pub struct RetrieveReport {
     /// allowed set excluded it. Unrelated node failures do not mark a read
     /// of a fully available object as degraded.
     pub degraded: bool,
+}
+
+/// The node fabric left behind by a crashed coordinator: the per-node
+/// symbol stores survive (they are separate machines), only the
+/// coordinator's memory is gone. Produced by [`DistributedStore::crash`]
+/// and consumed by [`DistributedStore::recover`].
+#[derive(Debug)]
+pub struct SurvivingNodes {
+    nodes: Vec<StorageNode>,
+    /// The code whose symbols the nodes hold (in a real deployment this is
+    /// symbol metadata on the nodes); [`DistributedStore::recover`] checks
+    /// it so a recovery under the wrong code fails loudly instead of
+    /// mis-decoding.
+    spec: CodeSpec,
+}
+
+impl SurvivingNodes {
+    /// Number of surviving nodes (always `n`; up/down state rides along).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The spec of the code the surviving symbols were produced with.
+    pub fn code_spec(&self) -> CodeSpec {
+        self.spec
+    }
+
+    /// True when the fabric holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// What [`DistributedStore::recover`] rebuilt from the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Complete records replayed from the log.
+    pub records_replayed: usize,
+    /// True if the log ended in a partially written record (tolerated: the
+    /// replay stops at the last complete record).
+    pub torn_tail: bool,
+    /// Logged-but-never-applied whole-object stores discarded during replay
+    /// (the crash hit between the log append and the symbol installs; the
+    /// op was never acked, so dropping it is the correct outcome).
+    pub in_doubt_discarded: usize,
+    /// Objects in the rebuilt table (whole + grouped).
+    pub objects_recovered: usize,
+    /// Bytes rebuilt into open-group buffers straight from the log.
+    pub open_bytes_recovered: usize,
+    /// Compaction markers observed in the log.
+    pub compactions_noted: usize,
 }
 
 /// A distributed erasure-coded object store over `n` nodes.
@@ -145,6 +217,16 @@ pub struct DistributedStore {
     next_group_id: GroupId,
     /// Decoded group blocks, so co-located retrieves cost one decode.
     decode_cache: GroupDecodeCache,
+    /// The write-ahead log, when durability is [`Durability::Logged`].
+    /// Mutations are appended here **before** they are applied; `None`
+    /// while a recovery replays (replayed ops must not be re-logged).
+    wal: Option<WriteAheadLog>,
+    /// True while [`DistributedStore::recover`] replays the log. Replay
+    /// must not *remove* node symbols: a whole object's surviving symbols
+    /// are the only evidence a later `StoreWhole` record has that its op
+    /// was applied (the record carries no data), so destructive transitions
+    /// are deferred to the post-replay reconciliation sweep.
+    replaying: bool,
 }
 
 impl DistributedStore {
@@ -156,8 +238,36 @@ impl DistributedStore {
     }
 
     /// Create a store with coding-group batching: objects strictly smaller
-    /// than `config.threshold` bytes are packed into shared groups.
+    /// than `config.threshold` bytes are packed into shared groups. With
+    /// [`Durability::Logged`] the store writes ahead to an in-memory log
+    /// (supply your own backend with [`DistributedStore::with_wal`]).
     pub fn with_groups(code: Arc<dyn ErasureCode>, config: GroupConfig) -> Self {
+        let wal = match config.durability {
+            Durability::Logged => Some(WriteAheadLog::in_memory()),
+            Durability::Volatile => None,
+        };
+        let mut store = Self::bare(code, config);
+        store.wal = wal;
+        store
+    }
+
+    /// Create a store that writes ahead to `backend` before applying any
+    /// group-affecting mutation (durability is forced to
+    /// [`Durability::Logged`]). After a coordinator crash, hand the
+    /// surviving log to [`DistributedStore::recover`].
+    pub fn with_wal(
+        code: Arc<dyn ErasureCode>,
+        mut config: GroupConfig,
+        backend: Box<dyn crate::wal::LogBackend>,
+    ) -> Self {
+        config.durability = Durability::Logged;
+        let mut store = Self::bare(code, config);
+        store.wal = Some(WriteAheadLog::new(backend));
+        store
+    }
+
+    /// The common constructor core: no log attached.
+    fn bare(code: Arc<dyn ErasureCode>, config: GroupConfig) -> Self {
         let n = code.n();
         DistributedStore {
             code,
@@ -177,6 +287,8 @@ impl DistributedStore {
             open_group: None,
             next_group_id: 0,
             decode_cache: GroupDecodeCache::default(),
+            wal: None,
+            replaying: false,
         }
     }
 
@@ -261,37 +373,69 @@ impl DistributedStore {
         Ok(())
     }
 
+    /// Append a record to the write-ahead log, if one is attached. Called
+    /// **before** the mutation it describes is applied (log-then-apply);
+    /// replay runs with the log detached so redone ops are not re-logged.
+    fn log(&mut self, record: RecordView<'_>) -> Result<(), StorageError> {
+        match &mut self.wal {
+            Some(wal) => Ok(wal.append_view(record)?),
+            None => Ok(()),
+        }
+    }
+
+    /// The open group's id, opening a fresh group if none is accepting
+    /// appends. Creating the (empty) container is not itself logged:
+    /// replay re-opens groups on their first logged append, using the same
+    /// deterministic ids.
+    fn ensure_open_group(&mut self) -> GroupId {
+        match self.open_group {
+            Some(gid) => gid,
+            None => {
+                let gid = self.next_group_id;
+                self.next_group_id += 1;
+                let buffer = std::mem::take(&mut self.spare_block);
+                self.groups
+                    .insert(gid, CodingGroup::open_with_buffer(buffer));
+                self.open_group = Some(gid);
+                gid
+            }
+        }
+    }
+
     /// Store a block under `object`. Objects strictly smaller than the
     /// grouping threshold are appended to the open coding group (encoded
     /// when the group seals — see [`DistributedStore::flush`]); everything
     /// else is encoded individually, padded to the code's input unit. The
     /// original length is recovered on retrieve either way. Storing an
     /// existing key overwrites it (tombstoning the old copy if grouped).
+    ///
+    /// With [`Durability::Logged`] the mutation is appended to the
+    /// write-ahead log before any state changes, so an acked store survives
+    /// a coordinator crash (grouped objects ride in the log until their
+    /// group seals; whole objects are durable on the nodes the moment this
+    /// returns).
     pub fn store(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
         let grouped = self.group_config.threshold > 0 && data.len() < self.group_config.threshold;
-        // Overwrite handling. A whole -> whole overwrite just replaces the
-        // per-node symbols below; the other shapes retire the old copy
-        // first (the `objects` entry itself is replaced by the new store).
-        match self.objects.get(object) {
-            Some(&Placement::Grouped { group, span }) => {
-                self.tombstone_member(group, span);
-            }
-            Some(Placement::Whole { .. }) if grouped => {
-                for node in &mut self.nodes {
-                    node.symbols.remove(object);
-                }
-            }
-            _ => {}
-        }
+        // Records are borrowed views serialized straight into the log's
+        // frame buffer: the Volatile hot path allocates nothing for them,
+        // and a logged store copies the payload once (into the frame).
         if grouped {
-            self.store_grouped(object, data)
+            let gid = self.ensure_open_group();
+            self.log(RecordView::StoreGrouped {
+                object,
+                group: gid,
+                bytes: data,
+            })?;
+            self.apply_store_grouped(object, data, gid)
         } else {
-            self.store_whole(object, data)
+            self.log(RecordView::StoreWhole { object })?;
+            self.apply_store_whole(object, data)
         }
     }
 
-    /// The individual-object path: frame, encode, one symbol per node.
-    fn store_whole(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
+    /// The individual-object path: retire the old copy, then frame, encode,
+    /// one symbol per node.
+    fn apply_store_whole(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
         // Frame: original length (8 bytes LE) + data, padded to the unit.
         // Both the framed input and the encoded shares go through reusable
         // buffers — a steady-state store loop allocates only the per-node
@@ -304,31 +448,47 @@ impl DistributedStore {
         let pad = (unit - self.io_buf.len() % unit) % unit;
         self.io_buf.extend(std::iter::repeat_n(0u8, pad));
 
+        // The fallible encode runs before any state changes: a failed
+        // encode must not have tombstoned the grouped predecessor (the
+        // object table would point at a possibly-dropped group).
         self.code
             .encode_into(&self.io_buf, &mut self.encode_shares)?;
+        // A whole -> whole overwrite just replaces the per-node symbols
+        // below; a grouped predecessor is tombstoned instead.
+        if let Some(&Placement::Grouped { group, span }) = self.objects.get(object) {
+            self.tombstone_member(group, span);
+        }
         for (i, node) in self.nodes.iter_mut().enumerate() {
             node.symbols
                 .insert(object.to_string(), self.encode_shares.share(i).to_vec());
         }
-        self.objects
-            .insert(object.to_string(), Placement::Whole { len: data.len() });
+        self.objects.insert(object.to_string(), Placement::Whole);
         Ok(())
     }
 
-    /// The batched path: append to the open group; seal it when full.
-    fn store_grouped(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
-        let gid = match self.open_group {
-            Some(gid) => gid,
-            None => {
-                let gid = self.next_group_id;
-                self.next_group_id += 1;
-                let buffer = std::mem::take(&mut self.spare_block);
-                self.groups
-                    .insert(gid, CodingGroup::open_with_buffer(buffer));
-                self.open_group = Some(gid);
-                gid
+    /// The batched path: retire the old copy, append to open group `gid`,
+    /// seal it when full. `gid` comes from [`DistributedStore::ensure_open_group`]
+    /// (or, during replay, from the logged record).
+    fn apply_store_grouped(
+        &mut self,
+        object: &str,
+        data: &[u8],
+        gid: GroupId,
+    ) -> Result<(), StorageError> {
+        match self.objects.get(object) {
+            Some(&Placement::Grouped { group, span }) => {
+                self.tombstone_member(group, span);
             }
-        };
+            // During replay whole symbols stay put: a later `StoreWhole`
+            // record for this name may need them as its applied-ness
+            // evidence. Reconciliation sweeps whatever ends up orphaned.
+            Some(Placement::Whole) if !self.replaying => {
+                for node in &mut self.nodes {
+                    node.symbols.remove(object);
+                }
+            }
+            Some(Placement::Whole) | None => {}
+        }
         let group = self.groups.get_mut(&gid).expect("open group exists");
         let span = group.append(data);
         let full = group.packed_len >= self.group_config.capacity;
@@ -350,32 +510,43 @@ impl DistributedStore {
     /// Seal the open coding group, if any: encode its packed block with a
     /// **single** `encode_into` and install one symbol per node. Until a
     /// group is sealed its objects live only in the coordinator's write
-    /// buffer and are *not* erasure-coded — a caller that needs the
-    /// batched objects durable now (e.g. at the end of a checkpoint round)
-    /// calls this explicitly.
-    pub fn flush(&mut self) -> Result<(), StorageError> {
+    /// buffer (and the write-ahead log, when one is attached) and are *not*
+    /// erasure-coded — a caller that needs the batched objects durable now
+    /// (e.g. at the end of a checkpoint round) calls this explicitly.
+    ///
+    /// Returns what committed, so callers can assert exactly what became
+    /// durable.
+    pub fn flush(&mut self) -> Result<FlushReport, StorageError> {
         match self.open_group {
             Some(gid) => self.seal_group(gid),
-            None => Ok(()),
+            None => Ok(FlushReport::default()),
         }
     }
 
     /// Encode and distribute group `gid`, dropping its packed buffer.
-    fn seal_group(&mut self, gid: GroupId) -> Result<(), StorageError> {
+    ///
+    /// The `Seal` log record is appended **after** the symbols are
+    /// installed: losing the record to a crash merely makes recovery
+    /// re-seal the group from its replayed buffer (idempotent — the encode
+    /// is deterministic), whereas logging it early would claim a durability
+    /// hand-off that never happened.
+    fn seal_group(&mut self, gid: GroupId) -> Result<FlushReport, StorageError> {
         let group = self.groups.get_mut(&gid).expect("sealing a known group");
         debug_assert!(!group.sealed);
         if group.live_objects == 0 {
             // Every member was overwritten or deleted while the group was
-            // still open; there is nothing worth encoding.
+            // still open; there is nothing worth encoding (and nothing to
+            // log: replay re-derives the empty group from its tombstones).
             self.groups.remove(&gid);
             self.open_group = None;
-            return Ok(());
+            return Ok(FlushReport::default());
         }
         // Pad the packed block to the code's input unit (at least one unit:
         // a group of empty objects still needs a decodable block) and
         // encode it in place — no copy into a staging buffer.
         let unit = self.code.data_len_unit();
         let packed_len = group.packed_len;
+        let objects_committed = group.live_objects;
         let padded = packed_len.div_ceil(unit).max(1) * unit;
         let mut block = std::mem::take(&mut group.data);
         block.resize(padded, 0);
@@ -400,7 +571,11 @@ impl DistributedStore {
         block.clear();
         self.spare_block = block;
         self.open_group = None;
-        Ok(())
+        self.log(RecordView::Seal { group: gid })?;
+        Ok(FlushReport {
+            groups_sealed: 1,
+            objects_committed,
+        })
     }
 
     /// All nodes that could serve `object` right now (up, holding the
@@ -478,12 +653,12 @@ impl DistributedStore {
             .ok_or_else(|| StorageError::UnknownObject {
                 object: object.to_string(),
             })?;
-        let original_len = match placement {
-            Placement::Whole { len } => len,
+        match placement {
+            Placement::Whole => {}
             Placement::Grouped { group, span } => {
                 return self.retrieve_grouped(group, span, policy, allowed)
             }
-        };
+        }
         let candidates = self.pick_sources(policy, object, allowed);
         let degraded = candidates.len() < self.code.n();
         let mut sources = candidates;
@@ -508,9 +683,12 @@ impl DistributedStore {
         }
         self.code.decode_into(&view, &mut self.io_buf)?;
         drop(view);
+        // The frame is self-describing: its first 8 bytes carry the
+        // original length (which is also what lets crash recovery rebuild
+        // whole entries without decoding them).
         let framed = &self.io_buf;
         let stored_len = u64::from_le_bytes(framed[..8].try_into().expect("frame header")) as usize;
-        debug_assert_eq!(stored_len, original_len);
+        debug_assert!(framed.len() >= 8 + stored_len, "frame shorter than header");
         let data = framed[8..8 + stored_len].to_vec();
         Ok((
             data,
@@ -618,14 +796,18 @@ impl DistributedStore {
     /// is deleted is dropped outright; partially dead groups are reclaimed
     /// by [`DistributedStore::compact`].
     pub fn delete(&mut self, object: &str) -> Result<(), StorageError> {
-        let placement = self
-            .objects
-            .remove(object)
-            .ok_or_else(|| StorageError::UnknownObject {
+        // Existence is checked (read-only) before the record is logged, so
+        // failed deletes leave no trace; the mutation itself follows the
+        // append (log-then-apply).
+        if !self.objects.contains_key(object) {
+            return Err(StorageError::UnknownObject {
                 object: object.to_string(),
-            })?;
+            });
+        }
+        self.log(RecordView::Delete { object })?;
+        let placement = self.objects.remove(object).expect("checked above");
         match placement {
-            Placement::Whole { .. } => {
+            Placement::Whole => {
                 for node in &mut self.nodes {
                     node.symbols.remove(object);
                 }
@@ -701,18 +883,24 @@ impl DistributedStore {
                 .collect();
             let group = self.groups.get(&gid).expect("candidate exists");
             report.bytes_reclaimed += group.packed_len - group.live_bytes;
-            self.drop_group(gid);
+            // Rewrite marker first, then every move as an ordinary store:
+            // each one logs its own record (carrying the bytes, when
+            // grouped) *before* tombstoning the old span, so a crash at any
+            // point during the rewrite loses nothing — the unmoved members
+            // are still live in the old (sealed, symbol-backed) group. The
+            // last move tombstones the group empty, which drops it and its
+            // symbols everywhere.
+            self.log(RecordView::Compact { group: gid })?;
             for (name, bytes) in moved {
-                self.objects.remove(&name);
                 // Route through the normal placement logic so a threshold
                 // change between store and compaction is honoured.
-                if self.group_config.threshold > 0 && bytes.len() < self.group_config.threshold {
-                    self.store_grouped(&name, &bytes)?;
-                } else {
-                    self.store_whole(&name, &bytes)?;
-                }
+                self.store(&name, &bytes)?;
                 report.objects_moved += 1;
             }
+            debug_assert!(
+                !self.groups.contains_key(&gid),
+                "moving every live member drops the group"
+            );
             report.groups_compacted += 1;
         }
         Ok(report)
@@ -726,17 +914,279 @@ impl DistributedStore {
             decode_cache_misses: self.decode_cache.misses,
             ..GroupStats::default()
         };
+        if let Some(wal) = &self.wal {
+            stats.wal_records = wal.records_appended();
+            stats.wal_bytes = wal.bytes_appended();
+        }
         for (gid, group) in &self.groups {
             if group.sealed {
                 stats.sealed_groups += 1;
-            } else if Some(*gid) == self.open_group {
-                stats.open_bytes += group.packed_len;
+            } else {
+                // Acked but not yet erasure-coded: these bytes survive a
+                // coordinator crash only through the write-ahead log.
+                stats.bytes_at_risk += group.live_bytes;
+                if Some(*gid) == self.open_group {
+                    stats.open_bytes += group.packed_len;
+                }
             }
             stats.grouped_objects += group.live_objects;
             stats.live_bytes += group.live_bytes;
             stats.packed_bytes += group.packed_len;
         }
         stats
+    }
+
+    /// Names of every stored object, in no particular order.
+    pub fn object_names(&self) -> impl Iterator<Item = &str> {
+        self.objects.keys().map(String::as_str)
+    }
+
+    /// Whether a node is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.nodes.get(node.0).map(|n| n.up).unwrap_or(false)
+    }
+
+    /// Simulate a coordinator crash: every piece of coordinator memory —
+    /// the object table, group bookkeeping, open-group write buffers, the
+    /// decode cache — is lost. What survives is returned: the node fabric
+    /// (separate machines holding the installed symbols, with their up/down
+    /// state) and the write-ahead log (durable storage), ready for
+    /// [`DistributedStore::recover`].
+    pub fn crash(self) -> (SurvivingNodes, Option<WriteAheadLog>) {
+        let spec = self.code.spec();
+        (
+            SurvivingNodes {
+                nodes: self.nodes,
+                spec,
+            },
+            self.wal,
+        )
+    }
+
+    /// Rebuild a coordinator after a crash by replaying the write-ahead
+    /// log against the surviving node fabric.
+    ///
+    /// The replay is a *redo* pass: each logged mutation is re-applied
+    /// through the same transition functions the live path uses (with the
+    /// log detached, so nothing is double-logged). Grouped appends carry
+    /// their bytes in the record, so open-group buffers, object-table
+    /// spans, and tombstone state come back exactly; `Seal` records re-run
+    /// the (deterministic) encode, which also makes an interrupted seal
+    /// complete itself. A whole-object record whose symbols never reached
+    /// the nodes (the crash landed between the log append and the install)
+    /// is discarded — the op was never acked. A torn final record is
+    /// skipped cleanly (see [`crate::wal`]).
+    ///
+    /// `config` must be the configuration the log was written under: the
+    /// replay re-derives group ids and capacity seals from it, and a
+    /// mismatch that changes where a group seals is detected and reported
+    /// as [`StorageError::Recovery`] rather than corrupting the store.
+    ///
+    /// Recovery touches no node *availability*: it never decodes, so it
+    /// succeeds even while fewer than `k` symbols of a sealed group are
+    /// reachable — log durability is independent of node liveness.
+    pub fn recover(
+        code: Arc<dyn ErasureCode>,
+        config: GroupConfig,
+        nodes: SurvivingNodes,
+        mut wal: WriteAheadLog,
+    ) -> Result<(Self, RecoveryReport), StorageError> {
+        if nodes.nodes.len() != code.n() {
+            return Err(StorageError::Recovery {
+                reason: format!(
+                    "{} surviving nodes for an (n = {}) code",
+                    nodes.nodes.len(),
+                    code.n()
+                ),
+            });
+        }
+        // Same n is not same code: decoding BCode symbols with an RS
+        // decoder would hand back garbage frames, so the identity check is
+        // as load-bearing as the count check.
+        if nodes.spec != code.spec() {
+            return Err(StorageError::Recovery {
+                reason: format!(
+                    "surviving symbols were produced by {:?} but recovery \
+                     was given {:?}",
+                    nodes.spec,
+                    code.spec()
+                ),
+            });
+        }
+        let replay = wal.replay()?;
+        let mut store = Self::bare(code, config);
+        store.group_config.durability = Durability::Logged;
+        store.nodes = nodes.nodes;
+        let mut report = RecoveryReport {
+            records_replayed: replay.records.len(),
+            torn_tail: replay.torn_tail,
+            ..RecoveryReport::default()
+        };
+        store.replaying = true;
+        let last_index = replay.records.len().saturating_sub(1);
+        for (i, record) in replay.records.iter().enumerate() {
+            store.replay_record(record, i == last_index, &mut report)?;
+        }
+        store.replaying = false;
+        store.reconcile_after_replay();
+        report.objects_recovered = store.objects.len();
+        report.open_bytes_recovered = store
+            .groups
+            .values()
+            .filter(|g| !g.sealed)
+            .map(|g| g.live_bytes)
+            .sum();
+        // Cut the torn tail before the log accepts new appends: the
+        // orphan partial frame would otherwise sit in front of them and
+        // turn the *next* replay into a mid-log corruption error.
+        if replay.torn_tail {
+            wal.truncate_to(replay.bytes_replayed)?;
+        }
+        // Rehydrate the log counters from the scan, so they are honest
+        // even for a handle constructed over an existing log (and never
+        // count a torn tail).
+        wal.records_appended = replay.records.len() as u64;
+        wal.bytes_appended = replay.bytes_replayed as u64;
+        store.wal = Some(wal);
+        Ok((store, report))
+    }
+
+    /// Redo one logged mutation during recovery.
+    fn replay_record(
+        &mut self,
+        record: &WalRecord,
+        last: bool,
+        report: &mut RecoveryReport,
+    ) -> Result<(), StorageError> {
+        match record {
+            WalRecord::StoreGrouped {
+                object,
+                group,
+                bytes,
+            } => {
+                self.replay_open_group(*group);
+                if self.groups.get(group).is_some_and(|g| g.sealed) {
+                    // The live run only ever appends to open groups, so
+                    // this can only mean the replay sealed the group at a
+                    // different point than the live run did — i.e. the
+                    // store is being recovered under a different
+                    // GroupConfig than the log was written with.
+                    return Err(StorageError::Recovery {
+                        reason: format!(
+                            "log appends to group {group} after it sealed; \
+                             recover() must be given the GroupConfig the log \
+                             was written under"
+                        ),
+                    });
+                }
+                self.apply_store_grouped(object, bytes, *group)
+            }
+            WalRecord::StoreWhole { object } => {
+                // The record carries no data — the bytes live in the node
+                // symbols. If no node holds a symbol, the crash landed
+                // between the log append and the installs: the op was never
+                // acked and is dropped, leaving any predecessor intact.
+                if !self.nodes.iter().any(|n| n.symbols.contains_key(object)) {
+                    // For the final record, no symbols means the crash hit
+                    // between the append and the installs: a true in-doubt
+                    // discard. For any earlier record it means a later
+                    // *applied* op removed them — a benign supersession
+                    // whose later record re-establishes the truth.
+                    if last {
+                        report.in_doubt_discarded += 1;
+                    }
+                    return Ok(());
+                }
+                if let Some(&Placement::Grouped { group, span }) = self.objects.get(object) {
+                    self.tombstone_member(group, span);
+                }
+                self.objects.insert(object.clone(), Placement::Whole);
+                Ok(())
+            }
+            WalRecord::Delete { object } => {
+                // Redo semantics: a logged delete completes even if the
+                // crash preceded its apply. Whole symbols are left in place
+                // (a later `StoreWhole` record may need them as evidence);
+                // reconciliation sweeps them if the name stays dead.
+                match self.objects.remove(object) {
+                    Some(Placement::Whole) => {}
+                    Some(Placement::Grouped { group, span }) => {
+                        self.tombstone_member(group, span);
+                    }
+                    None => {}
+                }
+                Ok(())
+            }
+            WalRecord::Seal { group } => {
+                // Idempotent: the group may already have sealed during
+                // replay (a capacity seal redone by its append record), or
+                // may be gone entirely (fully deleted later in the log).
+                if self.groups.get(group).is_some_and(|g| !g.sealed) {
+                    self.seal_group(*group)?;
+                }
+                Ok(())
+            }
+            WalRecord::Compact { group } => {
+                // Marker only: the rewrite itself follows as ordinary store
+                // records, and the group drops when its last member moves.
+                debug_assert!(
+                    self.groups.get(group).map(|g| g.sealed).unwrap_or(true),
+                    "compaction only rewrites sealed groups"
+                );
+                report.compactions_noted += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Make `gid` the open group during replay, mirroring the id the live
+    /// run allocated. The live run only ever appends to one open group, so
+    /// a new id here means the previous open group was retired without a
+    /// record (an empty flush) — finish that retirement the same way.
+    fn replay_open_group(&mut self, gid: GroupId) {
+        if self.open_group == Some(gid) {
+            return;
+        }
+        if let Some(prev) = self.open_group.take() {
+            if self
+                .groups
+                .get(&prev)
+                .is_some_and(|g| !g.sealed && g.live_objects == 0)
+            {
+                self.groups.remove(&prev);
+            }
+        }
+        self.groups
+            .entry(gid)
+            .or_insert_with(|| CodingGroup::open_with_buffer(Vec::new()));
+        self.open_group = Some(gid);
+        self.next_group_id = self.next_group_id.max(gid + 1);
+    }
+
+    /// Post-replay cleanup: retire groups the live run dropped without a
+    /// record, and garbage-collect node symbols orphaned by in-doubt ops
+    /// (e.g. a logged-but-unapplied grouped overwrite of a whole object
+    /// leaves the old whole symbols behind).
+    fn reconcile_after_replay(&mut self) {
+        let open = self.open_group;
+        self.groups
+            .retain(|gid, g| g.sealed || g.live_objects > 0 || open == Some(*gid));
+        let whole: std::collections::HashSet<&str> = self
+            .objects
+            .iter()
+            .filter(|(_, p)| matches!(p, Placement::Whole))
+            .map(|(name, _)| name.as_str())
+            .collect();
+        let sealed: std::collections::HashSet<GroupId> = self
+            .groups
+            .iter()
+            .filter(|(_, g)| g.sealed)
+            .map(|(&gid, _)| gid)
+            .collect();
+        for node in &mut self.nodes {
+            node.symbols.retain(|name, _| whole.contains(name.as_str()));
+            node.group_symbols.retain(|gid, _| sealed.contains(gid));
+        }
     }
 
     /// Re-derive and re-install every symbol a (replaced or recovered) node
@@ -753,7 +1203,7 @@ impl DistributedStore {
         let objects: Vec<String> = self
             .objects
             .iter()
-            .filter(|(_, p)| matches!(p, Placement::Whole { .. }))
+            .filter(|(_, p)| matches!(p, Placement::Whole))
             .map(|(name, _)| name.clone())
             .collect();
         for object in objects {
@@ -1036,14 +1486,16 @@ mod tests {
     /// A grouped store over the paper's (6, 4) B-Code: objects under 64
     /// bytes are batched, groups seal at 256 bytes.
     fn grouped_store() -> DistributedStore {
-        DistributedStore::with_groups(
-            Arc::new(BCode::table_1a()),
-            GroupConfig {
-                threshold: 64,
-                capacity: 256,
-                compact_watermark: 0.5,
-            },
-        )
+        DistributedStore::with_groups(Arc::new(BCode::table_1a()), grouped_config())
+    }
+
+    fn grouped_config() -> GroupConfig {
+        GroupConfig {
+            threshold: 64,
+            capacity: 256,
+            compact_watermark: 0.5,
+            ..GroupConfig::disabled()
+        }
     }
 
     #[test]
@@ -1358,14 +1810,7 @@ mod tests {
             inner: BCode::table_1a(),
             fail_encode: std::sync::atomic::AtomicBool::new(false),
         });
-        let mut s = DistributedStore::with_groups(
-            code.clone(),
-            GroupConfig {
-                threshold: 64,
-                capacity: 256,
-                compact_watermark: 0.5,
-            },
-        );
+        let mut s = DistributedStore::with_groups(code.clone(), grouped_config());
         s.store("a", &[1u8; 40]).unwrap();
         s.store("b", &[2u8; 40]).unwrap();
         code.set_failing(true);
@@ -1383,6 +1828,31 @@ mod tests {
         assert_eq!(
             s.retrieve("a", SelectionPolicy::FirstK).unwrap().0,
             vec![1u8; 40]
+        );
+    }
+
+    #[test]
+    fn failed_whole_encode_leaves_a_grouped_predecessor_intact() {
+        // The overwrite's fallible encode runs before the predecessor is
+        // tombstoned: if it fails, the old grouped copy must still be
+        // retrievable (not a dangling placement into a dropped group).
+        let code = Arc::new(FlakyCode {
+            inner: BCode::table_1a(),
+            fail_encode: std::sync::atomic::AtomicBool::new(false),
+        });
+        let mut s = DistributedStore::with_groups(code.clone(), grouped_config());
+        s.store("x", &[3u8; 40]).unwrap();
+        s.flush().unwrap(); // "x" is the sole live member of a sealed group
+        code.set_failing(true);
+        assert!(matches!(
+            s.store("x", &[4u8; 100]), // whole overwrite, encode fails
+            Err(StorageError::Code(_))
+        ));
+        code.set_failing(false);
+        assert_eq!(
+            s.retrieve("x", SelectionPolicy::FirstK).unwrap().0,
+            vec![3u8; 40],
+            "the acked grouped copy survives the failed overwrite"
         );
     }
 
@@ -1406,6 +1876,328 @@ mod tests {
                     .0,
                 vec![i as u8; 1024]
             );
+        }
+    }
+
+    use crate::wal::{CrashFuse, MemLog, WalError};
+
+    /// A logged grouped store over the (6, 4) B-Code.
+    fn logged_store() -> DistributedStore {
+        DistributedStore::with_groups(Arc::new(BCode::table_1a()), grouped_config().logged())
+    }
+
+    fn recover_from(
+        s: DistributedStore,
+    ) -> Result<(DistributedStore, RecoveryReport), StorageError> {
+        let (nodes, wal) = s.crash();
+        DistributedStore::recover(
+            Arc::new(BCode::table_1a()),
+            grouped_config().logged(),
+            nodes,
+            wal.expect("logged store carries a wal"),
+        )
+    }
+
+    #[test]
+    fn flush_reports_what_committed() {
+        let mut s = grouped_store();
+        assert_eq!(s.flush().unwrap(), FlushReport::default(), "nothing open");
+        s.store("a", &[1u8; 40]).unwrap();
+        s.store("b", &[2u8; 40]).unwrap();
+        s.delete("b").unwrap();
+        let report = s.flush().unwrap();
+        assert_eq!(report.groups_sealed, 1);
+        assert_eq!(report.objects_committed, 1, "only the live member commits");
+        assert_eq!(s.flush().unwrap(), FlushReport::default(), "already sealed");
+    }
+
+    #[test]
+    fn bytes_at_risk_counts_acked_unsealed_bytes() {
+        let mut s = logged_store();
+        s.store("a", &[1u8; 40]).unwrap();
+        s.store("b", &[2u8; 24]).unwrap();
+        let stats = s.group_stats();
+        assert_eq!(stats.bytes_at_risk, 64, "open-group live bytes at risk");
+        assert!(stats.wal_records >= 2, "both stores logged");
+        assert!(stats.wal_bytes > 64, "frames carry the grouped bytes");
+        s.flush().unwrap();
+        assert_eq!(s.group_stats().bytes_at_risk, 0, "sealed = erasure-coded");
+    }
+
+    #[test]
+    fn coordinator_crash_loses_nothing_acked_in_a_logged_store() {
+        let mut s = logged_store();
+        // A sealed group, an open group, and a whole object.
+        for i in 0..5u8 {
+            s.store(&format!("small-{i}"), &[i; 40]).unwrap();
+        }
+        s.flush().unwrap();
+        s.store("open-a", &[9u8; 30]).unwrap();
+        s.store("open-b", &[8u8; 50]).unwrap();
+        s.store("big", &[7u8; 200]).unwrap();
+        s.delete("small-3").unwrap();
+
+        let (rec, report) = recover_from(s).unwrap();
+        let mut rec = rec;
+        assert!(!report.torn_tail);
+        assert_eq!(report.objects_recovered, 7);
+        assert_eq!(report.open_bytes_recovered, 80, "open-group bytes rebuilt");
+        for i in [0u8, 1, 2, 4] {
+            let (out, _) = rec
+                .retrieve(&format!("small-{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            assert_eq!(out, vec![i; 40]);
+        }
+        assert!(matches!(
+            rec.retrieve("small-3", SelectionPolicy::FirstK),
+            Err(StorageError::UnknownObject { .. })
+        ));
+        let (out, rep) = rec.retrieve("open-a", SelectionPolicy::FirstK).unwrap();
+        assert_eq!(out, vec![9u8; 30]);
+        assert!(rep.sources.is_empty(), "rebuilt into the write buffer");
+        assert_eq!(
+            rec.retrieve("big", SelectionPolicy::FirstK).unwrap().0,
+            vec![7u8; 200]
+        );
+        // The recovered coordinator can carry on: seal the rebuilt group.
+        let report = rec.flush().unwrap();
+        assert_eq!(report.objects_committed, 2);
+        rec.fail_node(NodeId(0)).unwrap();
+        rec.fail_node(NodeId(1)).unwrap();
+        assert_eq!(
+            rec.retrieve("open-b", SelectionPolicy::FirstK).unwrap().0,
+            vec![8u8; 50]
+        );
+    }
+
+    #[test]
+    fn a_volatile_store_really_does_lose_its_open_group() {
+        // The contrast case motivating the log: same crash, no WAL.
+        let mut s = grouped_store();
+        s.store("gone", &[1u8; 40]).unwrap();
+        let (_nodes, wal) = s.crash();
+        assert!(wal.is_none(), "volatile stores carry no log");
+    }
+
+    #[test]
+    fn recovered_stores_keep_logging_and_survive_a_second_crash() {
+        let mut s = logged_store();
+        s.store("first", &[1u8; 40]).unwrap();
+        let (mut rec, _) = recover_from(s).unwrap();
+        rec.store("second", &[2u8; 40]).unwrap();
+        let (mut rec2, report) = recover_from(rec).unwrap();
+        assert_eq!(report.objects_recovered, 2);
+        for (name, byte) in [("first", 1u8), ("second", 2u8)] {
+            assert_eq!(
+                rec2.retrieve(name, SelectionPolicy::FirstK).unwrap().0,
+                vec![byte; 40]
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_replays_compaction_rewrites() {
+        let mut s = logged_store();
+        for i in 0..5u8 {
+            s.store(&format!("o{i}"), &[i; 40]).unwrap();
+        }
+        s.flush().unwrap();
+        for i in 0..3u8 {
+            s.delete(&format!("o{i}")).unwrap();
+        }
+        s.compact().unwrap();
+        let (mut rec, report) = recover_from(s).unwrap();
+        assert_eq!(report.compactions_noted, 1);
+        assert_eq!(report.objects_recovered, 2);
+        for i in 3..5u8 {
+            let (out, _) = rec
+                .retrieve(&format!("o{i}"), SelectionPolicy::FirstK)
+                .unwrap();
+            assert_eq!(out, vec![i; 40]);
+        }
+    }
+
+    #[test]
+    fn a_crash_between_append_and_apply_redoes_the_grouped_store() {
+        // The record is fully durable but the coordinator died before
+        // touching its state: replay completes the op from the log.
+        let mut s = DistributedStore::with_wal(
+            Arc::new(BCode::table_1a()),
+            grouped_config(),
+            Box::new(MemLog::with_fuse(CrashFuse {
+                records_before_crash: 1,
+                torn_bytes: usize::MAX,
+            })),
+        );
+        s.store("acked", &[5u8; 40]).unwrap();
+        assert!(matches!(
+            s.store("in-doubt", &[6u8; 40]),
+            Err(StorageError::Wal(WalError::Crashed))
+        ));
+        let (mut rec, _) = recover_from(s).unwrap();
+        assert_eq!(
+            rec.retrieve("acked", SelectionPolicy::FirstK).unwrap().0,
+            vec![5u8; 40]
+        );
+        // In-doubt but fully logged: redo surfaces it, bit-exact.
+        assert_eq!(
+            rec.retrieve("in-doubt", SelectionPolicy::FirstK).unwrap().0,
+            vec![6u8; 40]
+        );
+    }
+
+    #[test]
+    fn an_unlogged_whole_store_is_discarded_not_resurrected_wrong() {
+        // A whole-store record whose symbols never reached the nodes (crash
+        // between append and install) must vanish — and must not clobber
+        // the acked grouped predecessor under the same name.
+        let mut s = DistributedStore::with_wal(
+            Arc::new(BCode::table_1a()),
+            grouped_config(),
+            Box::new(MemLog::with_fuse(CrashFuse {
+                records_before_crash: 1,
+                torn_bytes: usize::MAX,
+            })),
+        );
+        s.store("x", &[3u8; 40]).unwrap(); // grouped, acked
+        assert!(matches!(
+            s.store("x", &[4u8; 100]), // whole overwrite, crashes unapplied
+            Err(StorageError::Wal(WalError::Crashed))
+        ));
+        let (mut rec, report) = recover_from(s).unwrap();
+        assert_eq!(report.in_doubt_discarded, 1);
+        assert_eq!(
+            rec.retrieve("x", SelectionPolicy::FirstK).unwrap().0,
+            vec![3u8; 40],
+            "the acked grouped version survives the in-doubt overwrite"
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_so_appends_after_recovery_stay_replayable() {
+        // Crash mid-frame: 5 orphan bytes of the second record land in the
+        // backend. Recovery must cut them before reattaching the log, or
+        // the next append would sit behind garbage and the *second*
+        // recovery would fail with mid-log corruption.
+        let mut s = DistributedStore::with_wal(
+            Arc::new(BCode::table_1a()),
+            grouped_config(),
+            Box::new(MemLog::with_fuse(CrashFuse {
+                records_before_crash: 1,
+                torn_bytes: 5,
+            })),
+        );
+        s.store("a", &[1u8; 40]).unwrap();
+        assert!(matches!(
+            s.store("b", &[2u8; 40]),
+            Err(StorageError::Wal(WalError::Crashed))
+        ));
+        let (mut rec, report) = recover_from(s).unwrap();
+        assert!(report.torn_tail);
+        rec.store("c", &[3u8; 40]).unwrap();
+        let (mut rec2, report2) = recover_from(rec).unwrap();
+        assert!(!report2.torn_tail, "the cut tail leaves a clean log");
+        assert_eq!(report2.records_replayed, 2);
+        for (name, byte) in [("a", 1u8), ("c", 3)] {
+            assert_eq!(
+                rec2.retrieve(name, SelectionPolicy::FirstK).unwrap().0,
+                vec![byte; 40]
+            );
+        }
+        assert!(matches!(
+            rec2.retrieve("b", SelectionPolicy::FirstK),
+            Err(StorageError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn recovery_detects_a_mismatched_group_config() {
+        // Written under capacity 256 (5 x 60 B auto-seals on the fifth
+        // append); recovered under capacity 128 the replay would seal
+        // after the third, so the fourth append names a sealed group —
+        // reported, not silently corrupted.
+        let mut s = logged_store();
+        for i in 0..5u8 {
+            s.store(&format!("o{i}"), &[i; 60]).unwrap();
+        }
+        let (nodes, wal) = s.crash();
+        let mismatched = GroupConfig {
+            capacity: 128,
+            ..grouped_config()
+        }
+        .logged();
+        match DistributedStore::recover(
+            Arc::new(BCode::table_1a()),
+            mismatched,
+            nodes,
+            wal.unwrap(),
+        ) {
+            Err(StorageError::Recovery { reason }) => {
+                assert!(reason.contains("GroupConfig"), "{reason}")
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("mismatched config accepted"),
+        }
+    }
+
+    #[test]
+    fn superseded_whole_stores_are_not_counted_in_doubt() {
+        // whole -> grouped overwrite removes the whole symbols; on replay
+        // the earlier StoreWhole record finds none, which is a benign
+        // supersession (the later record re-establishes the truth), not an
+        // in-doubt discard.
+        let mut s = logged_store();
+        s.store("x", &[1u8; 100]).unwrap();
+        s.store("x", &[2u8; 40]).unwrap();
+        s.store("keep", &[3u8; 40]).unwrap();
+        let (mut rec, report) = recover_from(s).unwrap();
+        assert_eq!(report.in_doubt_discarded, 0, "supersession is not in-doubt");
+        assert_eq!(
+            rec.retrieve("x", SelectionPolicy::FirstK).unwrap().0,
+            vec![2u8; 40]
+        );
+        // The rehydrated log counters reflect the scanned log exactly.
+        let stats = rec.group_stats();
+        assert_eq!(stats.wal_records, 3, "three records replayed and counted");
+        assert!(stats.wal_bytes > 0);
+    }
+
+    #[test]
+    fn recovery_rejects_a_different_code_with_the_same_n() {
+        // Same n, different code: decoding BCode symbols with an RS
+        // decoder would hand back garbage frames, so the identity check
+        // must catch it before the first retrieve can.
+        let mut s = logged_store();
+        s.store("x", &[5u8; 100]).unwrap();
+        let (nodes, wal) = s.crash();
+        assert_eq!(nodes.code_spec(), CodeSpec::bcode_6_4());
+        match DistributedStore::recover(
+            Arc::new(ReedSolomon::new(6, 4).unwrap()),
+            grouped_config().logged(),
+            nodes,
+            wal.unwrap(),
+        ) {
+            Err(StorageError::Recovery { reason }) => {
+                assert!(reason.contains("produced by"), "{reason}")
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("mismatched code accepted"),
+        }
+    }
+
+    #[test]
+    fn recovery_rejects_a_mismatched_node_fabric() {
+        let s = logged_store();
+        let (nodes, wal) = s.crash();
+        match DistributedStore::recover(
+            Arc::new(ReedSolomon::new(9, 6).unwrap()),
+            grouped_config().logged(),
+            nodes,
+            wal.unwrap(),
+        ) {
+            Err(StorageError::Recovery { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+            Ok(_) => panic!("mismatched fabric accepted"),
         }
     }
 

@@ -1,0 +1,948 @@
+//! Write-ahead log for coding-group durability.
+//!
+//! Coding groups buffer small objects in the coordinator's memory until the
+//! group seals ([`crate::group`]), so without a log a coordinator crash
+//! silently loses every acked-but-unsealed object — exactly the
+//! single-point-of-failure a RAIN-style distributed store exists to
+//! eliminate. This module provides the standard log-then-apply discipline:
+//! every group-affecting mutation is appended to a [`WriteAheadLog`] as a
+//! checksummed, length-prefixed [`WalRecord`] **before** the coordinator's
+//! in-memory state changes, and
+//! [`crate::DistributedStore::recover`] replays the log after a restart to
+//! rebuild the open-group buffers, object-table spans, and tombstone state.
+//!
+//! ## Record format
+//!
+//! ```text
+//! frame   := [payload_len: u32 LE] [crc32(payload_len bytes): u32 LE]
+//!            [crc32(payload): u32 LE] [payload]
+//! payload := tag: u8 ++ fields
+//!   tag 1  StoreWhole   { object: str }                  — metadata only;
+//!                                                          the bytes are on
+//!                                                          the nodes
+//!   tag 2  StoreGrouped { object: str, group: u64,
+//!                         bytes }                        — carries the data:
+//!                                                          it exists nowhere
+//!                                                          else until seal
+//!   tag 3  Delete       { object: str }
+//!   tag 4  Seal         { group: u64 }                   — logged *after* the
+//!                                                          symbols are
+//!                                                          installed
+//!   tag 5  Compact      { group: u64 }                   — rewrite marker;
+//!                                                          the moves follow
+//!                                                          as ordinary store
+//!                                                          records
+//! str   := [len: u32 LE] ++ utf-8 bytes
+//! bytes := [len: u32 LE] ++ raw bytes
+//! ```
+//!
+//! The length field gets its own checksum because replay must *trust* it
+//! to find the next frame: without the header CRC, a corrupted length mid-
+//! log would masquerade as a torn tail and silently drop every record
+//! after it. With it, the two cases separate cleanly — a torn write
+//! persists a prefix of the true frame (so any prefix holding the full
+//! 12-byte header holds a *valid* header), while a bad header checksum is
+//! always corruption. A log whose final frame is truncated mid-write (a
+//! torn tail) replays cleanly up to the last complete record; damage to a
+//! frame *followed by more bytes* is real corruption and fails the replay
+//! with [`WalError::Corrupt`].
+//!
+//! Aside from cutting a torn tail at recovery, the log is append-only
+//! and its *prefix* is never truncated in this iteration: sealed
+//! groups' `StoreGrouped` records stay load-bearing for replay (recovery
+//! re-seals from the replayed buffers rather than reading node symbols),
+//! so log size and replay time grow with total write history. Bounding
+//! that with a checkpoint record + prefix drop is the named follow-up in
+//! ROADMAP.md.
+//!
+//! The [`LogBackend`] is pluggable: [`MemLog`] is the in-memory simulation
+//! backend (with an optional [`CrashFuse`] so tests can kill the coordinator
+//! at any record boundary or mid-frame); a file-backed implementation slots
+//! in behind the same small trait.
+
+use crate::group::GroupId;
+
+/// Why a log operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The backend rejected the operation.
+    Backend(String),
+    /// The simulated coordinator crashed at this append (see [`CrashFuse`]).
+    /// The frame may have been partially written — a torn tail.
+    Crashed,
+    /// A frame inside the log (not at its tail) failed its checksum or did
+    /// not decode: the log is damaged beyond the torn-tail case that replay
+    /// tolerates.
+    Corrupt {
+        /// Byte offset of the damaged frame.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Backend(msg) => write!(f, "log backend error: {msg}"),
+            WalError::Crashed => write!(f, "coordinator crashed during log append"),
+            WalError::Corrupt { offset } => {
+                write!(f, "log corrupt at byte offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// Durable byte sink backing a [`WriteAheadLog`].
+///
+/// The contract is append-only: `append` either persists the whole frame or
+/// fails; `contents` returns every byte persisted so far (including a
+/// partial final frame, if the writer died mid-append).
+pub trait LogBackend: std::fmt::Debug {
+    /// Persist one encoded frame.
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError>;
+    /// All bytes persisted so far.
+    fn contents(&self) -> Result<Vec<u8>, WalError>;
+    /// Discard every byte past `len`. Recovery cuts a torn tail with this
+    /// before reusing the log — without it the orphan partial frame would
+    /// sit *in front of* post-recovery appends and turn the next replay
+    /// into a mid-log corruption error.
+    fn truncate(&mut self, len: usize) -> Result<(), WalError>;
+}
+
+/// Crash injection for [`MemLog`]: the fuse fires on the append *after*
+/// `records_before_crash` successful ones, persists only the first
+/// `torn_bytes` bytes of that frame, and returns [`WalError::Crashed`].
+///
+/// * `torn_bytes == 0` — the log ends exactly at a record boundary; the
+///   in-flight record is lost entirely.
+/// * `0 < torn_bytes < frame length` — a torn tail: the final frame is
+///   incomplete and replay must stop cleanly before it.
+/// * `torn_bytes >= frame length` — the record is fully durable but the
+///   coordinator died before applying it (the redo case).
+///
+/// The fuse is one-shot: after firing it disarms, so a recovered
+/// coordinator can keep appending to the same backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFuse {
+    /// Appends that succeed before the fuse fires.
+    pub records_before_crash: usize,
+    /// Bytes of the fatal frame that reach the log (clamped to its length).
+    pub torn_bytes: usize,
+}
+
+/// In-memory [`LogBackend`] used by the simulation, with optional crash
+/// injection.
+#[derive(Debug, Default)]
+pub struct MemLog {
+    buf: Vec<u8>,
+    appends: usize,
+    fuse: Option<CrashFuse>,
+}
+
+impl MemLog {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        MemLog::default()
+    }
+
+    /// An empty log that will crash the writer according to `fuse`.
+    pub fn with_fuse(fuse: CrashFuse) -> Self {
+        MemLog {
+            fuse: Some(fuse),
+            ..MemLog::default()
+        }
+    }
+
+    /// Bytes persisted so far (torn tail included).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been persisted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl LogBackend for MemLog {
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        if let Some(fuse) = self.fuse {
+            if self.appends >= fuse.records_before_crash {
+                let kept = fuse.torn_bytes.min(frame.len());
+                self.buf.extend_from_slice(&frame[..kept]);
+                self.fuse = None; // one-shot: the restarted coordinator lives
+                return Err(WalError::Crashed);
+            }
+        }
+        self.buf.extend_from_slice(frame);
+        self.appends += 1;
+        Ok(())
+    }
+
+    fn contents(&self) -> Result<Vec<u8>, WalError> {
+        Ok(self.buf.clone())
+    }
+
+    fn truncate(&mut self, len: usize) -> Result<(), WalError> {
+        self.buf.truncate(len);
+        Ok(())
+    }
+}
+
+/// One logged mutation. See the module docs for the byte format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An individually erasure-coded object was (over)written. The bytes are
+    /// durable on the nodes the moment the store call returns, so the record
+    /// carries only the name; replay uses the surviving node symbols.
+    StoreWhole {
+        /// Object id.
+        object: String,
+    },
+    /// A small object was appended to the open coding group. Until the group
+    /// seals these bytes exist only in coordinator memory, so the record
+    /// carries them.
+    StoreGrouped {
+        /// Object id.
+        object: String,
+        /// The open group receiving the append.
+        group: GroupId,
+        /// The object's bytes.
+        bytes: Vec<u8>,
+    },
+    /// An object was deleted (whole objects drop their symbols, grouped
+    /// objects tombstone their span).
+    Delete {
+        /// Object id.
+        object: String,
+    },
+    /// Group `group` was encoded and its symbols installed on every node.
+    /// Logged *after* the install succeeds: losing the record merely makes
+    /// recovery re-seal the group; logging it early could claim durability
+    /// that never happened.
+    Seal {
+        /// The sealed group.
+        group: GroupId,
+    },
+    /// A compaction pass is about to rewrite `group`: the live members are
+    /// re-stored (each move appears as its own store record) and the group
+    /// drops once the last member leaves.
+    Compact {
+        /// The group being rewritten.
+        group: GroupId,
+    },
+}
+
+/// A borrowed view of one mutation, for the logging hot path: the store
+/// serializes straight from its call parameters into the reusable frame
+/// buffer, so a logged store allocates nothing and copies the payload
+/// once (into the frame; the backend's own persist copy is the point).
+/// [`WalRecord`] is the owned twin that [`WriteAheadLog::replay`] returns.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordView<'a> {
+    /// See [`WalRecord::StoreWhole`].
+    StoreWhole {
+        /// Object id.
+        object: &'a str,
+    },
+    /// See [`WalRecord::StoreGrouped`].
+    StoreGrouped {
+        /// Object id.
+        object: &'a str,
+        /// The open group receiving the append.
+        group: GroupId,
+        /// The object's bytes.
+        bytes: &'a [u8],
+    },
+    /// See [`WalRecord::Delete`].
+    Delete {
+        /// Object id.
+        object: &'a str,
+    },
+    /// See [`WalRecord::Seal`].
+    Seal {
+        /// The sealed group.
+        group: GroupId,
+    },
+    /// See [`WalRecord::Compact`].
+    Compact {
+        /// The group being rewritten.
+        group: GroupId,
+    },
+}
+
+const TAG_STORE_WHOLE: u8 = 1;
+const TAG_STORE_GROUPED: u8 = 2;
+const TAG_DELETE: u8 = 3;
+const TAG_SEAL: u8 = 4;
+const TAG_COMPACT: u8 = 5;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Sequential reader over a record payload; every getter returns `None` on
+/// underrun so a damaged payload surfaces as a decode failure, never a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        Some(self.take(len)?.to_vec())
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl WalRecord {
+    /// The borrowed view of this record (replay round-trip tests and the
+    /// public [`WriteAheadLog::append`] route through it).
+    pub(crate) fn view(&self) -> RecordView<'_> {
+        match self {
+            WalRecord::StoreWhole { object } => RecordView::StoreWhole { object },
+            WalRecord::StoreGrouped {
+                object,
+                group,
+                bytes,
+            } => RecordView::StoreGrouped {
+                object,
+                group: *group,
+                bytes,
+            },
+            WalRecord::Delete { object } => RecordView::Delete { object },
+            WalRecord::Seal { group } => RecordView::Seal { group: *group },
+            WalRecord::Compact { group } => RecordView::Compact { group: *group },
+        }
+    }
+}
+
+impl RecordView<'_> {
+    /// Serialize the payload (no frame header) into `out`.
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            RecordView::StoreWhole { object } => {
+                out.push(TAG_STORE_WHOLE);
+                put_str(out, object);
+            }
+            RecordView::StoreGrouped {
+                object,
+                group,
+                bytes,
+            } => {
+                out.push(TAG_STORE_GROUPED);
+                put_str(out, object);
+                out.extend_from_slice(&group.to_le_bytes());
+                put_bytes(out, bytes);
+            }
+            RecordView::Delete { object } => {
+                out.push(TAG_DELETE);
+                put_str(out, object);
+            }
+            RecordView::Seal { group } => {
+                out.push(TAG_SEAL);
+                out.extend_from_slice(&group.to_le_bytes());
+            }
+            RecordView::Compact { group } => {
+                out.push(TAG_COMPACT);
+                out.extend_from_slice(&group.to_le_bytes());
+            }
+        }
+    }
+}
+
+impl WalRecord {
+    /// Decode one payload; `None` if the bytes are not a valid record.
+    pub(crate) fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let record = match c.u8()? {
+            TAG_STORE_WHOLE => WalRecord::StoreWhole { object: c.str()? },
+            TAG_STORE_GROUPED => WalRecord::StoreGrouped {
+                object: c.str()?,
+                group: c.u64()?,
+                bytes: c.bytes()?,
+            },
+            TAG_DELETE => WalRecord::Delete { object: c.str()? },
+            TAG_SEAL => WalRecord::Seal { group: c.u64()? },
+            TAG_COMPACT => WalRecord::Compact { group: c.u64()? },
+            _ => return None,
+        };
+        c.finished().then_some(record)
+    }
+}
+
+/// IEEE CRC-32 lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut j = 0;
+        while j < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            j += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Frame header bytes: payload length, header CRC, payload CRC.
+const HEADER_LEN: usize = 12;
+
+/// IEEE CRC-32 of `bytes` (the checksum guarding each log frame).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// The result of replaying a log: the decodable records plus whether the
+/// tail was torn (a final frame truncated mid-write — tolerated, the log is
+/// simply shorter than the writer hoped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Replay {
+    /// Every complete, checksum-valid record in log order.
+    pub records: Vec<WalRecord>,
+    /// True if the log ended in a partial frame.
+    pub torn_tail: bool,
+    /// Bytes consumed by the complete records (the torn tail, if any,
+    /// starts here).
+    pub bytes_replayed: usize,
+}
+
+/// A write-ahead log: frames [`WalRecord`]s onto a [`LogBackend`] and
+/// replays them back, tolerating a torn tail.
+#[derive(Debug)]
+pub struct WriteAheadLog {
+    backend: Box<dyn LogBackend>,
+    /// Records known to be in the log: incremented per append, and
+    /// rehydrated from the replay scan by
+    /// [`crate::DistributedStore::recover`] — so the count stays honest
+    /// for a handle constructed over an existing log, and a torn tail is
+    /// not counted.
+    pub(crate) records_appended: u64,
+    /// Frame bytes in the log: the backend's length at construction plus
+    /// appends through this handle; rehydrated exactly (torn tail
+    /// excluded) by [`crate::DistributedStore::recover`]. Doubles as the
+    /// known-good rollback boundary after a failed append.
+    pub(crate) bytes_appended: u64,
+    /// Reusable frame buffer: steady-state appends allocate nothing.
+    frame: Vec<u8>,
+    /// Set when a failed append could not be rolled back (truncate also
+    /// failed): the log may end in a partial frame with a *live* writer,
+    /// so further appends would land behind garbage and be unrecoverable.
+    poisoned: bool,
+}
+
+impl WriteAheadLog {
+    /// A log over the given backend. `bytes_appended` starts at the
+    /// backend's current length, so the append-failure rollback never cuts
+    /// below pre-existing content (`records_appended` cannot be known
+    /// without a replay and starts at 0; [`crate::DistributedStore::recover`]
+    /// rehydrates both exactly).
+    pub fn new(backend: Box<dyn LogBackend>) -> Self {
+        let base = backend.contents().map(|b| b.len() as u64).unwrap_or(0);
+        WriteAheadLog {
+            backend,
+            records_appended: 0,
+            bytes_appended: base,
+            frame: Vec::new(),
+            poisoned: false,
+        }
+    }
+
+    /// A log over a fresh [`MemLog`].
+    pub fn in_memory() -> Self {
+        Self::new(Box::<MemLog>::default())
+    }
+
+    /// Records appended through this handle.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Frame bytes appended through this handle.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// The raw persisted bytes (tests use this to aim torn-tail cuts at
+    /// exact frame offsets).
+    pub fn contents(&self) -> Result<Vec<u8>, WalError> {
+        self.backend.contents()
+    }
+
+    /// Cut the log back to `len` bytes — recovery calls this to drop a
+    /// torn tail before the log accepts new appends.
+    pub(crate) fn truncate_to(&mut self, len: usize) -> Result<(), WalError> {
+        self.backend.truncate(len)
+    }
+
+    /// Frame and persist one record.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
+        self.append_view(record.view())
+    }
+
+    /// Frame and persist one borrowed record — the store's hot path, which
+    /// serializes straight from the caller's parameters (no owned record).
+    pub(crate) fn append_view(&mut self, record: RecordView<'_>) -> Result<(), WalError> {
+        self.frame.clear();
+        self.frame.extend_from_slice(&[0u8; HEADER_LEN]); // patched below
+        record.encode(&mut self.frame);
+        let payload_len = ((self.frame.len() - HEADER_LEN) as u32).to_le_bytes();
+        let header_crc = crc32(&payload_len);
+        let payload_crc = crc32(&self.frame[HEADER_LEN..]);
+        self.frame[0..4].copy_from_slice(&payload_len);
+        self.frame[4..8].copy_from_slice(&header_crc.to_le_bytes());
+        self.frame[8..12].copy_from_slice(&payload_crc.to_le_bytes());
+        if self.poisoned {
+            return Err(WalError::Backend(
+                "log poisoned by an unrollable append failure".to_string(),
+            ));
+        }
+        match self.backend.append(&self.frame) {
+            Ok(()) => {
+                self.records_appended += 1;
+                self.bytes_appended += self.frame.len() as u64;
+                Ok(())
+            }
+            // The writer is dead; the torn tail is the durable truth and
+            // recovery is the one who cuts it.
+            Err(WalError::Crashed) => Err(WalError::Crashed),
+            // A *living* writer whose append failed (e.g. a full disk on a
+            // file backend) may have left a partial frame; cut back to the
+            // last good boundary so later appends stay replayable, and
+            // poison the handle if even that fails.
+            Err(e) => {
+                if self.backend.truncate(self.bytes_appended as usize).is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Decode every complete record, stopping cleanly at a torn tail.
+    ///
+    /// Torn tail vs corruption: a torn write persists a *prefix* of the
+    /// true frame, so an incomplete header, or a valid header whose
+    /// payload runs past the end of the log, or a damaged **final**
+    /// payload all read as torn tails. A header whose own checksum fails,
+    /// or a damaged payload with more bytes after it, cannot be a torn
+    /// write and fails with [`WalError::Corrupt`] — in particular a
+    /// corrupted length field is caught by the header CRC instead of
+    /// silently truncating the replay at that point.
+    pub fn replay(&self) -> Result<Replay, WalError> {
+        let buf = self.backend.contents()?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let remaining = buf.len() - pos;
+            if remaining < HEADER_LEN {
+                // Incomplete header: torn mid-write.
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    bytes_replayed: pos,
+                });
+            }
+            let len_bytes: [u8; 4] = buf[pos..pos + 4].try_into().expect("4 bytes");
+            let header_crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            let payload_crc =
+                u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
+            if crc32(&len_bytes) != header_crc {
+                // Any prefix of a real frame that covers the header covers
+                // it *completely and validly* — a bad header checksum is
+                // damage, not a torn write, wherever it sits.
+                return Err(WalError::Corrupt { offset: pos });
+            }
+            let frame_end = pos + HEADER_LEN + u32::from_le_bytes(len_bytes) as usize;
+            if frame_end > buf.len() {
+                // Trustworthy length, short payload: torn mid-write.
+                return Ok(Replay {
+                    records,
+                    torn_tail: true,
+                    bytes_replayed: pos,
+                });
+            }
+            let payload = &buf[pos + HEADER_LEN..frame_end];
+            let valid = crc32(payload) == payload_crc;
+            let record = if valid {
+                WalRecord::decode(payload)
+            } else {
+                None
+            };
+            match record {
+                Some(r) => records.push(r),
+                None if !valid && frame_end == buf.len() => {
+                    // Checksum-failed final payload: indistinguishable from
+                    // a torn write on a backend that preallocates,
+                    // tolerated. A checksum-VALID payload that fails to
+                    // decode can never be a torn write (a short payload is
+                    // caught above), so that case falls through to Corrupt
+                    // even at the tail — silently truncating a durable,
+                    // checksummed record would be data loss.
+                    return Ok(Replay {
+                        records,
+                        torn_tail: true,
+                        bytes_replayed: pos,
+                    });
+                }
+                None => return Err(WalError::Corrupt { offset: pos }),
+            }
+            pos = frame_end;
+        }
+        Ok(Replay {
+            records,
+            torn_tail: false,
+            bytes_replayed: pos,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::StoreGrouped {
+                object: "a".into(),
+                group: 0,
+                bytes: vec![1, 2, 3],
+            },
+            WalRecord::StoreWhole {
+                object: "big".into(),
+            },
+            WalRecord::Seal { group: 0 },
+            WalRecord::Delete { object: "a".into() },
+            WalRecord::Compact { group: 0 },
+            WalRecord::StoreGrouped {
+                object: "empty".into(),
+                group: 1,
+                bytes: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let mut wal = WriteAheadLog::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, sample_records());
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.bytes_replayed as u64, wal.bytes_appended());
+        assert_eq!(wal.records_appended(), 6);
+    }
+
+    #[test]
+    fn empty_log_replays_to_nothing() {
+        let wal = WriteAheadLog::in_memory();
+        let replay = wal.replay().unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn_tail);
+    }
+
+    /// Cutting the log at **every** byte offset must replay cleanly to the
+    /// records whose frames are complete — the torn-tail contract.
+    #[test]
+    fn torn_tail_at_every_byte_offset_replays_the_complete_prefix() {
+        let mut wal = WriteAheadLog::in_memory();
+        let mut boundaries = vec![0usize];
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+            boundaries.push(wal.bytes_appended() as usize);
+        }
+        let full = wal.contents().unwrap();
+        for cut in 0..=full.len() {
+            let mut backend = MemLog::new();
+            backend.append(&full[..cut]).unwrap();
+            let replay = WriteAheadLog::new(Box::new(backend)).replay().unwrap();
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(replay.records.len(), complete, "cut at byte {cut}");
+            assert_eq!(replay.records, sample_records()[..complete].to_vec());
+            assert_eq!(replay.torn_tail, !boundaries.contains(&cut), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn mid_log_damage_is_corruption_not_a_torn_tail() {
+        let mut wal = WriteAheadLog::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let mut bytes = wal.contents().unwrap();
+        // Flip one payload byte of the first frame: its checksum fails while
+        // later frames are intact, so this cannot be a torn write.
+        bytes[HEADER_LEN + 1] ^= 0xFF;
+        let mut backend = MemLog::new();
+        backend.append(&bytes).unwrap();
+        assert_eq!(
+            WriteAheadLog::new(Box::new(backend)).replay(),
+            Err(WalError::Corrupt { offset: 0 })
+        );
+    }
+
+    #[test]
+    fn damage_to_the_final_frame_is_tolerated_as_a_torn_tail() {
+        let mut wal = WriteAheadLog::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let mut bytes = wal.contents().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let mut backend = MemLog::new();
+        backend.append(&bytes).unwrap();
+        let replay = WriteAheadLog::new(Box::new(backend)).replay().unwrap();
+        assert_eq!(replay.records.len(), sample_records().len() - 1);
+        assert!(replay.torn_tail);
+    }
+
+    #[test]
+    fn the_crash_fuse_is_one_shot_and_respects_torn_bytes() {
+        // Boundary crash: nothing of the third frame lands.
+        let mut wal = WriteAheadLog::new(Box::new(MemLog::with_fuse(CrashFuse {
+            records_before_crash: 2,
+            torn_bytes: 0,
+        })));
+        let records = sample_records();
+        wal.append(&records[0]).unwrap();
+        wal.append(&records[1]).unwrap();
+        assert_eq!(wal.append(&records[2]), Err(WalError::Crashed));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records[..2].to_vec());
+        assert!(!replay.torn_tail, "boundary crash leaves no torn bytes");
+        // One-shot: the restarted coordinator appends normally.
+        wal.append(&records[2]).unwrap();
+        assert_eq!(wal.replay().unwrap().records, records[..3].to_vec());
+
+        // Torn crash: a prefix of the frame lands and replay skips it.
+        let mut wal = WriteAheadLog::new(Box::new(MemLog::with_fuse(CrashFuse {
+            records_before_crash: 1,
+            torn_bytes: 5,
+        })));
+        wal.append(&records[0]).unwrap();
+        assert_eq!(wal.append(&records[1]), Err(WalError::Crashed));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records[..1].to_vec());
+        assert!(replay.torn_tail);
+
+        // Fully-durable crash: the frame lands, only the writer dies.
+        let mut wal = WriteAheadLog::new(Box::new(MemLog::with_fuse(CrashFuse {
+            records_before_crash: 1,
+            torn_bytes: usize::MAX,
+        })));
+        wal.append(&records[0]).unwrap();
+        assert_eq!(wal.append(&records[1]), Err(WalError::Crashed));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records[..2].to_vec());
+        assert!(!replay.torn_tail);
+    }
+
+    /// Corrupt the length field of a mid-log frame: without the header
+    /// CRC this would read as a torn tail and silently drop every record
+    /// after it; with it, replay reports corruption at the damaged frame.
+    #[test]
+    fn corrupted_length_field_is_corruption_not_a_torn_tail() {
+        let mut wal = WriteAheadLog::in_memory();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        let first_frame = {
+            let mut w = WriteAheadLog::in_memory();
+            w.append(&sample_records()[0]).unwrap();
+            w.bytes_appended() as usize
+        };
+        for damaged in [0usize, first_frame] {
+            let mut bytes = wal.contents().unwrap();
+            bytes[damaged + 1] ^= 0x40; // inflate the length field
+            let mut backend = MemLog::new();
+            backend.append(&bytes).unwrap();
+            assert_eq!(
+                WriteAheadLog::new(Box::new(backend)).replay(),
+                Err(WalError::Corrupt { offset: damaged }),
+                "length damage at frame offset {damaged}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncating_a_torn_tail_makes_the_log_safely_appendable_again() {
+        let records = sample_records();
+        let mut wal = WriteAheadLog::new(Box::new(MemLog::with_fuse(CrashFuse {
+            records_before_crash: 2,
+            torn_bytes: 9,
+        })));
+        wal.append(&records[0]).unwrap();
+        wal.append(&records[1]).unwrap();
+        assert_eq!(wal.append(&records[2]), Err(WalError::Crashed));
+        let replay = wal.replay().unwrap();
+        assert!(replay.torn_tail);
+        // Without the cut, this append would sit behind 9 orphan bytes and
+        // the next replay would report mid-log corruption.
+        wal.truncate_to(replay.bytes_replayed).unwrap();
+        wal.append(&records[3]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(
+            replay.records,
+            vec![records[0].clone(), records[1].clone(), records[3].clone()]
+        );
+    }
+
+    /// A backend that fails one append with a *transient* error after
+    /// persisting a partial frame — the living-writer failure mode (e.g. a
+    /// full disk), as opposed to [`CrashFuse`]'s writer-death.
+    #[derive(Debug, Default)]
+    struct FlakyBackend {
+        inner: MemLog,
+        fail_next_after_bytes: Option<usize>,
+    }
+
+    impl LogBackend for FlakyBackend {
+        fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+            if let Some(partial) = self.fail_next_after_bytes.take() {
+                self.inner
+                    .append(&frame[..partial.min(frame.len())])
+                    .unwrap();
+                return Err(WalError::Backend("transient append failure".into()));
+            }
+            self.inner.append(frame)
+        }
+        fn contents(&self) -> Result<Vec<u8>, WalError> {
+            self.inner.contents()
+        }
+        fn truncate(&mut self, len: usize) -> Result<(), WalError> {
+            self.inner.truncate(len)
+        }
+    }
+
+    #[test]
+    fn a_failed_append_rolls_back_its_partial_frame() {
+        // append 1 ok; append 2 fails after persisting 6 orphan bytes;
+        // append 3 must not land behind the orphan bytes — the handle cuts
+        // back to the last good boundary, keeping the log replayable.
+        let records = sample_records();
+        let mut wal = WriteAheadLog::new(Box::new(FlakyBackend {
+            inner: MemLog::new(),
+            fail_next_after_bytes: None,
+        }));
+        wal.append(&records[0]).unwrap();
+        // Arm the failure for the next append (reach through the Box is
+        // not possible; rebuild with the armed backend instead).
+        let mut wal = WriteAheadLog::new(Box::new(FlakyBackend {
+            inner: {
+                let mut m = MemLog::new();
+                m.append(&wal.contents().unwrap()).unwrap();
+                m
+            },
+            fail_next_after_bytes: Some(6),
+        }));
+        assert!(matches!(wal.append(&records[1]), Err(WalError::Backend(_))));
+        wal.append(&records[2]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail, "orphan bytes were rolled back");
+        assert_eq!(replay.records, vec![records[0].clone(), records[2].clone()]);
+    }
+
+    #[test]
+    fn a_checksum_valid_but_undecodable_final_frame_is_corruption() {
+        // A torn write cannot produce a complete payload with a valid
+        // payload CRC, so this can only be real damage (or version skew):
+        // treating it as a torn tail would let recovery silently truncate
+        // a durable, checksummed record.
+        let payload = [42u8, 0, 0, 0]; // bogus tag, valid CRCs
+        let len_bytes = (payload.len() as u32).to_le_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&len_bytes);
+        frame.extend_from_slice(&crc32(&len_bytes).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut wal = WriteAheadLog::in_memory();
+        wal.append(&sample_records()[0]).unwrap();
+        let offset = wal.bytes_appended() as usize;
+        let mut backend = MemLog::new();
+        backend.append(&wal.contents().unwrap()).unwrap();
+        backend.append(&frame).unwrap(); // the undecodable FINAL frame
+        assert_eq!(
+            WriteAheadLog::new(Box::new(backend)).replay(),
+            Err(WalError::Corrupt { offset })
+        );
+    }
+
+    #[test]
+    fn undecodable_payload_with_a_valid_checksum_is_corruption() {
+        // A frame whose payload has a bogus tag but correct CRCs, followed
+        // by a valid frame: decode failure, not checksum failure.
+        let payload = [42u8, 0, 0, 0];
+        let len_bytes = (payload.len() as u32).to_le_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&len_bytes);
+        frame.extend_from_slice(&crc32(&len_bytes).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut backend = MemLog::new();
+        backend.append(&frame).unwrap();
+        let mut wal = WriteAheadLog::new(Box::new(backend));
+        wal.append(&WalRecord::Seal { group: 7 }).unwrap();
+        assert_eq!(wal.replay(), Err(WalError::Corrupt { offset: 0 }));
+    }
+}
