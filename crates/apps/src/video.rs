@@ -17,8 +17,8 @@ use serde::{Deserialize, Serialize};
 use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
 use rain_storage::{
-    DistributedStore, GroupConfig, RecoveryReport, SelectionPolicy, StorageError, SurvivingNodes,
-    WriteAheadLog,
+    DistributedStore, FaultPolicy, GroupConfig, OutcomeTally, RecoveryReport, SelectionPolicy,
+    StorageError, SurvivingNodes, Transport, WriteAheadLog,
 };
 
 /// One streaming client and its playback state.
@@ -34,6 +34,9 @@ pub struct VideoClient {
     pub blocks_played: usize,
     /// Ticks in which playback stalled (no block could be fetched).
     pub stalls: usize,
+    /// Blocks played from a degraded read (fewer than `n` verified
+    /// shares — some server was down, slow, damaged, or stale).
+    pub degraded_blocks: usize,
     /// Servers this client currently cannot reach (its local view of the
     /// network; server crashes are tracked globally in the store).
     pub unreachable: BTreeSet<NodeId>,
@@ -46,6 +49,7 @@ pub struct VideoSystem {
     block_size: usize,
     videos: Vec<(String, usize)>,
     clients: Vec<VideoClient>,
+    health: OutcomeTally,
 }
 
 impl VideoSystem {
@@ -66,6 +70,7 @@ impl VideoSystem {
             block_size,
             videos: Vec::new(),
             clients: Vec::new(),
+            health: OutcomeTally::default(),
         }
     }
 
@@ -121,6 +126,7 @@ impl VideoSystem {
                 block_size,
                 videos: blocks_per_video.into_iter().collect(),
                 clients: Vec::new(),
+                health: OutcomeTally::default(),
             },
             report,
         ))
@@ -159,6 +165,27 @@ impl VideoSystem {
         self.store.group_stats()
     }
 
+    /// Run the service over a fault-injecting transport (see
+    /// [`rain_storage::ChaosTransport`]): playback then experiences
+    /// timeouts, losses, and corrupt responses instead of instant answers.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.store.set_transport(transport);
+    }
+
+    /// Configure how retrieves behave under a faulty transport (timeouts,
+    /// retries, hedging).
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.store.set_policy(policy);
+    }
+
+    /// Per-node outcome breakdown accumulated over every block retrieve:
+    /// how many server contacts answered ok, timed out, returned damage,
+    /// were down, or served a stale generation — plus degraded/hedged read
+    /// counts. The service-level view of retrieval health.
+    pub fn playback_health(&self) -> OutcomeTally {
+        self.health
+    }
+
     /// Register a client that will stream `video` from the beginning.
     pub fn add_client(&mut self, video: &str) -> usize {
         let id = self.clients.len();
@@ -168,6 +195,7 @@ impl VideoSystem {
             position: 0,
             blocks_played: 0,
             stalls: 0,
+            degraded_blocks: 0,
             unreachable: BTreeSet::new(),
         });
         id
@@ -240,9 +268,13 @@ impl VideoSystem {
             );
             let cl = &mut self.clients[c];
             match result {
-                Ok(_) => {
+                Ok((_, report)) => {
                     cl.position += 1;
                     cl.blocks_played += 1;
+                    if report.degraded {
+                        cl.degraded_blocks += 1;
+                    }
+                    self.health.absorb(&report);
                     progressed += 1;
                 }
                 Err(_) => {
@@ -292,6 +324,32 @@ mod tests {
         // matches the DESIGN.md parameters for E12. Selected by spec, as a
         // deployment would from its config file.
         VideoSystem::from_spec(CodeSpec::new(CodeKind::BCode, 10, 8), 256).expect("valid spec")
+    }
+
+    #[test]
+    fn playback_health_surfaces_per_server_outcomes_under_chaos() {
+        use rain_sim::{FaultPlan, SimTime};
+        use rain_storage::ChaosTransport;
+        let mut v = system();
+        let film: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
+        v.ingest("film", &film).unwrap();
+        // Swap in a transport where server 3 has crashed: every contact
+        // with it fails and playback reads around it, flagged degraded.
+        v.set_transport(Box::new(ChaosTransport::new(10, 99).with_plan(
+            FaultPlan::none().at(SimTime::ZERO, rain_sim::Fault::NodeCrash(NodeId(3))),
+        )));
+        v.set_fault_policy(FaultPolicy::default());
+        v.add_client("film");
+        assert!(v.run(100));
+        assert_eq!(v.total_stalls(), 0, "one dead server of ten cannot stall");
+        let health = v.playback_health();
+        assert!(health.ok > 0, "live servers must answer");
+        assert!(health.down > 0, "dead-server contacts must be surfaced");
+        assert_eq!(health.corrupt, 0, "nothing corrupts in this scenario");
+        assert!(
+            v.client(0).degraded_blocks > 0,
+            "blocks played around the dead server count as degraded"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! cargo run -p bench --release            # full run, writes BENCH_codes.json
 //! cargo run -p bench --release -- --smoke # fast smoke pass (CI)
 //! cargo run -p bench --release -- --smoke --baseline BENCH_codes.json
-//!                                         # CI: fail on >10% regressions
+//!                                         # CI: fail on confirmed regressions
 //! cargo run -p bench --release -- --bless # regenerate the baseline
 //! ```
 //!

@@ -5,12 +5,25 @@
 //!
 //! ```text
 //! bench [--smoke] [--no-assert] [--baseline <path>] [--bless]
+//! bench --cluster
 //! ```
 //!
 //! `--baseline <path>` reads a previously committed `BENCH_codes.json`
-//! *before* this run overwrites it and fails (exit 1) if any matching
-//! encode/decode row regressed by more than 10%. `--bless` skips that
-//! comparison so the freshly written file becomes the new baseline.
+//! *before* this run overwrites it and fails (exit 1) on a confirmed
+//! encode/decode regression: rows more than 10% below the baseline are
+//! re-measured (best sample kept, up to three rounds) and condemned only
+//! if still more than 20% down — shared runners drift past 10% on noise
+//! alone. `--bless` skips the comparison so the freshly written file
+//! becomes the new baseline.
+//!
+//! `--cluster` runs the closed-loop fault-injection scenarios
+//! ([`rain_storage::builtin_scenarios`]) instead of the throughput
+//! benches and writes per-scenario p50/p99 retrieve latency plus fault
+//! counters to `BENCH_cluster.json`. Scenario time is *virtual*, so the
+//! file is bit-deterministic: CI regenerates it and fails on any drift
+//! (`git diff --exit-code BENCH_cluster.json`); after an intentional
+//! behaviour change, re-run `bench --cluster` and commit the new file —
+//! that is the bless path.
 //!
 //! See the crate docs ([`bench`]) for the kernel-speedup assertion this
 //! binary also enforces in release builds.
@@ -25,7 +38,9 @@ use rain_codes::{
     XCode,
 };
 use rain_sim::NodeId;
-use rain_storage::{DistributedStore, GroupConfig, SelectionPolicy};
+use rain_storage::{
+    builtin_scenarios, run_scenario, DistributedStore, GroupConfig, SelectionPolicy,
+};
 
 /// Kernel speedups below this factor fail the run (release builds only).
 const REQUIRED_KERNEL_SPEEDUP: f64 = 4.0;
@@ -38,8 +53,15 @@ const API_BLOCK: usize = 4 * 1024;
 const BIG_BLOCK: usize = 1024 * 1024;
 /// Stripe length used by the striped rows.
 const STRIPE_BYTES: usize = 64 * 1024;
-/// Baseline rows may be this much slower before the diff fails the run.
+/// Baseline rows this much slower than the committed numbers are SUSPECTS:
+/// re-measured (best sample kept) before any verdict.
 const REGRESSION_TOLERANCE: f64 = 0.10;
+/// A suspect whose best sample across all confirmation rounds is still this
+/// far below the baseline fails the run. Wider than the screening tolerance
+/// because shared 1-vCPU runners drift +/-12% over minutes — a 10% verdict
+/// threshold flakes on noise, while the regressions this gate exists to
+/// catch (losing a SIMD dispatch, an algorithmic slip) cost 2x, not 20%.
+const CONFIRM_TOLERANCE: f64 = 0.20;
 /// Floor for the encode_into-vs-encode and striped-vs-single asserts: a
 /// statistical tie (run-to-run noise around 1.0x) must not fail the run,
 /// only a real loss. Repair keeps a strict > 1.0 — its margin is ~5x.
@@ -57,6 +79,7 @@ fn main() {
     let mut smoke = false;
     let mut no_assert = false;
     let mut bless = false;
+    let mut cluster = false;
     let mut baseline_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,12 +87,17 @@ fn main() {
             "--smoke" => smoke = true,
             "--no-assert" => no_assert = true,
             "--bless" => bless = true,
+            "--cluster" => cluster = true,
             "--baseline" => match args.next() {
                 Some(path) => baseline_path = Some(path),
                 None => usage_error("--baseline needs a path"),
             },
             other => usage_error(&format!("unknown argument: {other}")),
         }
+    }
+    if cluster {
+        run_cluster_bench();
+        return;
     }
     let config = if smoke {
         BenchConfig::smoke()
@@ -181,8 +209,64 @@ fn main() {
 
 fn usage_error(message: &str) -> ! {
     eprintln!("{message}");
-    eprintln!("usage: bench [--smoke] [--no-assert] [--baseline <path>] [--bless]");
+    eprintln!("usage: bench [--smoke] [--no-assert] [--baseline <path>] [--bless] [--cluster]");
     std::process::exit(2);
+}
+
+/// Run every builtin fault-injection scenario closed-loop, print the
+/// per-scenario summary, and write `BENCH_cluster.json`. All scenario time
+/// is virtual, so the output is bit-deterministic — the committed file is
+/// its own baseline and CI diffs it exactly.
+fn run_cluster_bench() {
+    println!("rain bench (cluster fault scenarios, virtual time)");
+    println!(
+        "\nscenario             retrieves  degraded  unavail  hedged  retries  p50 us  p99 us"
+    );
+    let mut rows = Vec::new();
+    for sc in builtin_scenarios() {
+        let r = run_scenario(&sc).expect("builtin scenario must run");
+        assert_eq!(r.wrong_bytes, 0, "{}: served wrong bytes", r.name);
+        assert_eq!(
+            r.ok + r.unavailable,
+            r.retrieves,
+            "{}: retrieves unaccounted for",
+            r.name
+        );
+        println!(
+            "{:<20}  {:>8}  {:>8}  {:>7}  {:>6}  {:>7}  {:>6}  {:>6}",
+            r.name, r.retrieves, r.degraded, r.unavailable, r.hedged, r.retries, r.p50_us, r.p99_us
+        );
+        rows.push(Json::obj(vec![
+            ("scenario", Json::Str(r.name.clone())),
+            ("retrieves", Json::Int(r.retrieves as i64)),
+            ("ok", Json::Int(r.ok as i64)),
+            ("degraded", Json::Int(r.degraded as i64)),
+            ("unavailable", Json::Int(r.unavailable as i64)),
+            ("wrong_bytes", Json::Int(r.wrong_bytes as i64)),
+            ("local_hits", Json::Int(r.local_hits as i64)),
+            ("hedged", Json::Int(r.hedged as i64)),
+            ("retries", Json::Int(r.retries as i64)),
+            ("stores_failed", Json::Int(r.stores_failed as i64)),
+            ("repairs", Json::Int(r.repairs as i64)),
+            ("installs_completed", Json::Int(r.installs_completed as i64)),
+            ("p50_us", Json::Int(r.p50_us as i64)),
+            ("p99_us", Json::Int(r.p99_us as i64)),
+            ("max_us", Json::Int(r.max_us as i64)),
+            ("transport_attempts", Json::Int(r.transport_attempts as i64)),
+            ("transport_lost", Json::Int(r.transport_lost as i64)),
+            (
+                "transport_corrupted",
+                Json::Int(r.transport_corrupted as i64),
+            ),
+        ]));
+    }
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rain-bench-cluster/v1".into())),
+        ("scenarios", Json::Arr(rows)),
+    ]);
+    let path = "BENCH_cluster.json";
+    std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("\nwrote {path} (deterministic: diff it against the committed baseline)");
 }
 
 fn default_workers() -> usize {
@@ -753,9 +837,13 @@ struct Regression {
     messages: Vec<String>,
 }
 
-/// Compare encode/decode rows against the baseline. Returns the regressed
-/// rows and the number of compared measurements.
-fn find_regressions(fresh_rows: &[Json], base_rows: &[Json]) -> (Vec<Regression>, usize) {
+/// Compare encode/decode rows against the baseline. Returns the rows more
+/// than `tolerance` below it and the number of compared measurements.
+fn find_regressions(
+    fresh_rows: &[Json],
+    base_rows: &[Json],
+    tolerance: f64,
+) -> (Vec<Regression>, usize) {
     let key = |row: &Json| {
         (
             row.get("code").and_then(Json::as_str).map(str::to_string),
@@ -779,7 +867,7 @@ fn find_regressions(fresh_rows: &[Json], base_rows: &[Json]) -> (Vec<Regression>
                 continue;
             };
             compared += 1;
-            if now < then * (1.0 - REGRESSION_TOLERANCE) {
+            if now < then * (1.0 - tolerance) {
                 messages.push(format!(
                     "{} ({},{}) @ {}: {metric} {then:.0} -> {now:.0} MB/s ({:+.1}%)",
                     row.get("code").and_then(Json::as_str).unwrap_or("?"),
@@ -808,10 +896,12 @@ fn find_regressions(fresh_rows: &[Json], base_rows: &[Json]) -> (Vec<Regression>
 }
 
 /// Compare this run's encode/decode rows against the committed baseline and
-/// exit non-zero on a reproducible >10% regression. A first-pass suspect is
-/// re-measured with a triple-length budget before failing — on shared
-/// runners a single window can lose >10% to scheduler interference, and a
-/// real regression reproduces while noise does not.
+/// exit non-zero on a confirmed regression. A first-pass suspect (more than
+/// [`REGRESSION_TOLERANCE`] down) is re-measured with a triple-length
+/// budget, up to three rounds, keeping the BEST sample seen per metric —
+/// interference only ever makes a window read slower than the true rate, so
+/// one clean sample clears a row, while a real regression cannot produce a
+/// fast sample. The verdict uses the wider [`CONFIRM_TOLERANCE`].
 fn diff_against_baseline(fresh: &Json, baseline: &Json, config: &BenchConfig) {
     let empty: [Json; 0] = [];
     let fresh_rows = fresh.get("codes").and_then(Json::as_arr).unwrap_or(&empty);
@@ -819,7 +909,7 @@ fn diff_against_baseline(fresh: &Json, baseline: &Json, config: &BenchConfig) {
         .get("codes")
         .and_then(Json::as_arr)
         .unwrap_or(&empty);
-    let (mut regressions, compared) = find_regressions(fresh_rows, base_rows);
+    let (mut regressions, compared) = find_regressions(fresh_rows, base_rows, REGRESSION_TOLERANCE);
     // Make partial coverage visible: smoke runs measure fewer block sizes
     // than a full-run baseline contains, and those rows are NOT checked.
     let fresh_key = |row: &Json| {
@@ -850,39 +940,99 @@ fn diff_against_baseline(fresh: &Json, baseline: &Json, config: &BenchConfig) {
             warmup_iters: config.warmup_iters.max(2),
         };
         let zoo = code_zoo();
-        let mut confirmed_rows = Vec::new();
+        // Best sample seen so far for each suspect row, seeded from the
+        // first pass. Each confirmation round re-measures the rows still
+        // failing and folds the new samples in as an elementwise max.
+        let mut best: Vec<Json> = regressions
+            .iter()
+            .filter_map(|r| {
+                fresh_rows
+                    .iter()
+                    .find(|f| {
+                        f.get("code").and_then(Json::as_str) == Some(&r.code)
+                            && f.get("n").and_then(Json::as_i64) == Some(r.n)
+                            && f.get("k").and_then(Json::as_i64) == Some(r.k)
+                            && f.get("data_bytes").and_then(Json::as_i64) == Some(r.data_bytes)
+                    })
+                    .cloned()
+            })
+            .collect();
         let mut unconfirmable = Vec::new();
-        for regression in regressions.drain(..) {
-            // Every fresh row comes from code_zoo(), so the lookup holds for
-            // any row this binary produced; a row it cannot re-measure
-            // stays failed rather than silently passing.
-            match zoo.iter().find(|(name, code)| {
-                *name == regression.code
-                    && code.n() as i64 == regression.n
-                    && code.k() as i64 == regression.k
-            }) {
-                Some((name, code)) => confirmed_rows.push(measure_code_row(
-                    &confirm,
-                    name,
-                    code.as_ref(),
-                    regression.data_bytes as usize,
-                )),
-                None => unconfirmable.push(regression),
+        for _round in 0..3 {
+            for regression in regressions.drain(..) {
+                // Every fresh row comes from code_zoo(), so the lookup holds
+                // for any row this binary produced; a row it cannot
+                // re-measure stays failed rather than silently passing.
+                match zoo.iter().find(|(name, code)| {
+                    *name == regression.code
+                        && code.n() as i64 == regression.n
+                        && code.k() as i64 == regression.k
+                }) {
+                    Some((name, code)) => {
+                        let row = measure_code_row(
+                            &confirm,
+                            name,
+                            code.as_ref(),
+                            regression.data_bytes as usize,
+                        );
+                        let kept = best.iter_mut().find(|b| fresh_key(b) == fresh_key(&row));
+                        match kept {
+                            Some(Json::Obj(pairs)) => {
+                                for (key, value) in pairs.iter_mut() {
+                                    if !key.ends_with("_mb_s") {
+                                        continue;
+                                    }
+                                    let new = row.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                                    if value.as_f64().unwrap_or(0.0) < new {
+                                        *value = Json::Num(new);
+                                    }
+                                }
+                            }
+                            _ => best.push(row),
+                        }
+                    }
+                    None => {
+                        let seen = unconfirmable.iter().any(|u: &Regression| {
+                            u.code == regression.code
+                                && u.n == regression.n
+                                && u.k == regression.k
+                                && u.data_bytes == regression.data_bytes
+                        });
+                        if !seen {
+                            unconfirmable.push(regression);
+                        }
+                    }
+                }
+            }
+            (regressions, _) = find_regressions(&best, base_rows, CONFIRM_TOLERANCE);
+            if regressions.is_empty() {
+                break;
             }
         }
-        (regressions, _) = find_regressions(&confirmed_rows, base_rows);
-        regressions.extend(unconfirmable);
+        // A row that could not be re-measured is failed outright (it may
+        // also still sit in `regressions` via its seeded first-pass row —
+        // report it once).
+        for u in unconfirmable {
+            let dup = regressions.iter().any(|r| {
+                r.code == u.code && r.n == u.n && r.k == u.k && r.data_bytes == u.data_bytes
+            });
+            if !dup {
+                regressions.push(u);
+            }
+        }
     }
     if regressions.is_empty() {
         println!(
-            "baseline diff: {compared} encode/decode measurements within {:.0}% of the baseline",
-            REGRESSION_TOLERANCE * 100.0
+            "baseline diff: {compared} encode/decode measurements pass (screen {:.0}%, \
+             confirmed verdicts at {:.0}%)",
+            REGRESSION_TOLERANCE * 100.0,
+            CONFIRM_TOLERANCE * 100.0
         );
         return;
     }
     eprintln!(
         "baseline diff: reproducible regressions of more than {:.0}%:",
-        REGRESSION_TOLERANCE * 100.0
+        CONFIRM_TOLERANCE * 100.0
     );
     for r in regressions.iter().flat_map(|r| r.messages.iter()) {
         eprintln!("  {r}");

@@ -24,8 +24,8 @@ use serde::{Deserialize, Serialize};
 use rain_codes::{build_code, CodeSpec, ErasureCode};
 use rain_sim::NodeId;
 use rain_storage::{
-    DistributedStore, FlushReport, GroupConfig, RecoveryReport, SelectionPolicy, StorageError,
-    SurvivingNodes, WriteAheadLog,
+    DistributedStore, FlushReport, GroupConfig, OutcomeTally, RecoveryReport, SelectionPolicy,
+    StorageError, SurvivingNodes, WriteAheadLog,
 };
 
 /// A synthetic deterministic workload: the state after `s` steps is a chain
@@ -149,6 +149,7 @@ pub struct RainCheck {
     lost_work: u64,
     reassignments: u64,
     checkpoints_written: u64,
+    retrieval_health: OutcomeTally,
 }
 
 impl RainCheck {
@@ -176,6 +177,7 @@ impl RainCheck {
             lost_work: 0,
             reassignments: 0,
             checkpoints_written: 0,
+            retrieval_health: OutcomeTally::default(),
         }
     }
 
@@ -266,6 +268,9 @@ impl RainCheck {
         for id in affected {
             let key = Self::checkpoint_key(id);
             let restored = self.store.retrieve(&key, SelectionPolicy::LeastLoaded);
+            if let Ok((_, report)) = &restored {
+                self.retrieval_health.absorb(report);
+            }
             let job = self.jobs.get_mut(&id).unwrap();
             let before = job.progress;
             match restored {
@@ -296,6 +301,14 @@ impl RainCheck {
     /// The underlying store (checkpoint placement, grouping counters).
     pub fn store(&self) -> &DistributedStore {
         &self.store
+    }
+
+    /// Per-node outcome breakdown accumulated over every checkpoint
+    /// restore: ok/timeout/corrupt/down/stale contact counts plus
+    /// degraded-read totals — the scheduler's view of how healthy its
+    /// restores have been.
+    pub fn retrieval_health(&self) -> OutcomeTally {
+        self.retrieval_health
     }
 
     /// Simulate a crash of the **coordinator** (leader + store metadata):
@@ -339,6 +352,7 @@ impl RainCheck {
             lost_work: 0,
             reassignments: 0,
             checkpoints_written: 0,
+            retrieval_health: OutcomeTally::default(),
         };
         rc.nodes_up = (0..n).map(|i| rc.store.node_up(NodeId(i))).collect();
         for spec in jobs {
@@ -354,7 +368,10 @@ impl RainCheck {
                 .store
                 .retrieve(&Self::checkpoint_key(spec.id), SelectionPolicy::LeastLoaded)
             {
-                Ok((bytes, _)) => job.restore(&bytes),
+                Ok((bytes, report)) => {
+                    rc.retrieval_health.absorb(&report);
+                    job.restore(&bytes);
+                }
                 Err(StorageError::UnknownObject { .. }) => {} // never checkpointed
                 // Temporarily unreachable (< k symbols of its sealed group
                 // live right now): restart this job from scratch rather
@@ -444,6 +461,26 @@ mod tests {
     fn system(interval: u64) -> RainCheck {
         // Select the paper's (6, 4) B-Code from serializable configuration.
         RainCheck::from_spec(CodeSpec::bcode_6_4(), interval).expect("valid spec")
+    }
+
+    #[test]
+    fn restore_health_reports_degraded_restores_after_a_crash() {
+        let mut rc = system(4);
+        for id in 0..6 {
+            rc.submit(id, id * 31 + 7, 40);
+        }
+        for _ in 0..8 {
+            rc.round().unwrap();
+        }
+        rc.crash_node(NodeId(2)).unwrap();
+        let health = rc.retrieval_health();
+        assert!(health.ok > 0, "restores must have contacted live nodes");
+        assert!(
+            health.degraded_reads > 0,
+            "a restore with a dead node must be flagged degraded"
+        );
+        assert_eq!(health.corrupt, 0);
+        assert_eq!(health.stale, 0);
     }
 
     #[test]

@@ -27,6 +27,12 @@ pub enum Fault {
     IfaceDown(IfaceId),
     /// Recover a failed NIC.
     IfaceUp(IfaceId),
+    /// Gray failure: inflate a node's latency by an integer factor without
+    /// taking it down. The node keeps answering — slowly — which is the
+    /// failure mode time-outs and hedged reads exist for.
+    NodeDegrade(NodeId, u32),
+    /// Restore a degraded node to nominal latency.
+    NodeRestore(NodeId),
 }
 
 impl Fault {
@@ -41,6 +47,8 @@ impl Fault {
             Fault::SwitchRecover(s) => net.set_switch_up(s, true),
             Fault::IfaceDown(i) => net.set_iface_up(i, false),
             Fault::IfaceUp(i) => net.set_iface_up(i, true),
+            Fault::NodeDegrade(n, factor) => net.set_node_slowdown(n, factor),
+            Fault::NodeRestore(n) => net.set_node_slowdown(n, 1),
         }
     }
 
@@ -48,7 +56,11 @@ impl Fault {
     pub fn is_failure(self) -> bool {
         matches!(
             self,
-            Fault::LinkDown(_) | Fault::NodeCrash(_) | Fault::SwitchFail(_) | Fault::IfaceDown(_)
+            Fault::LinkDown(_)
+                | Fault::NodeCrash(_)
+                | Fault::SwitchFail(_)
+                | Fault::IfaceDown(_)
+                | Fault::NodeDegrade(..)
         )
     }
 }
@@ -122,6 +134,42 @@ impl FaultPlan {
         plan
     }
 
+    /// Schedule a gray failure: `node` runs at `factor`× its nominal latency
+    /// throughout `[from, until)`, then returns to nominal. The node never
+    /// goes down — requests keep succeeding, just slowly — so only policies
+    /// with deadlines or hedging notice anything at all.
+    pub fn gray_failure(self, node: NodeId, from: SimTime, until: SimTime, factor: u32) -> Self {
+        assert!(from < until, "gray failure needs a non-empty window");
+        self.at(from, Fault::NodeDegrade(node, factor))
+            .at(until, Fault::NodeRestore(node))
+    }
+
+    /// Schedule a flapping link: starting at `first_down`, the link cycles
+    /// down for `down_for` and up for `up_for`, until `horizon`. The plan
+    /// always ends with the link up (a final `LinkUp` is emitted at the end
+    /// of the last down window even if it lands past `horizon`), so the
+    /// fault is transient by construction.
+    pub fn flapping_link(
+        mut self,
+        link: LinkId,
+        first_down: SimTime,
+        down_for: crate::time::SimDuration,
+        up_for: crate::time::SimDuration,
+        horizon: SimTime,
+    ) -> Self {
+        assert!(
+            down_for.as_micros() > 0 && up_for.as_micros() > 0,
+            "flapping needs non-empty down and up windows"
+        );
+        let mut t = first_down;
+        while t < horizon {
+            self.push(t, Fault::LinkDown(link));
+            self.push(t + down_for, Fault::LinkUp(link));
+            t = t + down_for + up_for;
+        }
+        self
+    }
+
     /// Build a random plan that fails `failures` distinct links at uniform
     /// random times within `[0, horizon)`, each healing after `repair_after`
     /// if it is non-zero.
@@ -179,6 +227,74 @@ mod tests {
         assert!(!net.node(NodeId(0)).ifaces_up[0]);
         Fault::IfaceUp(iface).apply(&mut net);
         assert!(net.node(NodeId(0)).ifaces_up[0]);
+    }
+
+    #[test]
+    fn degrade_and_restore_round_trip_the_slowdown() {
+        let mut net = Network::full_mesh(3, DEFAULT_LINK_LATENCY, 0.0);
+        assert_eq!(net.node_slowdown(NodeId(1)), 1);
+        Fault::NodeDegrade(NodeId(1), 20).apply(&mut net);
+        assert_eq!(net.node_slowdown(NodeId(1)), 20);
+        assert_eq!(net.pair_slowdown(NodeId(0), NodeId(1)), 20);
+        assert!(net.node_up(NodeId(1)), "a gray node is still up");
+        Fault::NodeRestore(NodeId(1)).apply(&mut net);
+        assert_eq!(net.node_slowdown(NodeId(1)), 1);
+        // A zero factor clamps to nominal rather than dividing by zero.
+        Fault::NodeDegrade(NodeId(1), 0).apply(&mut net);
+        assert_eq!(net.node_slowdown(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn gray_failure_schedules_a_degrade_restore_pair() {
+        let plan = FaultPlan::none().gray_failure(
+            NodeId(2),
+            SimTime::from_secs(1),
+            SimTime::from_secs(3),
+            10,
+        );
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.failure_count(), 1, "the restore is not a failure");
+        let sorted = plan.sorted();
+        assert_eq!(
+            sorted[0],
+            (SimTime::from_secs(1), Fault::NodeDegrade(NodeId(2), 10))
+        );
+        assert_eq!(
+            sorted[1],
+            (SimTime::from_secs(3), Fault::NodeRestore(NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn flapping_link_alternates_and_ends_up() {
+        use crate::time::SimDuration;
+        let link = LinkId(4);
+        let plan = FaultPlan::none().flapping_link(
+            link,
+            SimTime::from_millis(10),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(15),
+            SimTime::from_millis(50),
+        );
+        // Down at 10, 30, 50? No: windows start at 10 and 30 (10 + 5 + 15);
+        // the next would start at 50, which is not < 50.
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.failure_count(), 2);
+        let sorted = plan.sorted();
+        let expected = [
+            (SimTime::from_millis(10), Fault::LinkDown(link)),
+            (SimTime::from_millis(15), Fault::LinkUp(link)),
+            (SimTime::from_millis(30), Fault::LinkDown(link)),
+            (SimTime::from_millis(35), Fault::LinkUp(link)),
+        ];
+        assert_eq!(sorted, expected);
+        // Every down is paired with a later up: applying the whole plan in
+        // order leaves the link healthy.
+        let mut net = Network::full_mesh(6, DEFAULT_LINK_LATENCY, 0.0);
+        for (_, f) in sorted {
+            f.apply(&mut net);
+        }
+        assert!(net.link_up(link));
     }
 
     #[test]

@@ -101,6 +101,11 @@ pub struct Node {
     pub up: bool,
     /// Per-interface health (a NIC can fail while the node stays up).
     pub ifaces_up: Vec<bool>,
+    /// Latency multiplier for traffic in or out of this node. `1` is
+    /// nominal; larger values model a *gray failure*: the node is up and
+    /// reachable, it just answers slowly (overloaded CPU, dying disk,
+    /// half-duplex NIC). Injected via [`crate::Fault::NodeDegrade`].
+    pub slowdown: u32,
 }
 
 /// A switch and its health.
@@ -283,6 +288,23 @@ impl Network {
         self.nodes[id.node.0].ifaces_up[id.iface] = up;
     }
 
+    /// Set a node's latency multiplier (gray failure). Clamped to at least 1.
+    pub fn set_node_slowdown(&mut self, id: NodeId, factor: u32) {
+        self.nodes[id.0].slowdown = factor.max(1);
+    }
+
+    /// The node's current latency multiplier (1 = nominal).
+    pub fn node_slowdown(&self, id: NodeId) -> u32 {
+        self.nodes[id.0].slowdown
+    }
+
+    /// Combined latency multiplier for traffic between two nodes: the
+    /// product of the endpoints' slowdowns (a degraded node is slow both
+    /// sending and receiving).
+    pub fn pair_slowdown(&self, a: NodeId, b: NodeId) -> u64 {
+        self.nodes[a.0].slowdown as u64 * self.nodes[b.0].slowdown as u64
+    }
+
     /// Find the link joining two specific ports, if one exists.
     pub fn find_link(&self, a: Port, b: Port) -> Option<LinkId> {
         self.links
@@ -451,6 +473,7 @@ impl NetworkBuilder {
             id,
             up: true,
             ifaces_up: vec![true; ifaces],
+            slowdown: 1,
         });
         id
     }

@@ -257,6 +257,8 @@ impl<M> Simulation<M> {
                 latency = latency + SimDuration::from_micros(self.rng.below(j.as_micros() + 1));
             }
         }
+        // Gray failures: a degraded endpoint stretches the whole transfer.
+        latency = latency.saturating_mul(self.net.pair_slowdown(from, to));
         // A zero-hop path (loopback) still takes a scheduling step.
         let deliver_at = self.now + latency + SimDuration::from_micros(1);
         self.queue.push(
@@ -469,6 +471,30 @@ mod tests {
         sim.network_mut().set_node_up(NodeId(1), false);
         assert!(sim.step().is_none());
         assert_eq!(sim.trace().dropped_dest_down, 1);
+    }
+
+    #[test]
+    fn degraded_endpoint_inflates_delivery_latency() {
+        // Nominal: one 50 µs hop plus the 1 µs scheduling step.
+        let mut sim = mesh(2);
+        assert!(sim.send(NodeId(0), NodeId(1), "fast"));
+        let nominal = sim.step().unwrap().time;
+        assert_eq!(nominal, SimTime::from_micros(51));
+
+        // Gray-failed receiver: the wire time stretches 10×, the scheduling
+        // step does not.
+        let mut sim = mesh(2);
+        sim.network_mut().set_node_slowdown(NodeId(1), 10);
+        assert!(sim.send(NodeId(0), NodeId(1), "slow"));
+        let degraded = sim.step().unwrap().time;
+        assert_eq!(degraded, SimTime::from_micros(501));
+
+        // Restoring the node restores nominal latency.
+        let mut sim = mesh(2);
+        sim.network_mut().set_node_slowdown(NodeId(1), 10);
+        sim.network_mut().set_node_slowdown(NodeId(1), 1);
+        assert!(sim.send(NodeId(0), NodeId(1), "healed"));
+        assert_eq!(sim.step().unwrap().time, nominal);
     }
 
     #[test]

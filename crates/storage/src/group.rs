@@ -243,6 +243,13 @@ pub struct GroupStats {
     pub wal_records: u64,
     /// Frame bytes appended to the write-ahead log (0 without one).
     pub wal_bytes: u64,
+    /// Symbol installs acked past the write quorum but not yet landed on
+    /// their node (see [`crate::DistributedStore::complete_writes`]). Until
+    /// they land, the affected objects run below full `n`-way redundancy.
+    pub pending_installs: usize,
+    /// Frame bytes across those pending installs — the quorum-write
+    /// counterpart of [`GroupStats::bytes_at_risk`].
+    pub pending_install_bytes: usize,
 }
 
 /// What a [`crate::DistributedStore::flush`] call made durable, so callers
@@ -254,6 +261,9 @@ pub struct FlushReport {
     pub groups_sealed: usize,
     /// Live objects that became erasure-coded durable with the seal.
     pub objects_committed: usize,
+    /// Symbol installs that missed the seal's ack window and were queued
+    /// for background completion (0 under the direct transport).
+    pub installs_deferred: usize,
 }
 
 /// Result of a [`crate::DistributedStore::compact`] pass.

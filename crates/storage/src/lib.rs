@@ -25,12 +25,22 @@
 
 pub mod fs;
 pub mod group;
+pub mod scenario;
 pub mod store;
+pub mod transport;
 pub mod wal;
 
 pub use fs::{FileMeta, RainFs};
 pub use group::{CompactReport, Durability, FlushReport, GroupConfig, GroupStats, ObjSpan};
+pub use scenario::{
+    builtin_scenarios, run_scenario, Action, Scenario, ScenarioReport, TransportSpec,
+};
 pub use store::{
-    DistributedStore, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError, SurvivingNodes,
+    DistributedStore, OutcomeTally, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError,
+    SurvivingNodes,
+};
+pub use transport::{
+    Attempt, ChaosTransport, DirectTransport, FaultPolicy, NodeOutcome, SimNetTransport, Transport,
+    TransportError, TransportOp, TransportStats,
 };
 pub use wal::{CrashFuse, LogBackend, MemLog, WalError, WalRecord, WriteAheadLog};

@@ -23,11 +23,15 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeError, CodeSpec, ErasureCode, ShareSet, ShareView};
-use rain_sim::NodeId;
+use rain_sim::{DetRng, NodeId, SimDuration, SimTime};
 
 use crate::group::{
     CodingGroup, CompactReport, Durability, FlushReport, GroupConfig, GroupDecodeCache, GroupId,
     GroupStats, ObjSpan,
+};
+use crate::transport::{
+    open_frame, seal_frame, split_frame, DirectTransport, FaultPolicy, NodeOutcome, Transport,
+    TransportError, TransportOp, TransportStats, FRAME_HEADER,
 };
 use crate::wal::{RecordView, WalError, WalRecord, WriteAheadLog};
 
@@ -57,6 +61,14 @@ pub enum StorageError {
         /// What went wrong.
         reason: String,
     },
+    /// A write could not install enough symbols within the fault policy's
+    /// budget to meet its ack quorum (`n - write_slack`, never below `k`).
+    QuorumNotReached {
+        /// Symbols that did install.
+        installed: usize,
+        /// Installs the quorum required.
+        needed: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -70,6 +82,9 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownNode(n) => write!(f, "unknown node {n}"),
             StorageError::Wal(e) => write!(f, "write-ahead log error: {e}"),
             StorageError::Recovery { reason } => write!(f, "recovery failed: {reason}"),
+            StorageError::QuorumNotReached { installed, needed } => {
+                write!(f, "only {installed} symbols installed, quorum is {needed}")
+            }
         }
     }
 }
@@ -140,9 +155,73 @@ pub struct RetrieveReport {
     /// True if **this retrieve** had fewer than `n` shares of **this
     /// object** available — because a holding node is down, a node lost the
     /// symbol (e.g. hot-swapped but not yet repaired), or the caller's
-    /// allowed set excluded it. Unrelated node failures do not mark a read
-    /// of a fully available object as degraded.
+    /// allowed set excluded it — or if any node it contacted failed to
+    /// deliver a verified share (see [`RetrieveReport::outcomes`]).
+    /// Unrelated node failures do not mark a read of a fully available
+    /// object as degraded.
     pub degraded: bool,
+    /// Per-node fate of every node this retrieve contacted: which answered
+    /// with a verified share, which timed out, returned damage, was down,
+    /// or held a stale generation. Empty when no node was contacted (open
+    /// groups, decode-cache hits).
+    pub outcomes: Vec<(NodeId, NodeOutcome)>,
+    /// Virtual time from dispatch until the `k`-th verified share arrived —
+    /// the decode could start at this point. Zero under the direct
+    /// transport and for reads served from coordinator memory.
+    pub latency: SimDuration,
+    /// True if the retrieve dispatched a hedge request (an extra share from
+    /// an unused node) because its slowest needed share ran past the
+    /// policy's hedge threshold.
+    pub hedged: bool,
+    /// Retries performed across all nodes (attempts beyond each node's
+    /// first).
+    pub retries: u32,
+}
+
+/// Running per-node outcome totals folded together from many
+/// [`RetrieveReport`]s — the ok/timeout/corrupt/down/stale breakdown that
+/// applications surface as their retrieval health (RAINVideo's playback
+/// health, RAINCheck's restore health).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTally {
+    /// Node contacts that answered with a verified share.
+    pub ok: u64,
+    /// Node contacts that exhausted their attempts without an answer.
+    pub timeout: u64,
+    /// Node contacts that returned damage (caught by the share checksum).
+    pub corrupt: u64,
+    /// Node contacts that were down or unreachable.
+    pub down: u64,
+    /// Node contacts that held a stale generation of the symbol.
+    pub stale: u64,
+    /// Retrieves that decoded degraded (fewer than `n` verified shares).
+    pub degraded_reads: u64,
+    /// Retrieves that dispatched a hedge request.
+    pub hedged_reads: u64,
+    /// Retry attempts across all retrieves.
+    pub retries: u64,
+}
+
+impl OutcomeTally {
+    /// Fold one retrieve's report into the running totals.
+    pub fn absorb(&mut self, report: &RetrieveReport) {
+        for (_, outcome) in &report.outcomes {
+            match outcome {
+                NodeOutcome::Ok => self.ok += 1,
+                NodeOutcome::Timeout => self.timeout += 1,
+                NodeOutcome::Corrupt => self.corrupt += 1,
+                NodeOutcome::Down => self.down += 1,
+                NodeOutcome::Stale => self.stale += 1,
+            }
+        }
+        if report.degraded {
+            self.degraded_reads += 1;
+        }
+        if report.hedged {
+            self.hedged_reads += 1;
+        }
+        self.retries += u64::from(report.retries);
+    }
 }
 
 /// The node fabric left behind by a crashed coordinator: the per-node
@@ -227,6 +306,341 @@ pub struct DistributedStore {
     /// was applied (the record carries no data), so destructive transitions
     /// are deferred to the post-replay reconciliation sweep.
     replaying: bool,
+    /// The fate model every node-crossing operation consults (see
+    /// [`crate::transport`]). [`DirectTransport`] by default, which
+    /// reproduces the historical infallible direct-call semantics exactly.
+    transport: Box<dyn Transport>,
+    /// Deadlines, retry budget, hedging threshold, and write slack.
+    policy: FaultPolicy,
+    /// Deterministic randomness for backoff jitter (fixed seed: the
+    /// store's behaviour must replay bit-identically).
+    policy_rng: DetRng,
+    /// Expected share generation per whole object. A fetched share whose
+    /// frame carries any other generation is a leftover of an incomplete
+    /// overwrite and is treated as an erasure, never decoded.
+    whole_gens: HashMap<String, u64>,
+    /// Expected share generation per sealed group (a re-seal after a
+    /// failed quorum stamps a fresh generation, invalidating orphans).
+    group_gens: HashMap<GroupId, u64>,
+    /// Source of generation stamps: globally monotone, so a re-created
+    /// object can never collide with an orphaned frame of its deleted
+    /// predecessor.
+    next_epoch: u64,
+    /// Quorum-acked installs that have not reached their node yet, retried
+    /// by [`DistributedStore::complete_writes`]. Until then the cluster
+    /// holds fewer than `n` shares of the affected object — the accounting
+    /// surfaces as [`GroupStats::pending_install_bytes`].
+    pending: Vec<PendingInstall>,
+}
+
+/// One symbol install that was acked past quorum but has not landed on its
+/// node yet.
+#[derive(Debug, Clone)]
+struct PendingInstall {
+    node: usize,
+    target: PendingTarget,
+    frame: Vec<u8>,
+}
+
+/// What a pending install belongs to; the generation lets
+/// [`DistributedStore::complete_writes`] drop installs superseded by a
+/// later overwrite instead of resurrecting old bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PendingTarget {
+    Whole { object: String, gen: u64 },
+    Group { group: GroupId, gen: u64 },
+}
+
+/// Result of driving one node's fetch to completion (attempts, backoff,
+/// verification) in virtual time.
+struct FetchResult {
+    outcome: NodeOutcome,
+    /// Arrival time of the verified share, measured from the operation's
+    /// start; `None` unless `outcome` is [`NodeOutcome::Ok`].
+    arrival: Option<SimDuration>,
+    /// When this node's stream gave up or succeeded — the moment a backup
+    /// node can be dispatched in its place.
+    finished: SimDuration,
+    attempts: u32,
+}
+
+/// Fetch one share frame from `node`, retrying per `policy`, starting at
+/// virtual offset `start` within the operation. The share is *verified*
+/// here: an in-flight-corrupted response is bit-damaged and run through the
+/// real checksum (retryable — the stored copy is intact), an at-rest
+/// damaged frame or stale generation ends the stream (a retry cannot
+/// change what the node holds).
+fn fetch_share(
+    transport: &mut dyn Transport,
+    policy: &FaultPolicy,
+    rng: &mut DetRng,
+    node: usize,
+    frame: &[u8],
+    expect_gen: u64,
+    start: SimDuration,
+) -> FetchResult {
+    let mut t = start;
+    let mut attempts = 0u32;
+    while attempts < policy.max_attempts && t < policy.deadline {
+        if attempts > 0 {
+            t = t + policy.backoff_before_retry(attempts, rng);
+            if t >= policy.deadline {
+                break;
+            }
+        }
+        let patience = policy.attempt_timeout.min(SimDuration::from_micros(
+            policy.deadline.as_micros() - t.as_micros(),
+        ));
+        let fate = transport.attempt(node, TransportOp::Fetch, frame.len() as u64, patience);
+        attempts += 1;
+        match fate.outcome {
+            Err(TransportError::NodeDown) | Err(TransportError::Unreachable) => {
+                // Refusals and missing routes are not retried within an
+                // operation: nothing changes until virtual time advances.
+                return FetchResult {
+                    outcome: NodeOutcome::Down,
+                    arrival: None,
+                    finished: t + fate.latency,
+                    attempts,
+                };
+            }
+            Err(TransportError::Lost) => {
+                t = t + fate.latency;
+            }
+            Ok(()) if fate.latency > patience => {
+                // The response exists but lands after this attempt's
+                // patience: the caller has already given up on it.
+                t = t + patience;
+            }
+            Ok(()) => {
+                let arrived = t + fate.latency;
+                if fate.corrupt {
+                    // The response was damaged in flight. Run the *real*
+                    // verifier over a bit-flipped copy — detection must
+                    // come from the checksum, not from trusting the fate
+                    // flag. The node's stored frame is intact, so a retry
+                    // may well succeed.
+                    let mut damaged = frame.to_vec();
+                    let idx = rng.below(damaged.len() as u64) as usize;
+                    damaged[idx] ^= 0x01;
+                    debug_assert!(open_frame(&damaged).is_none());
+                    if attempts >= policy.max_attempts {
+                        return FetchResult {
+                            outcome: NodeOutcome::Corrupt,
+                            arrival: None,
+                            finished: arrived,
+                            attempts,
+                        };
+                    }
+                    t = arrived;
+                    continue;
+                }
+                return match open_frame(frame) {
+                    None => FetchResult {
+                        // At-rest damage: every retry returns the same
+                        // broken frame, so give up on this node now.
+                        outcome: NodeOutcome::Corrupt,
+                        arrival: None,
+                        finished: arrived,
+                        attempts,
+                    },
+                    Some((gen, _)) if gen != expect_gen => FetchResult {
+                        outcome: NodeOutcome::Stale,
+                        arrival: None,
+                        finished: arrived,
+                        attempts,
+                    },
+                    Some(_) => FetchResult {
+                        outcome: NodeOutcome::Ok,
+                        arrival: Some(arrived),
+                        finished: arrived,
+                        attempts,
+                    },
+                };
+            }
+        }
+    }
+    FetchResult {
+        outcome: NodeOutcome::Timeout,
+        arrival: None,
+        finished: t,
+        attempts,
+    }
+}
+
+/// Result of driving one symbol install to completion.
+struct InstallResult {
+    installed: bool,
+    /// When the install was confirmed (or abandoned).
+    finished: SimDuration,
+}
+
+/// Push one symbol frame to `node`, retrying per `policy`. An install whose
+/// confirmation does not arrive within an attempt's patience counts as not
+/// applied (the fate model ties application to confirmation), so retries
+/// are safe.
+fn drive_install(
+    transport: &mut dyn Transport,
+    policy: &FaultPolicy,
+    rng: &mut DetRng,
+    node: usize,
+    bytes: u64,
+) -> InstallResult {
+    let mut t = SimDuration::ZERO;
+    let mut attempts = 0u32;
+    while attempts < policy.max_attempts && t < policy.deadline {
+        if attempts > 0 {
+            t = t + policy.backoff_before_retry(attempts, rng);
+            if t >= policy.deadline {
+                break;
+            }
+        }
+        let patience = policy.attempt_timeout.min(SimDuration::from_micros(
+            policy.deadline.as_micros() - t.as_micros(),
+        ));
+        let fate = transport.attempt(node, TransportOp::Install, bytes, patience);
+        attempts += 1;
+        match fate.outcome {
+            Err(TransportError::NodeDown) | Err(TransportError::Unreachable) => {
+                return InstallResult {
+                    installed: false,
+                    finished: t + fate.latency,
+                };
+            }
+            Err(TransportError::Lost) => t = t + fate.latency,
+            Ok(()) if fate.latency > patience => t = t + patience,
+            Ok(()) => {
+                return InstallResult {
+                    installed: true,
+                    finished: t + fate.latency,
+                };
+            }
+        }
+    }
+    InstallResult {
+        installed: false,
+        finished: t,
+    }
+}
+
+/// Installs required before a write acks: `n - write_slack`, floored at
+/// `k` (acking below `k` would promise durability the code cannot give).
+fn quorum_need(n: usize, k: usize, write_slack: usize) -> usize {
+    n.saturating_sub(write_slack).max(k)
+}
+
+/// What a virtual-parallel share collection produced.
+struct ShareCollection {
+    /// Node indices of the `k` earliest verified arrivals — the decode set.
+    /// Empty when the operation fell short of `k`.
+    used: Vec<usize>,
+    /// Verified shares obtained (equals `used.len()` except on failure,
+    /// where `used` is empty but this still reports how close it came).
+    available: usize,
+    /// Fate of every node contacted, in dispatch order.
+    outcomes: Vec<(NodeId, NodeOutcome)>,
+    /// Attempts beyond each node's first, summed.
+    retries: u32,
+    /// True if a hedge request was dispatched.
+    hedged: bool,
+    /// Arrival time of the `k`-th verified share (zero when short of `k`).
+    latency: SimDuration,
+}
+
+/// Collect `k` verified shares from `candidates` (policy-ordered holders)
+/// as a virtually-parallel wave: the first `k` streams dispatch at time
+/// zero; each failed stream dispatches the next unused candidate at its
+/// failure time (but only if fewer than `k` shares had arrived by then);
+/// and if the `k`-th share is still outstanding at the hedge threshold,
+/// one extra share is requested from an unused node — whichever `k`
+/// arrivals are earliest win.
+fn collect_shares<'n>(
+    transport: &mut dyn Transport,
+    policy: &FaultPolicy,
+    rng: &mut DetRng,
+    candidates: &[usize],
+    k: usize,
+    expect_gen: u64,
+    frame_of: impl Fn(usize) -> Option<&'n Vec<u8>>,
+) -> ShareCollection {
+    let mut col = ShareCollection {
+        used: Vec::new(),
+        available: 0,
+        outcomes: Vec::new(),
+        retries: 0,
+        hedged: false,
+        latency: SimDuration::ZERO,
+    };
+    // (node, arrival, dispatch order). Ties in arrival time — every tie
+    // under the zero-latency direct transport — resolve in dispatch order,
+    // which is the selection policy's preference order.
+    let mut successes: Vec<(usize, SimDuration, usize)> = Vec::new();
+    let mut next = k.min(candidates.len());
+    let mut queue: Vec<(usize, SimDuration)> =
+        (0..next).map(|ci| (ci, SimDuration::ZERO)).collect();
+    let mut qi = 0;
+    while qi < queue.len() {
+        let (ci, start) = queue[qi];
+        let dispatch = qi;
+        qi += 1;
+        let node = candidates[ci];
+        let frame = frame_of(node).expect("candidates hold the symbol");
+        let r = fetch_share(transport, policy, rng, node, frame, expect_gen, start);
+        col.retries += r.attempts.saturating_sub(1);
+        col.outcomes.push((NodeId(node), r.outcome));
+        match r.arrival {
+            Some(a) => successes.push((node, a, dispatch)),
+            None => {
+                // Dispatch a backup at the failure time — unless enough
+                // shares had already arrived by then to finish the decode.
+                let arrived_by_then = successes
+                    .iter()
+                    .filter(|(_, a, _)| *a <= r.finished)
+                    .count();
+                if arrived_by_then < k && next < candidates.len() {
+                    queue.push((next, r.finished));
+                    next += 1;
+                }
+            }
+        }
+    }
+    col.available = successes.len();
+    if successes.len() >= k {
+        successes.sort_by_key(|&(_, a, d)| (a, d));
+        // Hedge: if the decode would sit waiting on a slow share past the
+        // threshold, ask one unused node for an extra share and let the
+        // earliest k win.
+        if let Some(h) = policy.hedge_after {
+            if successes[k - 1].1 > h && next < candidates.len() {
+                col.hedged = true;
+                let node = candidates[next];
+                let frame = frame_of(node).expect("candidates hold the symbol");
+                let r = fetch_share(transport, policy, rng, node, frame, expect_gen, h);
+                col.retries += r.attempts.saturating_sub(1);
+                col.outcomes.push((NodeId(node), r.outcome));
+                if let Some(a) = r.arrival {
+                    successes.push((node, a, queue.len()));
+                    successes.sort_by_key(|&(_, a, d)| (a, d));
+                    col.available += 1;
+                }
+            }
+        }
+        col.latency = successes[k - 1].1;
+        col.used = successes[..k].iter().map(|&(node, _, _)| node).collect();
+    }
+    col
+}
+
+/// What [`DistributedStore::decode_group`] read: the sources and transport
+/// fates of the decode that filled (or validated) the cache.
+struct GroupFetch {
+    sources: Vec<usize>,
+    bytes_per_source: usize,
+    degraded: bool,
+    outcomes: Vec<(NodeId, NodeOutcome)>,
+    latency: SimDuration,
+    hedged: bool,
+    retries: u32,
 }
 
 impl DistributedStore {
@@ -289,6 +703,13 @@ impl DistributedStore {
             decode_cache: GroupDecodeCache::default(),
             wal: None,
             replaying: false,
+            transport: Box::new(DirectTransport::new()),
+            policy: FaultPolicy::default(),
+            policy_rng: DetRng::new(0x5eed_0fba_c0ff_ee00),
+            whole_gens: HashMap::new(),
+            group_gens: HashMap::new(),
+            next_epoch: 1,
+            pending: Vec::new(),
         }
     }
 
@@ -371,6 +792,110 @@ impl DistributedStore {
         slot.group_symbols.clear();
         slot.bytes_served = 0;
         Ok(())
+    }
+
+    /// Replace the transport every node-crossing operation goes through.
+    /// The default is [`DirectTransport`]; install a
+    /// [`ChaosTransport`](crate::ChaosTransport) or
+    /// [`SimNetTransport`](crate::SimNetTransport) to exercise the failure
+    /// policy.
+    pub fn set_transport(&mut self, transport: Box<dyn Transport>) {
+        self.transport = transport;
+    }
+
+    /// Builder form of [`DistributedStore::set_transport`].
+    pub fn with_transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Set the failure policy (deadlines, retries, hedging, write slack).
+    pub fn set_policy(&mut self, policy: FaultPolicy) {
+        self.policy = policy;
+    }
+
+    /// The failure policy in effect.
+    pub fn policy(&self) -> FaultPolicy {
+        self.policy
+    }
+
+    /// Counters accumulated by the transport so far.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transport.stats()
+    }
+
+    /// The transport's current virtual time.
+    pub fn transport_now(&self) -> SimTime {
+        self.transport.now()
+    }
+
+    /// Advance the transport's virtual clock (firing any scheduled faults
+    /// that come due). Operations already advance the clock by their own
+    /// latency; scenario drivers call this for idle time between requests.
+    pub fn advance_time(&mut self, by: SimDuration) {
+        self.transport.advance(by);
+    }
+
+    /// Failure detector: probe every node through the transport and report
+    /// which answered within one attempt timeout. Purely observational —
+    /// the coordinator's up/down view is not modified, so a caller can
+    /// reconcile the two on its own terms (e.g. only after consecutive
+    /// missed probes).
+    pub fn probe_nodes(&mut self) -> Vec<(NodeId, bool)> {
+        let patience = self.policy.attempt_timeout;
+        (0..self.nodes.len())
+            .map(|i| {
+                let fate = self.transport.attempt(i, TransportOp::Probe, 0, patience);
+                let reachable = fate.outcome.is_ok() && fate.latency <= patience;
+                (NodeId(i), reachable)
+            })
+            .collect()
+    }
+
+    /// Retry every pending (quorum-acked but not yet installed) symbol
+    /// install. Installs superseded by a later overwrite, delete, or
+    /// re-seal are dropped, not resurrected. Returns `(landed, remaining)`.
+    pub fn complete_writes(&mut self) -> (usize, usize) {
+        let mut landed = 0;
+        let mut keep = Vec::new();
+        for p in std::mem::take(&mut self.pending) {
+            let current = match &p.target {
+                PendingTarget::Whole { object, gen } => {
+                    self.whole_gens.get(object) == Some(gen)
+                        && matches!(self.objects.get(object), Some(Placement::Whole))
+                }
+                PendingTarget::Group { group, gen } => {
+                    self.group_gens.get(group) == Some(gen)
+                        && self.groups.get(group).is_some_and(|g| g.sealed)
+                }
+            };
+            if !current {
+                continue;
+            }
+            let drive = drive_install(
+                self.transport.as_mut(),
+                &self.policy,
+                &mut self.policy_rng,
+                p.node,
+                p.frame.len() as u64,
+            );
+            if drive.installed {
+                match &p.target {
+                    PendingTarget::Whole { object, .. } => {
+                        self.nodes[p.node].symbols.insert(object.clone(), p.frame);
+                    }
+                    PendingTarget::Group { group, .. } => {
+                        self.nodes[p.node].group_symbols.insert(*group, p.frame);
+                    }
+                }
+                landed += 1;
+            } else {
+                keep.push(p);
+            }
+        }
+        let remaining = keep.len();
+        self.pending = keep;
+        (landed, remaining)
     }
 
     /// Append a record to the write-ahead log, if one is attached. Called
@@ -458,10 +983,53 @@ impl DistributedStore {
         if let Some(&Placement::Grouped { group, span }) = self.objects.get(object) {
             self.tombstone_member(group, span);
         }
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            node.symbols
-                .insert(object.to_string(), self.encode_shares.share(i).to_vec());
+        // Install one generation-stamped frame per node through the
+        // transport. Failures past the ack quorum are queued for
+        // background completion; short of quorum the op fails (and the
+        // queued tail is withdrawn — an unacked op must not complete
+        // itself later).
+        let gen = self.next_epoch;
+        self.next_epoch += 1;
+        let n = self.nodes.len();
+        let quorum = quorum_need(n, self.code.k(), self.policy.write_slack);
+        let mut installed = 0usize;
+        let mut finishes: Vec<SimDuration> = Vec::new();
+        let queued_from = self.pending.len();
+        for i in 0..n {
+            let frame = seal_frame(gen, self.encode_shares.share(i));
+            let drive = drive_install(
+                self.transport.as_mut(),
+                &self.policy,
+                &mut self.policy_rng,
+                i,
+                frame.len() as u64,
+            );
+            if drive.installed {
+                self.nodes[i].symbols.insert(object.to_string(), frame);
+                installed += 1;
+                finishes.push(drive.finished);
+            } else {
+                self.pending.push(PendingInstall {
+                    node: i,
+                    target: PendingTarget::Whole {
+                        object: object.to_string(),
+                        gen,
+                    },
+                    frame,
+                });
+            }
         }
+        if installed < quorum {
+            self.pending.truncate(queued_from);
+            self.transport.advance(self.policy.deadline);
+            return Err(StorageError::QuorumNotReached {
+                installed,
+                needed: quorum,
+            });
+        }
+        finishes.sort();
+        self.transport.advance(finishes[quorum - 1]);
+        self.whole_gens.insert(object.to_string(), gen);
         self.objects.insert(object.to_string(), Placement::Whole);
         Ok(())
     }
@@ -561,20 +1129,66 @@ impl DistributedStore {
                 .data = block;
             return Err(e.into());
         }
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            node.group_symbols
-                .insert(gid, self.encode_shares.share(i).to_vec());
+        // Install one generation-stamped symbol per node through the
+        // transport. Short of quorum the group stays open — its buffer is
+        // restored untouched and the queued tail is withdrawn; any frames
+        // that did land are orphans whose stale generation a later decode
+        // rejects (a re-seal stamps a fresh epoch).
+        let gen = self.next_epoch;
+        self.next_epoch += 1;
+        let n = self.nodes.len();
+        let quorum = quorum_need(n, self.code.k(), self.policy.write_slack);
+        let mut installed = 0usize;
+        let mut finishes: Vec<SimDuration> = Vec::new();
+        let queued_from = self.pending.len();
+        for i in 0..n {
+            let frame = seal_frame(gen, self.encode_shares.share(i));
+            let drive = drive_install(
+                self.transport.as_mut(),
+                &self.policy,
+                &mut self.policy_rng,
+                i,
+                frame.len() as u64,
+            );
+            if drive.installed {
+                self.nodes[i].group_symbols.insert(gid, frame);
+                installed += 1;
+                finishes.push(drive.finished);
+            } else {
+                self.pending.push(PendingInstall {
+                    node: i,
+                    target: PendingTarget::Group { group: gid, gen },
+                    frame,
+                });
+            }
         }
+        if installed < quorum {
+            self.pending.truncate(queued_from);
+            self.transport.advance(self.policy.deadline);
+            block.truncate(packed_len);
+            self.groups
+                .get_mut(&gid)
+                .expect("sealing a known group")
+                .data = block;
+            return Err(StorageError::QuorumNotReached {
+                installed,
+                needed: quorum,
+            });
+        }
+        finishes.sort();
+        self.transport.advance(finishes[quorum - 1]);
         let group = self.groups.get_mut(&gid).expect("sealing a known group");
         group.sealed = true;
         // Recycle the block buffer for the next open group.
         block.clear();
         self.spare_block = block;
         self.open_group = None;
+        self.group_gens.insert(gid, gen);
         self.log(RecordView::Seal { group: gid })?;
         Ok(FlushReport {
             groups_sealed: 1,
             objects_committed,
+            installs_deferred: n - installed,
         })
     }
 
@@ -660,26 +1274,51 @@ impl DistributedStore {
             }
         }
         let candidates = self.pick_sources(policy, object, allowed);
-        let degraded = candidates.len() < self.code.n();
-        let mut sources = candidates;
-        sources.truncate(self.code.k());
-        if sources.len() < self.code.k() {
+        let k = self.code.k();
+        let view_degraded = candidates.len() < self.code.n();
+        if candidates.len() < k {
             return Err(StorageError::NotEnoughNodes {
-                available: sources.len(),
-                needed: self.code.k(),
+                available: candidates.len(),
+                needed: k,
             });
         }
-        // Account the served bytes, then decode straight out of the node
-        // buffers: the view borrows them, so no share is cloned.
+        // Collect k verified shares through the transport (a virtually
+        // parallel wave with retries, backups, and hedging — see
+        // `collect_shares`). Under the default direct transport this
+        // degenerates to "the first k candidates, instantly".
+        let expect_gen = self.whole_gens.get(object).copied().unwrap_or(0);
+        let nodes = &self.nodes;
+        let col = collect_shares(
+            self.transport.as_mut(),
+            &self.policy,
+            &mut self.policy_rng,
+            &candidates,
+            k,
+            expect_gen,
+            |n| nodes[n].symbols.get(object),
+        );
+        if col.used.len() < k {
+            self.transport.advance(self.policy.deadline);
+            return Err(StorageError::NotEnoughNodes {
+                available: col.available,
+                needed: k,
+            });
+        }
+        self.transport.advance(col.latency);
+        // Account the served bytes (the payload, not the 16-byte frame
+        // header), then decode straight out of the node buffers: the view
+        // borrows the verified frames' payloads, so no share is cloned.
         let mut bytes_per_source = 0;
-        for &i in &sources {
-            let len = self.nodes[i].symbols[object].len();
+        for &i in &col.used {
+            let len = self.nodes[i].symbols[object].len() - FRAME_HEADER;
             bytes_per_source = len;
             self.nodes[i].bytes_served += len as u64;
         }
         let mut view = ShareView::missing(self.code.n());
-        for &i in &sources {
-            view.set(i, &self.nodes[i].symbols[object]);
+        for &i in &col.used {
+            let (_, payload) =
+                split_frame(&self.nodes[i].symbols[object]).expect("share verified by collection");
+            view.set(i, payload);
         }
         self.code.decode_into(&view, &mut self.io_buf)?;
         drop(view);
@@ -690,12 +1329,21 @@ impl DistributedStore {
         let stored_len = u64::from_le_bytes(framed[..8].try_into().expect("frame header")) as usize;
         debug_assert!(framed.len() >= 8 + stored_len, "frame shorter than header");
         let data = framed[8..8 + stored_len].to_vec();
+        let degraded = view_degraded
+            || col
+                .outcomes
+                .iter()
+                .any(|(_, o)| !matches!(o, NodeOutcome::Ok));
         Ok((
             data,
             RetrieveReport {
-                sources: sources.into_iter().map(NodeId).collect(),
+                sources: col.used.into_iter().map(NodeId).collect(),
                 bytes_per_source,
                 degraded,
+                outcomes: col.outcomes,
+                latency: col.latency,
+                hedged: col.hedged,
+                retries: col.retries,
             },
         ))
     }
@@ -730,10 +1378,14 @@ impl DistributedStore {
                     sources: Vec::new(),
                     bytes_per_source: 0,
                     degraded: false,
+                    outcomes: Vec::new(),
+                    latency: SimDuration::ZERO,
+                    hedged: false,
+                    retries: 0,
                 },
             ));
         }
-        let (sources, bytes_per_source, degraded) = self.decode_group(gid, policy, allowed)?;
+        let fetch = self.decode_group(gid, policy, allowed)?;
         let block = self
             .decode_cache
             .get(gid)
@@ -742,9 +1394,13 @@ impl DistributedStore {
         Ok((
             data,
             RetrieveReport {
-                sources: sources.into_iter().map(NodeId).collect(),
-                bytes_per_source,
-                degraded,
+                sources: fetch.sources.into_iter().map(NodeId).collect(),
+                bytes_per_source: fetch.bytes_per_source,
+                degraded: fetch.degraded,
+                outcomes: fetch.outcomes,
+                latency: fetch.latency,
+                hedged: fetch.hedged,
+                retries: fetch.retries,
             },
         ))
     }
@@ -761,33 +1417,75 @@ impl DistributedStore {
         gid: GroupId,
         policy: SelectionPolicy,
         allowed: Option<&[NodeId]>,
-    ) -> Result<(Vec<usize>, usize, bool), StorageError> {
-        let mut sources = self.pick_group_sources(policy, gid, allowed);
-        if sources.len() < self.code.k() {
+    ) -> Result<GroupFetch, StorageError> {
+        let candidates = self.pick_group_sources(policy, gid, allowed);
+        let k = self.code.k();
+        if candidates.len() < k {
             return Err(StorageError::NotEnoughNodes {
-                available: sources.len(),
-                needed: self.code.k(),
+                available: candidates.len(),
+                needed: k,
             });
         }
-        let degraded = sources.len() < self.code.n();
+        let view_degraded = candidates.len() < self.code.n();
         if self.decode_cache.touch(gid) {
-            return Ok((Vec::new(), 0, degraded));
+            return Ok(GroupFetch {
+                sources: Vec::new(),
+                bytes_per_source: 0,
+                degraded: view_degraded,
+                outcomes: Vec::new(),
+                latency: SimDuration::ZERO,
+                hedged: false,
+                retries: 0,
+            });
         }
-        sources.truncate(self.code.k());
+        let expect_gen = self.group_gens.get(&gid).copied().unwrap_or(0);
+        let nodes = &self.nodes;
+        let col = collect_shares(
+            self.transport.as_mut(),
+            &self.policy,
+            &mut self.policy_rng,
+            &candidates,
+            k,
+            expect_gen,
+            |n| nodes[n].group_symbols.get(&gid),
+        );
+        if col.used.len() < k {
+            self.transport.advance(self.policy.deadline);
+            return Err(StorageError::NotEnoughNodes {
+                available: col.available,
+                needed: k,
+            });
+        }
+        self.transport.advance(col.latency);
         let mut bytes_per_source = 0;
-        for &i in &sources {
-            let len = self.nodes[i].group_symbols[&gid].len();
+        for &i in &col.used {
+            let len = self.nodes[i].group_symbols[&gid].len() - FRAME_HEADER;
             bytes_per_source = len;
             self.nodes[i].bytes_served += len as u64;
         }
         let mut view = ShareView::missing(self.code.n());
-        for &i in &sources {
-            view.set(i, &self.nodes[i].group_symbols[&gid]);
+        for &i in &col.used {
+            let (_, payload) = split_frame(&self.nodes[i].group_symbols[&gid])
+                .expect("share verified by collection");
+            view.set(i, payload);
         }
         self.code.decode_into(&view, &mut self.io_buf)?;
         drop(view);
         self.decode_cache.insert(gid, self.io_buf.clone());
-        Ok((sources, bytes_per_source, degraded))
+        let degraded = view_degraded
+            || col
+                .outcomes
+                .iter()
+                .any(|(_, o)| !matches!(o, NodeOutcome::Ok));
+        Ok(GroupFetch {
+            sources: col.used,
+            bytes_per_source,
+            degraded,
+            outcomes: col.outcomes,
+            latency: col.latency,
+            hedged: col.hedged,
+            retries: col.retries,
+        })
     }
 
     /// Delete an object. Individually stored objects drop their symbols
@@ -808,9 +1506,19 @@ impl DistributedStore {
         let placement = self.objects.remove(object).expect("checked above");
         match placement {
             Placement::Whole => {
-                for node in &mut self.nodes {
-                    node.symbols.remove(object);
+                // Best-effort removal through the transport: a node that
+                // cannot be reached keeps an orphaned frame, which the
+                // generation stamp renders harmless — a re-created object
+                // under the same name gets a fresh epoch, so the orphan
+                // reads as stale, never as data.
+                for i in 0..self.nodes.len() {
+                    let patience = self.policy.attempt_timeout;
+                    let fate = self.transport.attempt(i, TransportOp::Delete, 0, patience);
+                    if fate.outcome.is_ok() && fate.latency <= patience {
+                        self.nodes[i].symbols.remove(object);
+                    }
                 }
+                self.whole_gens.remove(object);
             }
             Placement::Grouped { group, span } => self.tombstone_member(group, span),
         }
@@ -833,12 +1541,19 @@ impl DistributedStore {
     }
 
     /// Remove a sealed group entirely: symbols, cache entry, bookkeeping.
+    /// Symbol removal is best-effort through the transport; unreachable
+    /// nodes keep stale-generation orphans, which no decode ever accepts.
     fn drop_group(&mut self, gid: GroupId) {
-        for node in &mut self.nodes {
-            node.group_symbols.remove(&gid);
+        for i in 0..self.nodes.len() {
+            let patience = self.policy.attempt_timeout;
+            let fate = self.transport.attempt(i, TransportOp::Delete, 0, patience);
+            if fate.outcome.is_ok() && fate.latency <= patience {
+                self.nodes[i].group_symbols.remove(&gid);
+            }
         }
         self.decode_cache.remove(gid);
         self.groups.remove(&gid);
+        self.group_gens.remove(&gid);
     }
 
     /// Compaction pass: rewrite every sealed group whose live fraction has
@@ -918,6 +1633,8 @@ impl DistributedStore {
             stats.wal_records = wal.records_appended();
             stats.wal_bytes = wal.bytes_appended();
         }
+        stats.pending_installs = self.pending.len();
+        stats.pending_install_bytes = self.pending.iter().map(|p| p.frame.len()).sum();
         for (gid, group) in &self.groups {
             if group.sealed {
                 stats.sealed_groups += 1;
@@ -1029,6 +1746,7 @@ impl DistributedStore {
         }
         store.replaying = false;
         store.reconcile_after_replay();
+        store.rebuild_gens_from_nodes();
         report.objects_recovered = store.objects.len();
         report.open_bytes_recovered = store
             .groups
@@ -1189,6 +1907,36 @@ impl DistributedStore {
         }
     }
 
+    /// Re-derive the expected share generations from the frames the nodes
+    /// actually hold. Replay cannot reproduce the live epoch sequence
+    /// (failed-quorum attempts consume epochs without leaving a record), so
+    /// recovery trusts the fabric: per object and per group the newest
+    /// verifiable frame is the truth, and the epoch counter resumes past
+    /// everything seen — a post-recovery overwrite can never collide with a
+    /// pre-crash orphan.
+    fn rebuild_gens_from_nodes(&mut self) {
+        self.whole_gens.clear();
+        self.group_gens.clear();
+        let mut max_gen = 0u64;
+        for node in &self.nodes {
+            for (name, frame) in &node.symbols {
+                if let Some((gen, _)) = open_frame(frame) {
+                    let slot = self.whole_gens.entry(name.clone()).or_insert(0);
+                    *slot = (*slot).max(gen);
+                    max_gen = max_gen.max(gen);
+                }
+            }
+            for (gid, frame) in &node.group_symbols {
+                if let Some((gen, _)) = open_frame(frame) {
+                    let slot = self.group_gens.entry(*gid).or_insert(0);
+                    *slot = (*slot).max(gen);
+                    max_gen = max_gen.max(gen);
+                }
+            }
+        }
+        self.next_epoch = self.next_epoch.max(max_gen + 1);
+    }
+
     /// Re-derive and re-install every symbol a (replaced or recovered) node
     /// is supposed to hold, reconstructing **only that node's share** from
     /// the survivors with [`ErasureCode::repair`]. Whole objects need one
@@ -1207,19 +1955,29 @@ impl DistributedStore {
             .map(|(name, _)| name.clone())
             .collect();
         for object in objects {
-            if self.nodes[node.0].symbols.contains_key(&object) {
+            let expect_gen = self.whole_gens.get(&object).copied().unwrap_or(0);
+            // A node already holding a *verified, current-generation* frame
+            // needs nothing; a missing, damaged, or stale frame is repaired.
+            if self.nodes[node.0]
+                .symbols
+                .get(&object)
+                .is_some_and(|f| open_frame(f).is_some_and(|(g, _)| g == expect_gen))
+            {
                 continue;
             }
-            // View the shares still held by the other live nodes.
+            // View the verified shares still held by the other live nodes:
+            // repair must never mix generations or trust a rotted frame.
             let mut view = ShareView::missing(self.code.n());
             let mut available = 0;
             let mut share_len = 0;
             for (i, n) in self.nodes.iter().enumerate() {
                 if i != node.0 && n.up {
-                    if let Some(s) = n.symbols.get(&object) {
-                        view.set(i, s);
-                        available += 1;
-                        share_len = s.len();
+                    if let Some((g, payload)) = n.symbols.get(&object).and_then(|f| open_frame(f)) {
+                        if g == expect_gen {
+                            view.set(i, payload);
+                            available += 1;
+                            share_len = payload.len();
+                        }
                     }
                 }
             }
@@ -1232,7 +1990,27 @@ impl DistributedStore {
             let mut symbol = vec![0u8; share_len];
             self.code.repair(&view, node.0, &mut symbol)?;
             drop(view);
-            self.nodes[node.0].symbols.insert(object.clone(), symbol);
+            let frame = seal_frame(expect_gen, &symbol);
+            let drive = drive_install(
+                self.transport.as_mut(),
+                &self.policy,
+                &mut self.policy_rng,
+                node.0,
+                frame.len() as u64,
+            );
+            if drive.installed {
+                self.nodes[node.0].symbols.insert(object.clone(), frame);
+            } else {
+                // The share is re-derived; only its delivery is outstanding.
+                self.pending.push(PendingInstall {
+                    node: node.0,
+                    target: PendingTarget::Whole {
+                        object: object.clone(),
+                        gen: expect_gen,
+                    },
+                    frame,
+                });
+            }
             repaired += 1;
         }
         Ok(repaired)
@@ -1244,20 +2022,33 @@ impl DistributedStore {
         let missing: Vec<GroupId> = self
             .groups
             .iter()
-            .filter(|(gid, g)| g.sealed && !self.nodes[node.0].group_symbols.contains_key(gid))
+            .filter(|(gid, g)| {
+                g.sealed && {
+                    let expect = self.group_gens.get(gid).copied().unwrap_or(0);
+                    self.nodes[node.0]
+                        .group_symbols
+                        .get(gid)
+                        .is_none_or(|f| open_frame(f).is_none_or(|(gg, _)| gg != expect))
+                }
+            })
             .map(|(&gid, _)| gid)
             .collect();
         let mut repaired = 0;
         for gid in missing {
+            let expect_gen = self.group_gens.get(&gid).copied().unwrap_or(0);
             let mut view = ShareView::missing(self.code.n());
             let mut available = 0;
             let mut share_len = 0;
             for (i, n) in self.nodes.iter().enumerate() {
                 if i != node.0 && n.up {
-                    if let Some(s) = n.group_symbols.get(&gid) {
-                        view.set(i, s);
-                        available += 1;
-                        share_len = s.len();
+                    if let Some((g, payload)) =
+                        n.group_symbols.get(&gid).and_then(|f| open_frame(f))
+                    {
+                        if g == expect_gen {
+                            view.set(i, payload);
+                            available += 1;
+                            share_len = payload.len();
+                        }
                     }
                 }
             }
@@ -1270,7 +2061,26 @@ impl DistributedStore {
             let mut symbol = vec![0u8; share_len];
             self.code.repair(&view, node.0, &mut symbol)?;
             drop(view);
-            self.nodes[node.0].group_symbols.insert(gid, symbol);
+            let frame = seal_frame(expect_gen, &symbol);
+            let drive = drive_install(
+                self.transport.as_mut(),
+                &self.policy,
+                &mut self.policy_rng,
+                node.0,
+                frame.len() as u64,
+            );
+            if drive.installed {
+                self.nodes[node.0].group_symbols.insert(gid, frame);
+            } else {
+                self.pending.push(PendingInstall {
+                    node: node.0,
+                    target: PendingTarget::Group {
+                        group: gid,
+                        gen: expect_gen,
+                    },
+                    frame,
+                });
+            }
             repaired += 1;
         }
         Ok(repaired)
@@ -2259,6 +3069,193 @@ mod tests {
             s.fail_node(NodeId(kill2)).unwrap();
             let (out, _) = s.retrieve("obj", policy).unwrap();
             prop_assert_eq!(out, data);
+        }
+    }
+
+    mod transport_faults {
+        use super::*;
+        use crate::transport::ChaosTransport;
+        use rain_sim::{Fault, FaultPlan};
+
+        #[test]
+        fn quorum_writes_ack_short_of_n_and_complete_in_background() {
+            let mut s = store();
+            let plan = FaultPlan::none()
+                .at(SimTime::ZERO, Fault::NodeCrash(NodeId(5)))
+                .at(SimTime::from_secs(1), Fault::NodeRecover(NodeId(5)));
+            s.set_transport(Box::new(ChaosTransport::new(6, 42).with_plan(plan)));
+            s.set_policy(FaultPolicy {
+                write_slack: 1,
+                ..FaultPolicy::default()
+            });
+            s.store("obj", b"payload").unwrap();
+            let stats = s.group_stats();
+            assert_eq!(stats.pending_installs, 1);
+            assert!(stats.pending_install_bytes > 0);
+            // The acked object reads back bit-exact while the tail is
+            // outstanding (degraded: node 5 holds nothing yet).
+            let (out, rep) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+            assert_eq!(out, b"payload");
+            assert!(rep.degraded);
+            // Heal the node and drain the tail.
+            s.advance_time(SimDuration::from_secs(2));
+            assert_eq!(s.complete_writes(), (1, 0));
+            assert_eq!(s.group_stats().pending_installs, 0);
+            let (_, rep) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+            assert!(!rep.degraded, "full redundancy restored");
+        }
+
+        #[test]
+        fn a_write_short_of_quorum_fails_and_withdraws_its_tail() {
+            let mut s = store();
+            let mut plan = FaultPlan::none();
+            for i in 0..3 {
+                plan = plan.at(SimTime::ZERO, Fault::NodeCrash(NodeId(i)));
+            }
+            s.set_transport(Box::new(ChaosTransport::new(6, 7).with_plan(plan)));
+            s.set_policy(FaultPolicy {
+                write_slack: 1,
+                ..FaultPolicy::default()
+            });
+            let err = s.store("obj", b"data").unwrap_err();
+            assert_eq!(
+                err,
+                StorageError::QuorumNotReached {
+                    installed: 3,
+                    needed: 5
+                }
+            );
+            assert!(matches!(
+                s.retrieve("obj", SelectionPolicy::FirstK),
+                Err(StorageError::UnknownObject { .. })
+            ));
+            assert_eq!(
+                s.group_stats().pending_installs,
+                0,
+                "unacked tail withdrawn"
+            );
+        }
+
+        #[test]
+        fn corrupted_responses_are_erasures_never_wrong_bytes() {
+            let mut s = store();
+            s.store("obj", &[9u8; 64]).unwrap();
+            s.set_transport(Box::new(ChaosTransport::new(6, 3).with_corruption(1.0)));
+            let err = s.retrieve("obj", SelectionPolicy::FirstK).unwrap_err();
+            assert!(matches!(
+                err,
+                StorageError::NotEnoughNodes {
+                    available: 0,
+                    needed: 4
+                }
+            ));
+            assert!(s.transport_stats().corrupted > 0);
+        }
+
+        #[test]
+        fn a_stale_share_from_a_partial_overwrite_is_never_decoded() {
+            let mut s = store();
+            s.store("obj", &[1u8; 48]).unwrap();
+            // Node 5 is crashed for the overwrite: it keeps the generation-1
+            // share.
+            let plan = FaultPlan::none()
+                .at(SimTime::ZERO, Fault::NodeCrash(NodeId(5)))
+                .at(SimTime::from_secs(1), Fault::NodeRecover(NodeId(5)));
+            s.set_transport(Box::new(ChaosTransport::new(6, 11).with_plan(plan)));
+            s.set_policy(FaultPolicy {
+                write_slack: 1,
+                ..FaultPolicy::default()
+            });
+            s.store("obj", &[2u8; 48]).unwrap();
+            s.advance_time(SimDuration::from_secs(2));
+            // Node 5 is back and preferred by distance, so the read contacts
+            // it first — the generation check must reject its share and fall
+            // back to a backup node, never mix it into the decode.
+            s.set_distance(NodeId(5), 0).unwrap();
+            let (out, rep) = s.retrieve("obj", SelectionPolicy::Nearest).unwrap();
+            assert_eq!(out, vec![2u8; 48]);
+            assert!(rep.degraded);
+            assert!(rep.outcomes.contains(&(NodeId(5), NodeOutcome::Stale)));
+            assert!(!rep.sources.contains(&NodeId(5)));
+        }
+
+        #[test]
+        fn hedged_reads_fire_past_the_latency_threshold() {
+            let mut s = store();
+            s.store("obj", &[7u8; 64]).unwrap();
+            let mut chaos = ChaosTransport::new(6, 13);
+            chaos.base_latency = SimDuration::from_millis(1);
+            chaos.jitter = SimDuration::ZERO;
+            s.set_transport(Box::new(chaos));
+            s.set_policy(FaultPolicy {
+                hedge_after: Some(SimDuration::from_micros(500)),
+                ..FaultPolicy::default()
+            });
+            let (out, rep) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+            assert_eq!(out, vec![7u8; 64]);
+            assert!(rep.hedged);
+            assert_eq!(rep.outcomes.len(), 5, "k streams plus one hedge");
+            assert_eq!(rep.latency, SimDuration::from_millis(1));
+        }
+
+        #[test]
+        fn complete_writes_drops_superseded_pending_installs() {
+            let mut s = store();
+            let plan = FaultPlan::none()
+                .at(SimTime::ZERO, Fault::NodeCrash(NodeId(0)))
+                .at(SimTime::from_secs(1), Fault::NodeRecover(NodeId(0)));
+            s.set_transport(Box::new(ChaosTransport::new(6, 17).with_plan(plan)));
+            s.set_policy(FaultPolicy {
+                write_slack: 1,
+                ..FaultPolicy::default()
+            });
+            s.store("obj", &[1u8; 32]).unwrap();
+            s.store("obj", &[2u8; 32]).unwrap();
+            assert_eq!(s.group_stats().pending_installs, 2);
+            s.advance_time(SimDuration::from_secs(2));
+            let (landed, remaining) = s.complete_writes();
+            assert_eq!((landed, remaining), (1, 0), "superseded install dropped");
+            // Node 0 must now hold the *new* generation: a decode that
+            // includes it returns the overwrite, not a mix.
+            let allowed = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+            let (out, rep) = s
+                .retrieve_from("obj", SelectionPolicy::FirstK, Some(&allowed))
+                .unwrap();
+            assert_eq!(out, vec![2u8; 32]);
+            assert!(rep.sources.contains(&NodeId(0)));
+        }
+
+        #[test]
+        fn probe_reports_reachability_without_mutating_state() {
+            let mut s = store();
+            let plan = FaultPlan::none().at(SimTime::ZERO, Fault::NodeCrash(NodeId(2)));
+            s.set_transport(Box::new(ChaosTransport::new(6, 23).with_plan(plan)));
+            let probes = s.probe_nodes();
+            for (n, reachable) in probes {
+                assert_eq!(reachable, n != NodeId(2));
+            }
+            assert_eq!(s.nodes_up(), 6, "probing is observational");
+        }
+
+        #[test]
+        fn recovery_resumes_the_generation_epoch_from_node_frames() {
+            let code = || Arc::new(BCode::table_1a());
+            let config = GroupConfig::disabled().logged();
+            let mut s = DistributedStore::with_groups(code(), config);
+            s.store("obj", &[3u8; 40]).unwrap();
+            s.store("obj", &[4u8; 40]).unwrap();
+            let (nodes, wal) = s.crash();
+            let (mut r, _) =
+                DistributedStore::recover(code(), config, nodes, wal.unwrap()).unwrap();
+            let (out, rep) = r.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+            assert_eq!(out, vec![4u8; 40]);
+            assert!(!rep.degraded, "recovered frames verify at the rebuilt gen");
+            // A post-recovery overwrite must stamp a generation past every
+            // pre-crash frame, or stale shares would read as current.
+            r.store("obj", &[5u8; 40]).unwrap();
+            let (out, rep) = r.retrieve("obj", SelectionPolicy::FirstK).unwrap();
+            assert_eq!(out, vec![5u8; 40]);
+            assert!(!rep.degraded);
         }
     }
 }

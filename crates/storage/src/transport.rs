@@ -1,0 +1,947 @@
+//! The transport seam between the coordinator and its storage nodes.
+//!
+//! [`DistributedStore`](crate::DistributedStore) keeps its `Vec` of node
+//! symbol stores as the ground-truth fabric — real machines holding real
+//! bytes — but every operation that *crosses the network* (installing,
+//! fetching, or deleting a symbol; probing a node) first asks a
+//! [`Transport`] what fate the attempt meets: did it succeed, how long did
+//! it take, and did the response arrive corrupted. Only when the fate says
+//! *delivered* does the store move the bytes.
+//!
+//! Three implementations cover the spectrum:
+//!
+//! * [`DirectTransport`] — the legacy in-process call: always succeeds,
+//!   zero latency. The default; existing callers see no change.
+//! * [`ChaosTransport`] — a standalone fault injector: per-node crash /
+//!   unreachable / gray-slowdown state driven by a
+//!   [`FaultPlan`], plus seeded random loss and
+//!   response corruption. No network model, so it is cheap enough for
+//!   property tests.
+//! * [`SimNetTransport`] — routes every attempt through a
+//!   [`rain_sim::Network`]: BFS routing over the healthy fabric, per-hop
+//!   latency and jitter, per-path loss, and gray-failure slowdowns, so
+//!   switch and link faults affect the store exactly as they would the
+//!   paper's testbed.
+//!
+//! Time is virtual ([`SimTime`]/[`SimDuration`]) and every random draw
+//! comes from a seeded [`DetRng`], so any schedule of faults replays
+//! bit-identically.
+//!
+//! The store's failure policy — deadlines, bounded retries with jittered
+//! exponential backoff, hedged reads, quorum writes — is configured with
+//! [`FaultPolicy`] and implemented in [`crate::store`]; this module only
+//! decides the fate of individual attempts.
+//!
+//! Symbols travel (and rest) inside a self-verifying **share frame**:
+//! `[checksum: u64 LE][generation: u64 LE][payload]`. The checksum turns
+//! a corrupted response into a detected erasure instead of a poisoned
+//! decode; the generation stamp keeps a quorum-partial overwrite from ever
+//! mixing old and new shares in one decode (each share checksums fine on
+//! its own — only the generation exposes the mix).
+
+use rain_sim::{DetRng, Fault, FaultPlan, Network, NodeId, SimDuration, SimTime};
+
+/// What a transport attempt was trying to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportOp {
+    /// Push a symbol frame to the node.
+    Install,
+    /// Read a symbol frame back from the node.
+    Fetch,
+    /// Remove a symbol from the node.
+    Delete,
+    /// Liveness check carrying no payload.
+    Probe,
+}
+
+/// Why a transport attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// The node itself is down (it cannot serve even if packets arrive).
+    NodeDown,
+    /// No functioning path reaches the node (partition, switch failure).
+    Unreachable,
+    /// The request or response was silently lost in flight; the caller
+    /// learns only by waiting out its patience.
+    Lost,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::NodeDown => write!(f, "node down"),
+            TransportError::Unreachable => write!(f, "no route to node"),
+            TransportError::Lost => write!(f, "message lost"),
+        }
+    }
+}
+
+/// The fate of one transport attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// Whether the operation reached the node and its response came back.
+    pub outcome: Result<(), TransportError>,
+    /// Time from dispatch until the requester *learned* the outcome: the
+    /// round trip for a success, the wait it took to give up for a loss.
+    pub latency: SimDuration,
+    /// True if the response arrived but was damaged in flight. The payload
+    /// did make it — verification (checksum) is the caller's job, which is
+    /// the point: corruption must be *detected*, not announced.
+    pub corrupt: bool,
+}
+
+impl Attempt {
+    /// An instantaneous clean success (the direct-call fate).
+    pub fn instant_ok() -> Self {
+        Attempt {
+            outcome: Ok(()),
+            latency: SimDuration::ZERO,
+            corrupt: false,
+        }
+    }
+}
+
+/// Classification of one node's contribution to a retrieve, surfaced in
+/// [`RetrieveReport::outcomes`](crate::RetrieveReport::outcomes) so an
+/// operator can see *why* a read degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NodeOutcome {
+    /// A verified share arrived in time.
+    Ok,
+    /// Every attempt timed out or was lost within the deadline.
+    Timeout,
+    /// A response arrived but failed checksum verification.
+    Corrupt,
+    /// The node (or every path to it) was down.
+    Down,
+    /// The share carried a stale generation — a leftover of an overwrite
+    /// that never completed on this node.
+    Stale,
+}
+
+/// Running counters kept by every transport implementation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Total attempts, across all operations.
+    pub attempts: u64,
+    /// Attempts that succeeded.
+    pub ok: u64,
+    /// Attempts refused because the node was down.
+    pub node_down: u64,
+    /// Attempts that found no path to the node.
+    pub unreachable: u64,
+    /// Attempts lost in flight.
+    pub lost: u64,
+    /// Successful attempts whose response arrived corrupted.
+    pub corrupted: u64,
+}
+
+impl TransportStats {
+    fn record(&mut self, attempt: &Attempt) {
+        self.attempts += 1;
+        match attempt.outcome {
+            Ok(()) => {
+                self.ok += 1;
+                if attempt.corrupt {
+                    self.corrupted += 1;
+                }
+            }
+            Err(TransportError::NodeDown) => self.node_down += 1,
+            Err(TransportError::Unreachable) => self.unreachable += 1,
+            Err(TransportError::Lost) => self.lost += 1,
+        }
+    }
+}
+
+/// The fate model: who decides what happens to bytes crossing the network.
+///
+/// Implementations must be deterministic given their seed and the sequence
+/// of calls — the fault-injection harness depends on bit-identical replays.
+pub trait Transport {
+    /// Decide the fate of one `op` against `node` (a store node index),
+    /// moving `bytes` payload bytes. `patience` is how long the caller is
+    /// willing to wait before declaring the attempt lost; a lost attempt
+    /// reports that full wait as its latency.
+    fn attempt(
+        &mut self,
+        node: usize,
+        op: TransportOp,
+        bytes: u64,
+        patience: SimDuration,
+    ) -> Attempt;
+
+    /// The transport's current virtual time.
+    fn now(&self) -> SimTime;
+
+    /// Advance virtual time (applying any fault schedule that came due).
+    fn advance(&mut self, by: SimDuration);
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> TransportStats;
+}
+
+// ---------------------------------------------------------------------------
+// Share framing
+// ---------------------------------------------------------------------------
+
+/// Bytes of the share-frame header: checksum (8) + generation (8).
+pub const FRAME_HEADER: usize = 16;
+
+/// Word-wide mix checksum over a share payload and its generation. Not
+/// cryptographic — it exists to catch in-flight bit damage, and it must be
+/// cheap enough to sit on the store's hot path. Four independent lanes eat
+/// 32 bytes per round so the multiply latencies overlap instead of
+/// serialising (a single-lane chain is latency-bound at one multiply per
+/// word); the lanes fold together through the same injective mix at the
+/// end, so damage to any input word still changes the result.
+pub fn share_checksum(gen: u64, payload: &[u8]) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let seed = 0x9e37_79b9_7f4a_7c15u64 ^ gen ^ (payload.len() as u64).rotate_left(32);
+    let mut lanes = [
+        seed,
+        seed.rotate_left(17) ^ PRIME,
+        seed.rotate_left(31) ^ PRIME.rotate_left(24),
+        seed.rotate_left(47) ^ PRIME.rotate_left(48),
+    ];
+    let mut blocks = payload.chunks_exact(32);
+    for b in &mut blocks {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(b[i * 8..i * 8 + 8].try_into().expect("exact block"));
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+            *lane ^= *lane >> 29;
+        }
+    }
+    let mut tail = blocks.remainder().chunks_exact(8);
+    let mut h = lanes[0];
+    for (i, lane) in lanes.iter().enumerate().skip(1) {
+        h = (h ^ lane.rotate_left(i as u32 * 13)).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    for c in &mut tail {
+        let w = u64::from_le_bytes(c.try_into().expect("exact chunk"));
+        h = (h ^ w).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    let rem = tail.remainder();
+    if !rem.is_empty() {
+        let mut last = [0u8; 8];
+        last[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(last)).wrapping_mul(PRIME);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// Wrap a share payload in its self-verifying frame:
+/// `[checksum][generation][payload]`.
+pub fn seal_frame(gen: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&share_checksum(gen, payload).to_le_bytes());
+    frame.extend_from_slice(&gen.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Verify a frame and return `(generation, payload)`, or `None` when the
+/// frame is truncated or its checksum does not match — i.e. the share is
+/// one more erasure, never an input to decode.
+pub fn open_frame(frame: &[u8]) -> Option<(u64, &[u8])> {
+    if frame.len() < FRAME_HEADER {
+        return None;
+    }
+    let sum = u64::from_le_bytes(frame[..8].try_into().expect("header"));
+    let gen = u64::from_le_bytes(frame[8..16].try_into().expect("header"));
+    let payload = &frame[FRAME_HEADER..];
+    if share_checksum(gen, payload) != sum {
+        return None;
+    }
+    Some((gen, payload))
+}
+
+/// Split a frame into `(generation, payload)` **without** verifying the
+/// checksum. Only for frames already verified by [`open_frame`] in the same
+/// operation — it spares the hot path a second pass over the payload.
+pub fn split_frame(frame: &[u8]) -> Option<(u64, &[u8])> {
+    if frame.len() < FRAME_HEADER {
+        return None;
+    }
+    let gen = u64::from_le_bytes(frame[8..16].try_into().expect("header"));
+    Some((gen, &frame[FRAME_HEADER..]))
+}
+
+// ---------------------------------------------------------------------------
+// Failure policy
+// ---------------------------------------------------------------------------
+
+/// The store's failure-handling knobs: how long to wait, how often to
+/// retry, when to hedge, and how much of a write may complete in the
+/// background. The defaults are generous enough that [`DirectTransport`]
+/// (every attempt an instant success) behaves exactly like the historical
+/// direct-call store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPolicy {
+    /// Patience per attempt: a request unanswered for this long is
+    /// declared lost and retried (or handed to the next node).
+    pub attempt_timeout: SimDuration,
+    /// Overall per-request deadline. A node whose retries would cross the
+    /// deadline is given up on.
+    pub deadline: SimDuration,
+    /// Attempts per node before moving on (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff between retries against the same node; attempt `i`
+    /// waits `backoff << (i - 1)`, plus jitter.
+    pub backoff: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each backoff is stretched by up to
+    /// this fraction of itself, drawn from the store's deterministic RNG,
+    /// so synchronized retries against a recovering node spread out.
+    pub backoff_jitter: f64,
+    /// Hedged reads: when the decode is still short of `k` shares at this
+    /// threshold — or its slowest needed share lands after it — one extra
+    /// share is requested from an unused node and the earliest `k`
+    /// arrivals win. `None` disables hedging.
+    pub hedge_after: Option<SimDuration>,
+    /// Quorum writes: a store operation acks once `n - write_slack`
+    /// symbols install (never fewer than `k`); the remainder is queued and
+    /// retried by [`complete_writes`](crate::DistributedStore::complete_writes),
+    /// with the outstanding bytes reported as
+    /// [`pending_install_bytes`](crate::GroupStats::pending_install_bytes).
+    pub write_slack: usize,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            attempt_timeout: SimDuration::from_millis(10),
+            deadline: SimDuration::from_millis(50),
+            max_attempts: 3,
+            backoff: SimDuration::from_micros(500),
+            backoff_jitter: 0.5,
+            hedge_after: None,
+            write_slack: 0,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A tail-latency-sensitive profile: short patience, early hedging,
+    /// and one symbol's worth of write slack. Used by the fault-injection
+    /// scenarios; a reasonable starting point for interactive reads.
+    pub fn hedged() -> Self {
+        FaultPolicy {
+            attempt_timeout: SimDuration::from_millis(2),
+            deadline: SimDuration::from_millis(20),
+            max_attempts: 2,
+            backoff: SimDuration::from_micros(200),
+            backoff_jitter: 0.5,
+            hedge_after: Some(SimDuration::from_micros(500)),
+            write_slack: 1,
+        }
+    }
+
+    /// The backoff before retry number `attempt` (1-based count of
+    /// attempts already made), jittered from `rng`.
+    pub(crate) fn backoff_before_retry(&self, attempt: u32, rng: &mut DetRng) -> SimDuration {
+        let base = self
+            .backoff
+            .saturating_mul(1u64 << (attempt.saturating_sub(1)).min(16));
+        let jitter_micros = (base.as_micros() as f64 * self.backoff_jitter) as u64;
+        if jitter_micros == 0 {
+            return base;
+        }
+        base + SimDuration::from_micros(rng.below(jitter_micros + 1))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DirectTransport
+// ---------------------------------------------------------------------------
+
+/// The legacy in-process "network": every attempt is an instant, clean
+/// success. Installing on a *down* node still succeeds — exactly the
+/// historical store semantics, where up/down only gated read selection.
+#[derive(Debug, Default)]
+pub struct DirectTransport {
+    now: SimTime,
+    stats: TransportStats,
+}
+
+impl DirectTransport {
+    /// A fresh direct transport at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transport for DirectTransport {
+    fn attempt(&mut self, _node: usize, _op: TransportOp, _bytes: u64, _p: SimDuration) -> Attempt {
+        let a = Attempt::instant_ok();
+        self.stats.record(&a);
+        a
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance(&mut self, by: SimDuration) {
+        self.now += by;
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosTransport
+// ---------------------------------------------------------------------------
+
+/// A network-model-free fault injector: per-node down / cut-off / slowdown
+/// state driven by a [`FaultPlan`], plus seeded random loss and response
+/// corruption. Node faults map directly; `LinkDown(LinkId(i))` /
+/// `LinkUp(LinkId(i))` are interpreted as *the path to store node `i`*
+/// going away and coming back, so [`FaultPlan::flapping_link`] drives a
+/// flapping path without building a fabric. Switch and interface faults
+/// are ignored (there is no fabric for them to act on).
+#[derive(Debug)]
+pub struct ChaosTransport {
+    now: SimTime,
+    stats: TransportStats,
+    rng: DetRng,
+    down: Vec<bool>,
+    cut: Vec<bool>,
+    slow: Vec<u32>,
+    /// Remaining scheduled faults, sorted by time (soonest last, popped).
+    schedule: Vec<(SimTime, Fault)>,
+    /// Round-trip service latency against a healthy node.
+    pub base_latency: SimDuration,
+    /// Uniform extra latency in `[0, jitter]` per attempt.
+    pub jitter: SimDuration,
+    /// Probability an attempt is silently lost.
+    pub loss: f64,
+    /// Probability a successful fetch's response arrives corrupted.
+    pub corruption: f64,
+}
+
+impl ChaosTransport {
+    /// A chaos transport over `n` store nodes, healthy and fault-free,
+    /// with all randomness drawn from `seed`.
+    pub fn new(n: usize, seed: u64) -> Self {
+        ChaosTransport {
+            now: SimTime::ZERO,
+            stats: TransportStats::default(),
+            rng: DetRng::new(seed),
+            down: vec![false; n],
+            cut: vec![false; n],
+            slow: vec![1; n],
+            schedule: Vec::new(),
+            base_latency: SimDuration::from_micros(200),
+            jitter: SimDuration::from_micros(50),
+            loss: 0.0,
+            corruption: 0.0,
+        }
+    }
+
+    /// Install a fault schedule; actions fire as [`Transport::advance`]
+    /// moves time past them. Replaces any previous schedule.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        let mut events = plan.into_sorted();
+        events.reverse(); // soonest last, so firing is a pop
+        self.schedule = events;
+        self.run_schedule();
+        self
+    }
+
+    /// Set the message loss probability.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        self.loss = loss;
+        self
+    }
+
+    /// Set the response corruption probability.
+    pub fn with_corruption(mut self, corruption: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&corruption),
+            "corruption must be a probability"
+        );
+        self.corruption = corruption;
+        self
+    }
+
+    /// Apply every scheduled action that is due at or before `now`.
+    fn run_schedule(&mut self) {
+        while let Some(&(t, fault)) = self.schedule.last() {
+            if t > self.now {
+                break;
+            }
+            self.schedule.pop();
+            match fault {
+                Fault::NodeCrash(NodeId(i)) => self.set(i, |s, i| s.down[i] = true),
+                Fault::NodeRecover(NodeId(i)) => self.set(i, |s, i| s.down[i] = false),
+                Fault::NodeDegrade(NodeId(i), f) => self.set(i, move |s, i| s.slow[i] = f.max(1)),
+                Fault::NodeRestore(NodeId(i)) => self.set(i, |s, i| s.slow[i] = 1),
+                rain_sim::Fault::LinkDown(l) => self.set(l.0, |s, i| s.cut[i] = true),
+                rain_sim::Fault::LinkUp(l) => self.set(l.0, |s, i| s.cut[i] = false),
+                // No fabric: switch and NIC faults have nothing to act on.
+                Fault::SwitchFail(_)
+                | Fault::SwitchRecover(_)
+                | Fault::IfaceDown(_)
+                | Fault::IfaceUp(_) => {}
+            }
+        }
+    }
+
+    fn set(&mut self, i: usize, f: impl FnOnce(&mut Self, usize)) {
+        if i < self.down.len() {
+            f(self, i);
+        }
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn attempt(
+        &mut self,
+        node: usize,
+        op: TransportOp,
+        _bytes: u64,
+        patience: SimDuration,
+    ) -> Attempt {
+        let a = if node >= self.down.len() || self.down[node] {
+            // A crashed node refuses fast: the failure is learned in one
+            // round trip, not by waiting out the patience.
+            Attempt {
+                outcome: Err(TransportError::NodeDown),
+                latency: self.base_latency,
+                corrupt: false,
+            }
+        } else if self.cut[node] {
+            // A severed path blackholes silently; the caller learns only
+            // by giving up.
+            Attempt {
+                outcome: Err(TransportError::Lost),
+                latency: patience,
+                corrupt: false,
+            }
+        } else if self.rng.chance(self.loss) {
+            Attempt {
+                outcome: Err(TransportError::Lost),
+                latency: patience,
+                corrupt: false,
+            }
+        } else {
+            let jitter = if self.jitter.as_micros() > 0 {
+                SimDuration::from_micros(self.rng.below(self.jitter.as_micros() + 1))
+            } else {
+                SimDuration::ZERO
+            };
+            let latency = (self.base_latency + jitter).saturating_mul(self.slow[node] as u64);
+            let corrupt = op == TransportOp::Fetch && self.rng.chance(self.corruption);
+            Attempt {
+                outcome: Ok(()),
+                latency,
+                corrupt,
+            }
+        };
+        self.stats.record(&a);
+        a
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance(&mut self, by: SimDuration) {
+        self.now += by;
+        self.run_schedule();
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimNetTransport
+// ---------------------------------------------------------------------------
+
+/// A transport routed through [`rain_sim::Network`]: the coordinator is a
+/// node in the fabric and each store node maps to another fabric node.
+/// Every attempt is routed by BFS over the currently healthy subgraph, so
+/// link, switch, and NIC faults — and the gray-failure slowdowns of
+/// [`Fault::NodeDegrade`] — hit the store the way they would hit the
+/// paper's Myrinet testbed.
+#[derive(Debug)]
+pub struct SimNetTransport {
+    net: Network,
+    coord: NodeId,
+    map: Vec<NodeId>,
+    now: SimTime,
+    stats: TransportStats,
+    rng: DetRng,
+    schedule: Vec<(SimTime, Fault)>,
+    /// Per-request service time at the remote node, added to the wire RTT.
+    pub service: SimDuration,
+    /// Probability a successful fetch's response arrives corrupted.
+    pub corruption: f64,
+}
+
+impl SimNetTransport {
+    /// A transport over `net` where the coordinator sits at `coord` and
+    /// store node `i` lives at fabric node `map[i]`.
+    pub fn new(net: Network, coord: NodeId, map: Vec<NodeId>, seed: u64) -> Self {
+        assert!(
+            !map.contains(&coord),
+            "the coordinator cannot be a storage node"
+        );
+        SimNetTransport {
+            net,
+            coord,
+            map,
+            now: SimTime::ZERO,
+            stats: TransportStats::default(),
+            rng: DetRng::new(seed),
+            schedule: Vec::new(),
+            service: SimDuration::from_micros(100),
+            corruption: 0.0,
+        }
+    }
+
+    /// The conventional layout over a full-mesh fabric of `n + 1` nodes:
+    /// coordinator at fabric node 0, store node `i` at fabric node `i + 1`.
+    pub fn full_mesh(n: usize, latency: SimDuration, loss: f64, seed: u64) -> Self {
+        let net = Network::full_mesh(n + 1, latency, loss);
+        let map = (1..=n).map(NodeId).collect();
+        Self::new(net, NodeId(0), map, seed)
+    }
+
+    /// Install a fault schedule applied against the fabric as time passes.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        let mut events = plan.into_sorted();
+        events.reverse();
+        self.schedule = events;
+        self.run_schedule();
+        self
+    }
+
+    /// Set the response corruption probability.
+    pub fn with_corruption(mut self, corruption: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&corruption),
+            "corruption must be a probability"
+        );
+        self.corruption = corruption;
+        self
+    }
+
+    /// Direct mutable access to the fabric (tests inject faults by hand).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The fabric node a store node index maps to.
+    pub fn fabric_node(&self, node: usize) -> NodeId {
+        self.map[node]
+    }
+
+    fn run_schedule(&mut self) {
+        while let Some(&(t, fault)) = self.schedule.last() {
+            if t > self.now {
+                break;
+            }
+            self.schedule.pop();
+            fault.apply(&mut self.net);
+        }
+    }
+}
+
+impl Transport for SimNetTransport {
+    fn attempt(
+        &mut self,
+        node: usize,
+        op: TransportOp,
+        _bytes: u64,
+        patience: SimDuration,
+    ) -> Attempt {
+        let target = self.map[node];
+        let a = if !self.net.node_up(target) {
+            // A crashed node is silent — indistinguishable on the wire
+            // from a partition, but the fate is reported honestly so the
+            // coordinator's failure detector can converge on it.
+            Attempt {
+                outcome: Err(TransportError::NodeDown),
+                latency: patience,
+                corrupt: false,
+            }
+        } else {
+            match self.net.route_between_nodes(self.coord, target) {
+                None => Attempt {
+                    outcome: Err(TransportError::Unreachable),
+                    latency: patience,
+                    corrupt: false,
+                },
+                Some((_, _, path)) => {
+                    // Request and response each cross the path and each
+                    // roll the combined per-hop loss independently.
+                    let loss = self.net.path_loss(&path);
+                    if self.rng.chance(loss) || self.rng.chance(loss) {
+                        Attempt {
+                            outcome: Err(TransportError::Lost),
+                            latency: patience,
+                            corrupt: false,
+                        }
+                    } else {
+                        let mut one_way = self.net.path_latency(&path);
+                        for &l in &path {
+                            let j = self.net.link(l).jitter;
+                            if j.as_micros() > 0 {
+                                one_way = one_way
+                                    + SimDuration::from_micros(self.rng.below(j.as_micros() + 1));
+                            }
+                        }
+                        let rtt = (one_way.saturating_mul(2) + self.service)
+                            .saturating_mul(self.net.pair_slowdown(self.coord, target));
+                        let corrupt = op == TransportOp::Fetch && self.rng.chance(self.corruption);
+                        Attempt {
+                            outcome: Ok(()),
+                            latency: rtt,
+                            corrupt,
+                        }
+                    }
+                }
+            }
+        };
+        self.stats.record(&a);
+        a
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn advance(&mut self, by: SimDuration) {
+        self.now += by;
+        self.run_schedule();
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_sim::{LinkId, DEFAULT_LINK_LATENCY};
+
+    const PATIENCE: SimDuration = SimDuration(10_000);
+
+    #[test]
+    fn checksum_catches_every_single_bit_flip() {
+        let payload: Vec<u8> = (0..37u8).collect();
+        let frame = seal_frame(7, &payload);
+        assert_eq!(open_frame(&frame), Some((7, payload.as_slice())));
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut damaged = frame.clone();
+                damaged[byte] ^= 1 << bit;
+                assert_eq!(
+                    open_frame(&damaged),
+                    None,
+                    "flip at {byte}:{bit} slipped by"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        assert_eq!(open_frame(&[]), None);
+        assert_eq!(open_frame(&[0u8; FRAME_HEADER - 1]), None);
+        // An empty payload is legal — a frame is never shorter than its
+        // header, but it may be exactly the header.
+        let frame = seal_frame(0, &[]);
+        assert_eq!(open_frame(&frame), Some((0, &[][..])));
+    }
+
+    #[test]
+    fn generations_are_part_of_the_checksum() {
+        let frame = seal_frame(3, b"abc");
+        let mut regen = frame.clone();
+        regen[8] = 4; // bump the stored generation without re-checksumming
+        assert_eq!(open_frame(&regen), None, "gen tampering must not verify");
+    }
+
+    #[test]
+    fn direct_transport_is_instant_and_infallible() {
+        let mut t = DirectTransport::new();
+        for node in 0..8 {
+            let a = t.attempt(node, TransportOp::Install, 4096, PATIENCE);
+            assert_eq!(a.outcome, Ok(()));
+            assert_eq!(a.latency, SimDuration::ZERO);
+            assert!(!a.corrupt);
+        }
+        assert_eq!(t.stats().ok, 8);
+        t.advance(SimDuration::from_secs(1));
+        assert_eq!(t.now(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn chaos_down_nodes_refuse_and_cut_nodes_blackhole() {
+        let plan = FaultPlan::none()
+            .at(SimTime::ZERO, Fault::NodeCrash(NodeId(1)))
+            .at(SimTime::ZERO, Fault::LinkDown(LinkId(2)));
+        let mut t = ChaosTransport::new(4, 1).with_plan(plan);
+        t.jitter = SimDuration::ZERO;
+
+        let refused = t.attempt(1, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(refused.outcome, Err(TransportError::NodeDown));
+        assert_eq!(refused.latency, t.base_latency, "refusal is fast");
+
+        let blackholed = t.attempt(2, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(blackholed.outcome, Err(TransportError::Lost));
+        assert_eq!(blackholed.latency, PATIENCE, "loss costs the full wait");
+
+        let clean = t.attempt(0, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(clean.outcome, Ok(()));
+        assert_eq!(clean.latency, t.base_latency);
+    }
+
+    #[test]
+    fn chaos_slowdown_inflates_latency_until_restored() {
+        let plan = FaultPlan::none().gray_failure(
+            NodeId(0),
+            SimTime::from_millis(1),
+            SimTime::from_millis(2),
+            8,
+        );
+        let mut t = ChaosTransport::new(2, 1).with_plan(plan);
+        t.jitter = SimDuration::ZERO;
+        let nominal = t.attempt(0, TransportOp::Fetch, 0, PATIENCE).latency;
+        t.advance(SimDuration::from_millis(1));
+        let slow = t.attempt(0, TransportOp::Fetch, 0, PATIENCE).latency;
+        assert_eq!(slow, nominal.saturating_mul(8));
+        t.advance(SimDuration::from_millis(1));
+        let healed = t.attempt(0, TransportOp::Fetch, 0, PATIENCE).latency;
+        assert_eq!(healed, nominal);
+    }
+
+    #[test]
+    fn chaos_loss_and_corruption_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = ChaosTransport::new(3, seed)
+                .with_loss(0.3)
+                .with_corruption(0.2);
+            (0..100)
+                .map(|i| {
+                    let a = t.attempt(i % 3, TransportOp::Fetch, 0, PATIENCE);
+                    (a.outcome.is_ok(), a.corrupt)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+        let mut t = ChaosTransport::new(1, 9).with_loss(0.5);
+        let fates: Vec<bool> = (0..200)
+            .map(|_| {
+                t.attempt(0, TransportOp::Fetch, 0, PATIENCE)
+                    .outcome
+                    .is_ok()
+            })
+            .collect();
+        assert!(fates.iter().any(|&ok| ok) && fates.iter().any(|&ok| !ok));
+        assert_eq!(
+            t.stats().lost,
+            fates.iter().filter(|&&ok| !ok).count() as u64
+        );
+    }
+
+    #[test]
+    fn chaos_corruption_hits_only_fetches() {
+        let mut t = ChaosTransport::new(1, 4).with_corruption(1.0);
+        assert!(t.attempt(0, TransportOp::Fetch, 0, PATIENCE).corrupt);
+        assert!(!t.attempt(0, TransportOp::Install, 0, PATIENCE).corrupt);
+        assert!(!t.attempt(0, TransportOp::Probe, 0, PATIENCE).corrupt);
+    }
+
+    #[test]
+    fn simnet_routes_and_reports_honest_latency() {
+        let mut t = SimNetTransport::full_mesh(4, DEFAULT_LINK_LATENCY, 0.0, 3);
+        let a = t.attempt(2, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(a.outcome, Ok(()));
+        // One 50 µs hop each way plus the 100 µs service time.
+        assert_eq!(a.latency, SimDuration::from_micros(200));
+    }
+
+    #[test]
+    fn simnet_crash_partition_and_gray_failure_have_distinct_fates() {
+        let plan = FaultPlan::none()
+            .at(SimTime::ZERO, Fault::NodeCrash(NodeId(1)))
+            .gray_failure(NodeId(2), SimTime::ZERO, SimTime::from_secs(1), 5);
+        let mut t = SimNetTransport::full_mesh(3, DEFAULT_LINK_LATENCY, 0.0, 3).with_plan(plan);
+
+        let down = t.attempt(0, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(down.outcome, Err(TransportError::NodeDown));
+        assert_eq!(down.latency, PATIENCE, "silence costs the full wait");
+
+        let gray = t.attempt(1, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(gray.outcome, Ok(()));
+        assert_eq!(gray.latency, SimDuration::from_micros(200 * 5));
+
+        // Sever the only link to store node 2 (fabric node 3): unreachable.
+        let net = t.network_mut();
+        let links: Vec<LinkId> = net
+            .links()
+            .iter()
+            .filter(|l| {
+                matches!(l.a, rain_sim::Port::Iface(i) if i.node == NodeId(3))
+                    || matches!(l.b, rain_sim::Port::Iface(i) if i.node == NodeId(3))
+            })
+            .map(|l| l.id)
+            .collect();
+        for l in links {
+            net.set_link_up(l, false);
+        }
+        let cut = t.attempt(2, TransportOp::Fetch, 0, PATIENCE);
+        assert_eq!(cut.outcome, Err(TransportError::Unreachable));
+    }
+
+    #[test]
+    fn simnet_schedule_fires_as_time_advances() {
+        let plan = FaultPlan::none()
+            .at(SimTime::from_millis(5), Fault::NodeCrash(NodeId(1)))
+            .at(SimTime::from_millis(9), Fault::NodeRecover(NodeId(1)));
+        let mut t = SimNetTransport::full_mesh(2, DEFAULT_LINK_LATENCY, 0.0, 3).with_plan(plan);
+        assert!(t
+            .attempt(0, TransportOp::Probe, 0, PATIENCE)
+            .outcome
+            .is_ok());
+        t.advance(SimDuration::from_millis(6));
+        assert_eq!(
+            t.attempt(0, TransportOp::Probe, 0, PATIENCE).outcome,
+            Err(TransportError::NodeDown)
+        );
+        t.advance(SimDuration::from_millis(6));
+        assert!(t
+            .attempt(0, TransportOp::Probe, 0, PATIENCE)
+            .outcome
+            .is_ok());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_jitters_within_bounds() {
+        let policy = FaultPolicy {
+            backoff: SimDuration::from_micros(100),
+            backoff_jitter: 0.5,
+            ..FaultPolicy::default()
+        };
+        let mut rng = DetRng::new(11);
+        for attempt in 1..=4u32 {
+            let base = 100u64 << (attempt - 1);
+            for _ in 0..20 {
+                let b = policy.backoff_before_retry(attempt, &mut rng).as_micros();
+                assert!(b >= base && b <= base + base / 2, "attempt {attempt}: {b}");
+            }
+        }
+    }
+}

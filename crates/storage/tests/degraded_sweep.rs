@@ -1,0 +1,131 @@
+//! Exhaustive degraded-read sweep across code families.
+//!
+//! For every supported `(n, k)` code family and **every** faulty-node
+//! combination of size `≤ n - k`, an acked object — one whole placement and
+//! one grouped small object — must retrieve **bit-exact**, flagged degraded
+//! exactly when at least one node is missing. One failure past the
+//! tolerance (`|S| = n - k + 1`), the store must classify the read as
+//! [`StorageError::NotEnoughNodes`] with the exact survivor count — honest
+//! unavailability, never wrong bytes.
+//!
+//! Proptest randomises the payloads; the faulty-node combinations are
+//! enumerated exhaustively (every subset, not a sample) inside each case.
+
+use proptest::prelude::*;
+use rain_codes::{build_code, CodeKind, CodeSpec};
+use rain_sim::NodeId;
+use rain_storage::{DistributedStore, GroupConfig, SelectionPolicy, StorageError};
+
+/// Every code family the registry supports, at its reference parameters.
+fn families() -> Vec<CodeSpec> {
+    vec![
+        CodeSpec::new(CodeKind::BCode, 6, 4),
+        CodeSpec::new(CodeKind::XCode, 5, 3),
+        CodeSpec::new(CodeKind::EvenOdd, 7, 5),
+        CodeSpec::new(CodeKind::ReedSolomon, 9, 6),
+        CodeSpec::new(CodeKind::Mirroring, 3, 1),
+        CodeSpec::new(CodeKind::SingleParity, 5, 4),
+    ]
+}
+
+fn fill(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) % 251) as u8)
+        .collect()
+}
+
+/// Check one `(family, faulty-set)` pair. `mask` encodes the faulty nodes.
+fn check_subset(spec: CodeSpec, mask: u32, whole: &[u8], tiny: &[u8]) -> Result<(), TestCaseError> {
+    let n = spec.n;
+    let k = spec.k;
+    let faulty = mask.count_ones() as usize;
+    let code = build_code(spec).expect("reference spec must build");
+    let mut store = DistributedStore::with_groups(code, GroupConfig::small_objects());
+    store.store("whole", whole).expect("healthy store");
+    store.store("tiny", tiny).expect("healthy store");
+    store.flush().expect("healthy flush");
+    for i in 0..n {
+        if mask & (1 << i) != 0 {
+            store.fail_node(NodeId(i)).expect("fail known node");
+        }
+    }
+
+    for (name, want) in [("whole", whole), ("tiny", tiny)] {
+        let got = store.retrieve(name, SelectionPolicy::LeastLoaded);
+        if faulty <= n - k {
+            // Within tolerance: bit-exact bytes, exact degraded flag, and
+            // no faulty node among the sources.
+            let (bytes, report) = got.map_err(|e| {
+                TestCaseError::Fail(format!(
+                    "{spec:?} faulty={mask:#b}: {name} unavailable within tolerance: {e}"
+                ))
+            })?;
+            prop_assert!(
+                bytes == want,
+                "{:?} faulty={:#b}: {} bytes diverged",
+                spec,
+                mask,
+                name
+            );
+            prop_assert!(
+                report.degraded == (faulty > 0),
+                "{:?} faulty={:#b}: {} degraded misclassified",
+                spec,
+                mask,
+                name
+            );
+            prop_assert!(
+                report.sources.iter().all(|s| mask & (1 << s.0) == 0),
+                "{:?} faulty={:#b}: {} read from a failed node",
+                spec,
+                mask,
+                name
+            );
+        } else {
+            // One past tolerance: honest unavailability with the exact
+            // survivor count, never bytes.
+            match got {
+                Err(StorageError::NotEnoughNodes { available, needed }) => {
+                    prop_assert_eq!(available, n - faulty);
+                    prop_assert_eq!(needed, k);
+                }
+                Err(e) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "{spec:?} faulty={mask:#b}: {name} wrong error class: {e}"
+                    )))
+                }
+                Ok(_) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "{spec:?} faulty={mask:#b}: {name} decoded past tolerance"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Satellite: for random payloads, walk every code family and every
+    /// faulty-node subset up to one past the code's tolerance.
+    #[test]
+    fn every_tolerable_failure_combination_reads_bit_exact(
+        seed in any::<u64>(),
+        wlen in 4096usize..4600,
+        tlen in 16usize..2000,
+    ) {
+        let whole = fill(seed, wlen);
+        let tiny = fill(seed ^ 0xFF, tlen);
+        for spec in families() {
+            let tolerance = spec.n - spec.k;
+            for mask in 0u32..(1 << spec.n) {
+                let faulty = mask.count_ones() as usize;
+                if faulty <= tolerance + 1 {
+                    check_subset(spec, mask, &whole, &tiny)?;
+                }
+            }
+        }
+    }
+}
