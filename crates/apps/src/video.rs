@@ -15,6 +15,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec, ErasureCode};
+use rain_obs::Registry;
 use rain_sim::NodeId;
 use rain_storage::{
     DistributedStore, FaultPolicy, GroupConfig, OutcomeTally, RecoveryReport, SelectionPolicy,
@@ -49,7 +50,7 @@ pub struct VideoSystem {
     block_size: usize,
     videos: Vec<(String, usize)>,
     clients: Vec<VideoClient>,
-    health: OutcomeTally,
+    registry: Registry,
 }
 
 impl VideoSystem {
@@ -65,12 +66,18 @@ impl VideoSystem {
     /// fully ingested video is always erasure-coded durable.
     pub fn new_grouped(code: Arc<dyn ErasureCode>, block_size: usize, config: GroupConfig) -> Self {
         assert!(block_size > 0);
+        let registry = Registry::new();
+        let mut store = DistributedStore::with_groups(code, config);
+        store.attach_registry(&registry);
+        // Health comes from the registry counters; the per-report outcome
+        // vectors would be dead weight on every block retrieve.
+        store.set_outcome_capture(false);
         VideoSystem {
-            store: DistributedStore::with_groups(code, config),
+            store,
             block_size,
             videos: Vec::new(),
             clients: Vec::new(),
-            health: OutcomeTally::default(),
+            registry,
         }
     }
 
@@ -109,7 +116,12 @@ impl VideoSystem {
         wal: WriteAheadLog,
     ) -> Result<(Self, RecoveryReport), StorageError> {
         assert!(block_size > 0);
-        let (store, report) = DistributedStore::recover(code, config, nodes, wal)?;
+        let (mut store, report) = DistributedStore::recover(code, config, nodes, wal)?;
+        // A fresh registry per incarnation: health counters restart at zero
+        // after a coordinator crash, exactly like the old in-memory tally.
+        let registry = Registry::new();
+        store.attach_registry(&registry);
+        store.set_outcome_capture(false);
         let mut blocks_per_video: std::collections::BTreeMap<String, usize> =
             std::collections::BTreeMap::new();
         for name in store.object_names() {
@@ -126,7 +138,7 @@ impl VideoSystem {
                 block_size,
                 videos: blocks_per_video.into_iter().collect(),
                 clients: Vec::new(),
-                health: OutcomeTally::default(),
+                registry,
             },
             report,
         ))
@@ -181,9 +193,18 @@ impl VideoSystem {
     /// Per-node outcome breakdown accumulated over every block retrieve:
     /// how many server contacts answered ok, timed out, returned damage,
     /// were down, or served a stale generation — plus degraded/hedged read
-    /// counts. The service-level view of retrieval health.
+    /// counts. A view over the service telemetry registry (see
+    /// [`VideoSystem::registry`]); no per-retrieve aggregation happens in
+    /// the playback loop.
     pub fn playback_health(&self) -> OutcomeTally {
-        self.health
+        OutcomeTally::from_registry(&self.registry)
+    }
+
+    /// The telemetry registry the service's store publishes into: retrieve
+    /// outcome counters, latency histograms, span durations, WAL and group
+    /// metrics. Snapshot it for dashboards or diffing in tests.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Register a client that will stream `video` from the beginning.
@@ -274,7 +295,6 @@ impl VideoSystem {
                     if report.degraded {
                         cl.degraded_blocks += 1;
                     }
-                    self.health.absorb(&report);
                     progressed += 1;
                 }
                 Err(_) => {

@@ -22,6 +22,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec, ErasureCode};
+use rain_obs::Registry;
 use rain_sim::NodeId;
 use rain_storage::{
     DistributedStore, FlushReport, GroupConfig, OutcomeTally, RecoveryReport, SelectionPolicy,
@@ -149,7 +150,7 @@ pub struct RainCheck {
     lost_work: u64,
     reassignments: u64,
     checkpoints_written: u64,
-    retrieval_health: OutcomeTally,
+    registry: Registry,
 }
 
 impl RainCheck {
@@ -169,15 +170,21 @@ impl RainCheck {
     pub fn new(code: Arc<dyn ErasureCode>, checkpoint_interval: u64) -> Self {
         assert!(checkpoint_interval >= 1);
         let n = code.n();
+        let registry = Registry::new();
+        let mut store = DistributedStore::with_groups(code, GroupConfig::small_objects().logged());
+        store.attach_registry(&registry);
+        // Restore health is read from the registry counters; skip the
+        // per-report outcome vectors entirely.
+        store.set_outcome_capture(false);
         RainCheck {
-            store: DistributedStore::with_groups(code, GroupConfig::small_objects().logged()),
+            store,
             nodes_up: vec![true; n],
             jobs: BTreeMap::new(),
             checkpoint_interval,
             lost_work: 0,
             reassignments: 0,
             checkpoints_written: 0,
-            retrieval_health: OutcomeTally::default(),
+            registry,
         }
     }
 
@@ -268,9 +275,6 @@ impl RainCheck {
         for id in affected {
             let key = Self::checkpoint_key(id);
             let restored = self.store.retrieve(&key, SelectionPolicy::LeastLoaded);
-            if let Ok((_, report)) = &restored {
-                self.retrieval_health.absorb(report);
-            }
             let job = self.jobs.get_mut(&id).unwrap();
             let before = job.progress;
             match restored {
@@ -306,9 +310,17 @@ impl RainCheck {
     /// Per-node outcome breakdown accumulated over every checkpoint
     /// restore: ok/timeout/corrupt/down/stale contact counts plus
     /// degraded-read totals — the scheduler's view of how healthy its
-    /// restores have been.
+    /// restores have been. A view over the telemetry registry (see
+    /// [`RainCheck::registry`]), not a separate hand-maintained tally.
     pub fn retrieval_health(&self) -> OutcomeTally {
-        self.retrieval_health
+        OutcomeTally::from_registry(&self.registry)
+    }
+
+    /// The telemetry registry the scheduler's store publishes into:
+    /// retrieve outcomes, WAL append counters, group seal/compaction
+    /// metrics, and span duration histograms.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Simulate a crash of the **coordinator** (leader + store metadata):
@@ -341,9 +353,14 @@ impl RainCheck {
     ) -> Result<(Self, RecoveryReport), CheckpointError> {
         assert!(checkpoint_interval >= 1);
         let n = code.n();
-        let (store, report) =
+        let (mut store, report) =
             DistributedStore::recover(code, GroupConfig::small_objects().logged(), nodes, wal)
                 .map_err(CheckpointError::RecoveryFailed)?;
+        // Fresh registry per incarnation: health counters restart at zero
+        // after a coordinator crash, like the old in-memory tally did.
+        let registry = Registry::new();
+        store.attach_registry(&registry);
+        store.set_outcome_capture(false);
         let mut rc = RainCheck {
             store,
             nodes_up: Vec::new(),
@@ -352,7 +369,7 @@ impl RainCheck {
             lost_work: 0,
             reassignments: 0,
             checkpoints_written: 0,
-            retrieval_health: OutcomeTally::default(),
+            registry,
         };
         rc.nodes_up = (0..n).map(|i| rc.store.node_up(NodeId(i))).collect();
         for spec in jobs {
@@ -368,10 +385,7 @@ impl RainCheck {
                 .store
                 .retrieve(&Self::checkpoint_key(spec.id), SelectionPolicy::LeastLoaded)
             {
-                Ok((bytes, report)) => {
-                    rc.retrieval_health.absorb(&report);
-                    job.restore(&bytes);
-                }
+                Ok((bytes, _report)) => job.restore(&bytes),
                 Err(StorageError::UnknownObject { .. }) => {} // never checkpointed
                 // Temporarily unreachable (< k symbols of its sealed group
                 // live right now): restart this job from scratch rather

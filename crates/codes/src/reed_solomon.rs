@@ -216,6 +216,10 @@ impl ErasureCode for ReedSolomon {
         CodeKind::ReedSolomon
     }
 
+    fn runtime_metrics(&self) -> CodeMetrics {
+        self.metrics()
+    }
+
     fn n(&self) -> usize {
         self.n
     }

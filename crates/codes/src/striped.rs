@@ -162,6 +162,10 @@ impl ErasureCode for StripedCodec {
         self.inner.cost(data_len)
     }
 
+    fn runtime_metrics(&self) -> crate::metrics::CodeMetrics {
+        self.inner.runtime_metrics()
+    }
+
     fn is_mds(&self) -> bool {
         self.inner.is_mds()
     }

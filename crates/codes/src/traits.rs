@@ -20,7 +20,7 @@
 //! repair actually needs.
 
 use crate::error::CodeError;
-use crate::metrics::CodeCost;
+use crate::metrics::{CodeCost, CodeMetrics};
 use crate::share::{ShareSet, ShareView};
 
 /// Identifies which family a code object belongs to.
@@ -68,6 +68,15 @@ pub trait ErasureCode: Send + Sync {
 
     /// Analytic cost model for encoding/decoding/updating `data_len` bytes.
     fn cost(&self, data_len: usize) -> CodeCost;
+
+    /// Runtime counters a code implementation accumulates while serving
+    /// (e.g. Reed-Solomon's repair-row cache hits). Codes without runtime
+    /// state report the all-zero default; wrappers delegate to their inner
+    /// code. Telemetry publishers surface these as `codes.*` gauges (see
+    /// `DistributedStore::publish_gauges` in `rain-storage`).
+    fn runtime_metrics(&self) -> CodeMetrics {
+        CodeMetrics::default()
+    }
 
     /// True if the code is Maximum Distance Separable (`m = n - k` erasures
     /// are always recoverable). All codes in this crate except none are MDS,

@@ -1,0 +1,230 @@
+//! Fixed-bucket log-linear histograms with deterministic quantiles.
+//!
+//! Values (microseconds, bytes, counts) are bucketed HDR-style: exact below
+//! 16, then 16 sub-buckets per power of two, covering the whole `u64` range
+//! in a fixed 976-slot table. The relative quantile error is bounded by
+//! 1/16 (6.25%), every operation is integer arithmetic, and a quantile is
+//! always reported as a bucket's *lower bound* — so two runs that record
+//! the same multiset of values render bit-identical summaries, on any
+//! platform, in any build profile. That determinism is what lets scenario
+//! metrics be exact-diffed in CI (see `BENCH_cluster.json`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution: 2^4 = 16 linear sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Bucket count for full `u64` coverage: 16 exact slots below 16, then
+/// 16 slots per octave for exponents 4..=63.
+pub(crate) const NUM_BUCKETS: usize = (63 - SUB_BITS as usize + 1) * SUB + SUB;
+
+/// Bucket index of a recorded value.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // v in [2^exp, 2^(exp+1)), exp >= 4
+        let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+        (exp - SUB_BITS + 1) as usize * SUB + sub
+    }
+}
+
+/// Smallest value that lands in bucket `i` — the deterministic
+/// representative reported for any quantile falling in the bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let exp = (i / SUB) as u32 + SUB_BITS - 1;
+        let sub = (i % SUB) as u64;
+        (SUB as u64 + sub) << (exp - SUB_BITS)
+    }
+}
+
+/// The shared storage behind a [`Histogram`] handle.
+pub(crate) struct HistCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn summary(&self) -> HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = buckets.iter().sum();
+        HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: quantile_of(&buckets, count, 0.50),
+            p99: quantile_of(&buckets, count, 0.99),
+            p999: quantile_of(&buckets, count, 0.999),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Quantile `q` over a read-out bucket array: the lower bound of the bucket
+/// holding the `ceil(q * count)`-th smallest sample.
+fn quantile_of(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil() as u64;
+    let rank = rank.clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cum += c;
+        if cum >= rank {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(buckets.len() - 1)
+}
+
+/// A cloneable handle onto one histogram in a registry. Handles from a
+/// disabled recorder are no-ops whose every operation is a null check.
+#[derive(Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistCore>>);
+
+impl Histogram {
+    /// A detached handle that records nothing.
+    pub fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.0 {
+            core.record(v);
+        }
+    }
+
+    /// Samples recorded so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.count.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time summary (all zeros for a no-op handle).
+    pub fn summary(&self) -> HistogramSummary {
+        self.0.as_ref().map(|c| c.summary()).unwrap_or_default()
+    }
+}
+
+/// A rendered histogram: count, sum, the three tracked quantiles, and the
+/// exact maximum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Median (bucket lower bound, ≤ 6.25% relative error).
+    pub p50: u64,
+    /// 99th percentile (bucket lower bound).
+    pub p99: u64,
+    /// 99.9th percentile (bucket lower bound).
+    pub p999: u64,
+    /// Exact largest sample.
+    pub max: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_exact_below_sixteen_and_contiguous_after() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+        }
+        // Every bucket's lower bound must map back into that bucket, and
+        // bounds must be strictly increasing.
+        let mut prev = 0;
+        for i in 0..NUM_BUCKETS {
+            let b = bucket_bound(i);
+            assert_eq!(bucket_index(b), i, "bound of bucket {i} must roundtrip");
+            if i > 0 {
+                assert!(b > prev, "bucket bounds must increase at {i}");
+            }
+            prev = b;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sixteenth() {
+        for &v in &[17u64, 100, 1_000, 65_537, 1 << 40, u64::MAX / 3] {
+            let b = bucket_bound(bucket_index(v));
+            assert!(b <= v);
+            assert!(
+                (v - b) as f64 / v as f64 <= 1.0 / 16.0 + 1e-12,
+                "bucket bound {b} too far below {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_recorded_distribution() {
+        let h = Histogram(Some(Arc::new(HistCore::new())));
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        // p50 of 1..=1000 is ~500; bucket bound within 6.25% below.
+        assert!(s.p50 <= 500 && s.p50 >= 468, "p50 = {}", s.p50);
+        assert!(s.p99 <= 990 && s.p99 >= 927, "p99 = {}", s.p99);
+        assert!(s.p999 <= 1000 && s.p999 >= 936, "p999 = {}", s.p999);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+
+    #[test]
+    fn identical_inputs_render_identical_summaries() {
+        let mk = || {
+            let h = Histogram(Some(Arc::new(HistCore::new())));
+            for i in 0..500u64 {
+                h.record(i * 37 % 4096);
+            }
+            h.summary()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn empty_and_noop_histograms_summarise_to_zero() {
+        assert_eq!(Histogram::noop().summary(), HistogramSummary::default());
+        let h = Histogram(Some(Arc::new(HistCore::new())));
+        assert_eq!(h.summary(), HistogramSummary::default());
+        Histogram::noop().record(42); // must not panic
+        assert_eq!(Histogram::noop().count(), 0);
+    }
+}

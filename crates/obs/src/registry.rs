@@ -1,0 +1,364 @@
+//! The metric registry: named counters, gauges, and histograms, plus a
+//! stable, sorted snapshot renderer (text and JSON).
+//!
+//! A [`Registry`] is a cheap cloneable handle over shared state. Components
+//! obtain typed handles by name ([`Registry::counter`] and friends); names
+//! follow the `<crate>.<subsystem>.<name>` convention documented in
+//! `docs/ARCHITECTURE.md`. Snapshots iterate every map in sorted (BTreeMap)
+//! order, so rendering is deterministic whenever the recorded values are.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{HistCore, Histogram, HistogramSummary};
+use crate::span::{SpanLog, SpanRecord};
+
+/// A cloneable handle onto one monotone counter. Handles from a disabled
+/// recorder are no-ops whose every operation is a null check.
+#[derive(Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A detached handle that counts nothing.
+    pub fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Add `n` to the counter.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// A cloneable handle onto one signed point-in-time gauge.
+#[derive(Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    /// A detached handle that stores nothing.
+    pub fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `d` (may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    hists: Mutex<BTreeMap<String, Arc<HistCore>>>,
+    pub(crate) spans: Mutex<SpanLog>,
+}
+
+/// A shared collection of named metrics plus a bounded span log.
+///
+/// Cloning is cheap (an `Arc` bump); all clones observe the same metrics.
+/// Typical use attaches one registry per scenario / component instance so
+/// its snapshot describes exactly one run.
+#[derive(Clone, Default)]
+pub struct Registry {
+    pub(crate) inner: Arc<RegistryInner>,
+}
+
+impl Registry {
+    /// An empty registry (default span-log capacity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty registry whose span log keeps the most recent `capacity`
+    /// completed spans (older ones are evicted, counted by
+    /// [`Registry::spans_overflowed`]).
+    pub fn with_span_capacity(capacity: usize) -> Self {
+        let reg = Self::default();
+        reg.inner
+            .spans
+            .lock()
+            .expect("span log lock")
+            .set_capacity(capacity);
+        reg
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("counter map lock");
+        let slot = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Some(slot.clone()))
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("gauge map lock");
+        let slot = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicI64::new(0)));
+        Gauge(Some(slot.clone()))
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.hists.lock().expect("histogram map lock");
+        let slot = map
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistCore::new()));
+        Histogram(Some(slot.clone()))
+    }
+
+    /// Current value of a counter, without creating it (0 if absent).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .get(name)
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge, without creating it (0 if absent).
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge map lock")
+            .get(name)
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Completed spans in open order (pre-order of the span tree).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        let log = self.inner.spans.lock().expect("span log lock");
+        let mut spans: Vec<SpanRecord> = log.records().cloned().collect();
+        spans.sort_by_key(|s| s.seq);
+        spans
+    }
+
+    /// Completed spans evicted from the bounded log.
+    pub fn spans_overflowed(&self) -> u64 {
+        self.inner.spans.lock().expect("span log lock").overflowed()
+    }
+
+    /// A stable, sorted point-in-time snapshot of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter map lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge map lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .inner
+            .hists
+            .lock()
+            .expect("histogram map lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A rendered registry: every metric at one instant, sorted by name within
+/// each kind. Two snapshots of runs that recorded the same values compare
+/// (and render) identically.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Snapshot {
+    /// Human-readable rendering, one metric per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge   {name} = {v}\n"));
+        }
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "hist    {name} count={} p50={} p99={} p999={} max={} sum={}\n",
+                s.count, s.p50, s.p99, s.p999, s.max, s.sum
+            ));
+        }
+        out
+    }
+
+    /// Stable JSON rendering: three sorted objects under `counters`,
+    /// `gauges`, and `histograms`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{},\"sum\":{}}}",
+                escape(name),
+                s.count,
+                s.p50,
+                s.p99,
+                s.p999,
+                s.max,
+                s.sum
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for metric names.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state_through_the_registry() {
+        let reg = Registry::new();
+        let a = reg.counter("x.ops");
+        let b = reg.counter("x.ops");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter_value("x.ops"), 3);
+        assert_eq!(a.get(), 3);
+
+        let g = reg.gauge("x.level");
+        g.set(-5);
+        g.add(2);
+        assert_eq!(reg.gauge_value("x.level"), -3);
+
+        let h = reg.histogram("x.lat_us");
+        h.record(100);
+        assert_eq!(reg.histogram("x.lat_us").count(), 1);
+    }
+
+    #[test]
+    fn absent_metrics_read_as_zero_without_being_created() {
+        let reg = Registry::new();
+        assert_eq!(reg.counter_value("never"), 0);
+        assert_eq!(reg.gauge_value("never"), 0);
+        assert!(reg.snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_deterministic() {
+        let run = || {
+            let reg = Registry::new();
+            reg.counter("z.late").add(9);
+            reg.counter("a.early").add(1);
+            reg.gauge("m.mid").set(4);
+            let h = reg.histogram("b.lat");
+            for v in [10u64, 500, 10_000] {
+                h.record(v);
+            }
+            reg.snapshot()
+        };
+        let (s1, s2) = (run(), run());
+        assert_eq!(s1, s2);
+        assert_eq!(s1.to_text(), s2.to_text());
+        assert_eq!(s1.to_json(), s2.to_json());
+        let names: Vec<&str> = s1.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a.early", "z.late"], "sorted by name");
+        assert!(s1.to_json().starts_with("{\"counters\":{\"a.early\":1"));
+    }
+
+    #[test]
+    fn json_escapes_hostile_names() {
+        let reg = Registry::new();
+        reg.counter("we\"ird\\name").inc();
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("we\\\"ird\\\\name"));
+    }
+}

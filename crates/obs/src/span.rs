@@ -1,0 +1,369 @@
+//! Lightweight tracing spans: RAII guards that nest, carry `key=value`
+//! fields, and record their duration into both a bounded span log and a
+//! per-name histogram (`span.<name>.us`).
+//!
+//! Spans are opened through a [`Recorder`]; a disabled recorder hands out
+//! inert guards whose open and drop are a single null check, so leaving
+//! instrumentation compiled into hot paths costs (near) nothing when
+//! telemetry is off.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::hist::Histogram;
+use crate::registry::Registry;
+
+/// Default number of completed spans the bounded log retains.
+pub const DEFAULT_SPAN_CAPACITY: usize = 512;
+
+/// One completed span: what ran, when (in the recorder's clock), for how
+/// long, at what nesting depth, with which fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, `<subsystem>.<op>[.<phase>]`.
+    pub name: &'static str,
+    /// Open order: spans sorted by `seq` render the tree pre-order.
+    pub seq: u64,
+    /// Nesting depth at open time (0 = root).
+    pub depth: u32,
+    /// Clock reading at open, microseconds.
+    pub start_us: u64,
+    /// Duration in microseconds (close reading minus open reading).
+    pub dur_us: u64,
+    /// `key=value` fields attached while the span was open.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+/// Bounded log of completed spans. When full, the oldest record is evicted
+/// and counted in `overflowed`.
+pub(crate) struct SpanLog {
+    records: VecDeque<SpanRecord>,
+    capacity: usize,
+    next_seq: u64,
+    live_depth: u32,
+    overflowed: u64,
+    /// Per-span-name duration histograms (`span.<name>.us`), cached here so
+    /// a span close resolves its histogram under the lock it already holds
+    /// (and the `format!` only happens on each name's first use).
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog {
+            records: VecDeque::new(),
+            capacity: DEFAULT_SPAN_CAPACITY,
+            next_seq: 0,
+            live_depth: 0,
+            overflowed: 0,
+            hists: BTreeMap::new(),
+        }
+    }
+}
+
+impl SpanLog {
+    pub(crate) fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+            self.overflowed += 1;
+        }
+    }
+
+    /// Reserve a sequence number and the current depth for a span opening.
+    fn open(&mut self) -> (u64, u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let depth = self.live_depth;
+        self.live_depth += 1;
+        (seq, depth)
+    }
+
+    /// Record a completed span, evicting the oldest if the log is full.
+    fn close(&mut self, rec: SpanRecord) {
+        self.live_depth = self.live_depth.saturating_sub(1);
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.overflowed += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    pub(crate) fn records(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.records.iter()
+    }
+
+    pub(crate) fn overflowed(&self) -> u64 {
+        self.overflowed
+    }
+}
+
+struct RecorderInner {
+    registry: Registry,
+    clock: Arc<dyn Clock>,
+}
+
+/// The entry point for instrumentation: hands out spans and metric handles.
+///
+/// A recorder is either *enabled* — bound to a [`Registry`] and a [`Clock`]
+/// — or *disabled* ([`Recorder::disabled`]), in which case every operation
+/// is a null check and no allocation or clock read happens. Cloning shares
+/// the underlying state.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Recorder {
+    /// A recorder writing into `registry`, timestamping with `clock`.
+    pub fn new(registry: Registry, clock: Arc<dyn Clock>) -> Self {
+        Recorder {
+            inner: Some(Arc::new(RecorderInner { registry, clock })),
+        }
+    }
+
+    /// The inert recorder: every span and handle it produces is a no-op.
+    pub fn disabled() -> Self {
+        Recorder { inner: None }
+    }
+
+    /// Whether this recorder actually records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The registry this recorder writes into, if enabled.
+    pub fn registry(&self) -> Option<&Registry> {
+        self.inner.as_ref().map(|i| &i.registry)
+    }
+
+    /// Counter handle by name (no-op handle when disabled).
+    pub fn counter(&self, name: &str) -> crate::registry::Counter {
+        match &self.inner {
+            Some(i) => i.registry.counter(name),
+            None => crate::registry::Counter::noop(),
+        }
+    }
+
+    /// Gauge handle by name (no-op handle when disabled).
+    pub fn gauge(&self, name: &str) -> crate::registry::Gauge {
+        match &self.inner {
+            Some(i) => i.registry.gauge(name),
+            None => crate::registry::Gauge::noop(),
+        }
+    }
+
+    /// Histogram handle by name (no-op handle when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(i) => i.registry.histogram(name),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Current clock reading in microseconds (0 when disabled).
+    pub fn now_micros(&self) -> u64 {
+        match &self.inner {
+            Some(i) => i.clock.now_micros(),
+            None => 0,
+        }
+    }
+
+    /// Open a span named `name`. The returned guard records the span (log
+    /// entry plus a sample in `span.<name>.us`) when dropped. `name` should
+    /// be `<subsystem>.<op>[.<phase>]`; prefer the [`crate::span!`] macro.
+    pub fn span(&self, name: &'static str) -> Span {
+        match &self.inner {
+            Some(i) => {
+                let (seq, depth) = i.registry.inner.spans.lock().expect("span log lock").open();
+                Span {
+                    inner: Some(ActiveSpan {
+                        recorder: i.clone(),
+                        name,
+                        seq,
+                        depth,
+                        start_us: i.clock.now_micros(),
+                        fields: Vec::new(),
+                    }),
+                }
+            }
+            None => Span { inner: None },
+        }
+    }
+}
+
+struct ActiveSpan {
+    recorder: Arc<RecorderInner>,
+    name: &'static str,
+    seq: u64,
+    depth: u32,
+    start_us: u64,
+    fields: Vec<(&'static str, u64)>,
+}
+
+/// An open span; dropping it records the completed span. Inert (and free)
+/// when produced by a disabled recorder.
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    inner: Option<ActiveSpan>,
+}
+
+impl Span {
+    /// Attach a `key=value` field to the span.
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if let Some(s) = &mut self.inner {
+            s.fields.push((key, value));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(s) = self.inner.take() else {
+            return;
+        };
+        let end_us = s.recorder.clock.now_micros();
+        let dur_us = end_us.saturating_sub(s.start_us);
+        let registry = &s.recorder.registry;
+        let mut log = registry.inner.spans.lock().expect("span log lock");
+        if let Some(hist) = log.hists.get(s.name) {
+            hist.record(dur_us);
+        } else {
+            let hist = registry.histogram(&format!("span.{}.us", s.name));
+            hist.record(dur_us);
+            log.hists.insert(s.name, hist);
+        }
+        log.close(SpanRecord {
+            name: s.name,
+            seq: s.seq,
+            depth: s.depth,
+            start_us: s.start_us,
+            dur_us,
+            fields: s.fields,
+        });
+    }
+}
+
+/// Render completed spans as an indented tree (pre-order, two spaces per
+/// nesting level), e.g. for `bench --metrics-demo`.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        out.push_str(&"  ".repeat(s.depth as usize));
+        out.push_str(&format!(
+            "{} start={}us dur={}us",
+            s.name, s.start_us, s.dur_us
+        ));
+        for (k, v) in &s.fields {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn recorder() -> (Recorder, Registry, Arc<VirtualClock>) {
+        let reg = Registry::new();
+        let clock = Arc::new(VirtualClock::new());
+        let rec = Recorder::new(reg.clone(), clock.clone());
+        (rec, reg, clock)
+    }
+
+    #[test]
+    fn spans_nest_and_measure_virtual_time() {
+        let (rec, reg, clock) = recorder();
+        {
+            let mut outer = rec.span("op.outer");
+            outer.field("bytes", 4096);
+            clock.advance_micros(10);
+            {
+                let _inner = rec.span("op.inner");
+                clock.advance_micros(5);
+            }
+            clock.advance_micros(1);
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 2);
+        // Sorted by seq: outer opened first.
+        assert_eq!(spans[0].name, "op.outer");
+        assert_eq!(spans[0].depth, 0);
+        assert_eq!(spans[0].dur_us, 16);
+        assert_eq!(spans[0].fields, vec![("bytes", 4096)]);
+        assert_eq!(spans[1].name, "op.inner");
+        assert_eq!(spans[1].depth, 1);
+        assert_eq!(spans[1].start_us, 10);
+        assert_eq!(spans[1].dur_us, 5);
+        // Each span also feeds a duration histogram.
+        assert_eq!(reg.histogram("span.op.outer.us").count(), 1);
+        assert_eq!(reg.histogram("span.op.inner.us").count(), 1);
+    }
+
+    #[test]
+    fn span_log_is_bounded_and_counts_evictions() {
+        let reg = Registry::with_span_capacity(4);
+        let clock = Arc::new(VirtualClock::new());
+        let rec = Recorder::new(reg.clone(), clock.clone());
+        for _ in 0..10 {
+            let _s = rec.span("op.tick");
+            clock.advance_micros(1);
+        }
+        let spans = reg.spans();
+        assert_eq!(spans.len(), 4, "log keeps only the newest `capacity` spans");
+        assert_eq!(reg.spans_overflowed(), 6);
+        // The survivors are the most recent four, still in open order.
+        let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Histogram samples are not bounded by the span log.
+        assert_eq!(reg.histogram("span.op.tick.us").count(), 10);
+    }
+
+    #[test]
+    fn disabled_recorder_spans_are_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let mut s = rec.span("never.recorded");
+        s.field("k", 1);
+        drop(s);
+        rec.counter("never.count").inc();
+        rec.histogram("never.hist").record(7);
+        assert_eq!(rec.now_micros(), 0);
+        assert!(rec.registry().is_none());
+    }
+
+    #[test]
+    fn render_spans_indents_by_depth() {
+        let (rec, reg, clock) = recorder();
+        {
+            let _a = rec.span("a");
+            clock.advance_micros(2);
+            let mut b = rec.span("a.b");
+            b.field("n", 3);
+            clock.advance_micros(1);
+        }
+        let text = render_spans(&reg.spans());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("a start=0us dur=3us"));
+        assert!(lines[1].starts_with("  a.b start=2us dur=1us n=3"));
+    }
+
+    #[test]
+    fn identical_virtual_runs_produce_identical_span_trees() {
+        let run = || {
+            let (rec, reg, clock) = recorder();
+            for i in 0..3u64 {
+                let mut s = rec.span("op.loop");
+                s.field("i", i);
+                clock.advance_micros(7);
+            }
+            reg.spans()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod fs;
 pub mod group;
+mod metrics;
 pub mod scenario;
 pub mod store;
 pub mod transport;
@@ -33,7 +34,8 @@ pub mod wal;
 pub use fs::{FileMeta, RainFs};
 pub use group::{CompactReport, Durability, FlushReport, GroupConfig, GroupStats, ObjSpan};
 pub use scenario::{
-    builtin_scenarios, run_scenario, Action, Scenario, ScenarioReport, TransportSpec,
+    builtin_scenarios, run_scenario, run_scenario_observed, Action, Scenario, ScenarioReport,
+    TransportSpec,
 };
 pub use store::{
     DistributedStore, OutcomeTally, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError,

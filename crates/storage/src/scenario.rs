@@ -28,6 +28,7 @@
 use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec};
+use rain_obs::Registry;
 use rain_sim::{FaultPlan, NodeId, SimDuration};
 
 use crate::group::GroupConfig;
@@ -141,6 +142,8 @@ pub struct ScenarioReport {
     pub p50_us: u64,
     /// 99th-percentile time-to-decode, microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile time-to-decode, microseconds.
+    pub p999_us: u64,
     /// Worst observed time-to-decode, microseconds.
     pub max_us: u64,
     /// Transport attempts, across all operations.
@@ -181,8 +184,25 @@ type Expected = Option<Vec<u8>>;
 /// under test. It returns `Err` only for infrastructure failures (an
 /// invalid code spec).
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioReport, StorageError> {
+    run_scenario_observed(sc, &Registry::new())
+}
+
+/// [`run_scenario`] with a caller-supplied telemetry registry attached to
+/// the store for the whole run. The store records its spans, counters, and
+/// latency histograms into it (on the virtual clock, so two runs of the
+/// same scenario render bit-identical snapshots), and the driver publishes
+/// the end-of-run state gauges before returning — `registry.snapshot()`
+/// afterwards is the scenario's full cross-layer metrics record.
+pub fn run_scenario_observed(
+    sc: &Scenario,
+    registry: &Registry,
+) -> Result<ScenarioReport, StorageError> {
     let code = build_code(sc.code)?;
     let mut store = DistributedStore::with_groups(code, GroupConfig::small_objects());
+    store.attach_registry(registry);
+    // The per-report outcome vectors are never read here; keep the hot path
+    // allocation-free and rely on the registry counters.
+    store.set_outcome_capture(false);
     store.set_policy(sc.policy);
     let n = sc.code.n;
     let transport: Box<dyn Transport> = match &sc.transport {
@@ -221,6 +241,7 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioReport, StorageError> {
         installs_completed: 0,
         p50_us: 0,
         p99_us: 0,
+        p999_us: 0,
         max_us: 0,
         transport_attempts: 0,
         transport_lost: 0,
@@ -319,7 +340,9 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioReport, StorageError> {
                         report.hedged += 1;
                     }
                     report.retries += rep.retries as u64;
-                    if rep.outcomes.is_empty() {
+                    if rep.sources.is_empty() {
+                        // No node was contacted: the bytes came from the
+                        // coordinator's memory (open group or decode cache).
                         report.local_hits += 1;
                     } else {
                         latencies.push(rep.latency.as_micros());
@@ -334,11 +357,13 @@ pub fn run_scenario(sc: &Scenario) -> Result<ScenarioReport, StorageError> {
     latencies.sort_unstable();
     report.p50_us = percentile(&latencies, 0.50);
     report.p99_us = percentile(&latencies, 0.99);
+    report.p999_us = percentile(&latencies, 0.999);
     report.max_us = latencies.last().copied().unwrap_or(0);
     let stats = store.transport_stats();
     report.transport_attempts = stats.attempts;
     report.transport_lost = stats.lost;
     report.transport_corrupted = stats.corrupted;
+    store.publish_gauges();
     Ok(report)
 }
 
@@ -479,6 +504,46 @@ mod tests {
             assert_eq!(a.wrong_bytes, 0, "{}: served wrong bytes", sc.name);
             assert!(a.retrieves > 0 && a.ok > 0, "{}: no work done", sc.name);
         }
+    }
+
+    #[test]
+    fn observed_scenarios_produce_identical_telemetry_snapshots() {
+        // The whole registry — counters, gauges, histograms, and the span
+        // log — must be bit-deterministic across replays of the same
+        // scenario: every timestamp comes from the virtual clock, every
+        // histogram is integer-bucketed. `bench --cluster` relies on this
+        // to embed snapshots in an exact-diffed baseline file.
+        let sc = &builtin_scenarios()[0];
+        let run = || {
+            let reg = Registry::new();
+            let rep = run_scenario_observed(sc, &reg).unwrap();
+            (rep, reg.snapshot().to_json(), reg.spans())
+        };
+        let (rep_a, snap_a, spans_a) = run();
+        let (rep_b, snap_b, spans_b) = run();
+        assert_eq!(rep_a, rep_b);
+        assert_eq!(snap_a, snap_b);
+        assert_eq!(spans_a, spans_b);
+        // The registry view agrees with the report the scenario computed
+        // itself: retrieves that contacted nodes, split ok/unavailable.
+        assert_eq!(
+            reg_counter(&snap_a, "storage.retrieve.degraded"),
+            Some(rep_a.degraded)
+        );
+        assert_eq!(
+            reg_counter(&snap_a, "storage.retrieve.unavailable"),
+            Some(rep_a.unavailable)
+        );
+    }
+
+    /// Pull one counter value back out of the snapshot JSON (cheap parse:
+    /// the format is stable and tested in rain-obs).
+    fn reg_counter(snapshot_json: &str, name: &str) -> Option<u64> {
+        let pat = format!("\"{name}\":");
+        let at = snapshot_json.find(&pat)? + pat.len();
+        let tail = &snapshot_json[at..];
+        let end = tail.find([',', '}'])?;
+        tail[..end].trim().parse().ok()
     }
 
     #[test]

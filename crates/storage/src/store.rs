@@ -23,12 +23,14 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeError, CodeSpec, ErasureCode, ShareSet, ShareView};
+use rain_obs::{span, Recorder, Registry, VirtualClock};
 use rain_sim::{DetRng, NodeId, SimDuration, SimTime};
 
 use crate::group::{
     CodingGroup, CompactReport, Durability, FlushReport, GroupConfig, GroupDecodeCache, GroupId,
     GroupStats, ObjSpan,
 };
+use crate::metrics::{self, StoreMetrics, TransportMetrics};
 use crate::transport::{
     open_frame, seal_frame, split_frame, DirectTransport, FaultPolicy, NodeOutcome, Transport,
     TransportError, TransportOp, TransportStats, FRAME_HEADER,
@@ -162,8 +164,15 @@ pub struct RetrieveReport {
     pub degraded: bool,
     /// Per-node fate of every node this retrieve contacted: which answered
     /// with a verified share, which timed out, returned damage, was down,
-    /// or held a stale generation. Empty when no node was contacted (open
-    /// groups, decode-cache hits).
+    /// or held a stale generation.
+    ///
+    /// Populated **only** when outcome capture is on — enabled by
+    /// [`DistributedStore::attach_registry`] or explicitly with
+    /// [`DistributedStore::set_outcome_capture`]. Otherwise (and when no
+    /// node was contacted: open groups, decode-cache hits) the vector stays
+    /// empty and the hot path allocates nothing for it; the aggregate
+    /// breakdown is still available through the registry counters
+    /// (`storage.retrieve.outcome.*`, see [`OutcomeTally::from_registry`]).
     pub outcomes: Vec<(NodeId, NodeOutcome)>,
     /// Virtual time from dispatch until the `k`-th verified share arrived —
     /// the decode could start at this point. Zero under the direct
@@ -203,7 +212,29 @@ pub struct OutcomeTally {
 }
 
 impl OutcomeTally {
-    /// Fold one retrieve's report into the running totals.
+    /// The tally as a view over a store's attached registry: reads back the
+    /// `storage.retrieve.*` counters the store increments on every served
+    /// retrieve. This is the allocation-free replacement for absorbing
+    /// per-report outcome vectors by hand — attach one registry per
+    /// component ([`DistributedStore::attach_registry`]) and derive its
+    /// health tally on demand.
+    pub fn from_registry(registry: &Registry) -> Self {
+        OutcomeTally {
+            ok: registry.counter_value(metrics::OUTCOME_OK),
+            timeout: registry.counter_value(metrics::OUTCOME_TIMEOUT),
+            corrupt: registry.counter_value(metrics::OUTCOME_CORRUPT),
+            down: registry.counter_value(metrics::OUTCOME_DOWN),
+            stale: registry.counter_value(metrics::OUTCOME_STALE),
+            degraded_reads: registry.counter_value(metrics::RETRIEVE_DEGRADED),
+            hedged_reads: registry.counter_value(metrics::RETRIEVE_HEDGED),
+            retries: registry.counter_value(metrics::RETRIEVE_RETRIES),
+        }
+    }
+
+    /// Fold one retrieve's report into the running totals. Requires the
+    /// report to carry per-node outcomes
+    /// ([`DistributedStore::set_outcome_capture`]); prefer
+    /// [`OutcomeTally::from_registry`], which needs no capture.
     pub fn absorb(&mut self, report: &RetrieveReport) {
         for (_, outcome) in &report.outcomes {
             match outcome {
@@ -331,6 +362,21 @@ pub struct DistributedStore {
     /// holds fewer than `n` shares of the affected object — the accounting
     /// surfaces as [`GroupStats::pending_install_bytes`].
     pending: Vec<PendingInstall>,
+    /// Telemetry sink for spans; disabled by default, so every guard the
+    /// hot paths open is a null-check no-op.
+    recorder: Recorder,
+    /// Pre-registered store-level metric handles (see [`StoreMetrics`]):
+    /// resolved once at attach time, no name lookups on hot paths.
+    obs: StoreMetrics,
+    /// Per-node fetch/install latency histograms and outcome counters.
+    node_obs: TransportMetrics,
+    /// When a registry is attached, the recorder's virtual clock — kept in
+    /// lockstep with the transport's virtual time so span durations are
+    /// deterministic simulated time, not wall time.
+    obs_clock: Option<Arc<VirtualClock>>,
+    /// Whether retrieves materialise [`RetrieveReport::outcomes`]. Off by
+    /// default so the undisturbed hot path allocates nothing per retrieve.
+    capture_outcomes: bool,
 }
 
 /// One symbol install that was acked past quorum but has not landed on its
@@ -485,6 +531,19 @@ fn drive_install(
     rng: &mut DetRng,
     node: usize,
     bytes: u64,
+    obs: &TransportMetrics,
+) -> InstallResult {
+    let r = drive_install_inner(transport, policy, rng, node, bytes);
+    obs.record_install(node, r.installed, r.finished.as_micros());
+    r
+}
+
+fn drive_install_inner(
+    transport: &mut dyn Transport,
+    policy: &FaultPolicy,
+    rng: &mut DetRng,
+    node: usize,
+    bytes: u64,
 ) -> InstallResult {
     let mut t = SimDuration::ZERO;
     let mut attempts = 0u32;
@@ -529,6 +588,35 @@ fn quorum_need(n: usize, k: usize, write_slack: usize) -> usize {
     n.saturating_sub(write_slack).max(k)
 }
 
+/// Allocation-free per-outcome totals of one share collection — the
+/// aggregate the hot path always keeps, whether or not the per-node
+/// [`ShareCollection::outcomes`] vector is being captured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct OutcomeCounts {
+    ok: u32,
+    timeout: u32,
+    corrupt: u32,
+    down: u32,
+    stale: u32,
+}
+
+impl OutcomeCounts {
+    fn note(&mut self, outcome: NodeOutcome) {
+        match outcome {
+            NodeOutcome::Ok => self.ok += 1,
+            NodeOutcome::Timeout => self.timeout += 1,
+            NodeOutcome::Corrupt => self.corrupt += 1,
+            NodeOutcome::Down => self.down += 1,
+            NodeOutcome::Stale => self.stale += 1,
+        }
+    }
+
+    /// Contacts that failed to deliver a verified share.
+    fn not_ok(&self) -> u32 {
+        self.timeout + self.corrupt + self.down + self.stale
+    }
+}
+
 /// What a virtual-parallel share collection produced.
 struct ShareCollection {
     /// Node indices of the `k` earliest verified arrivals — the decode set.
@@ -537,8 +625,12 @@ struct ShareCollection {
     /// Verified shares obtained (equals `used.len()` except on failure,
     /// where `used` is empty but this still reports how close it came).
     available: usize,
-    /// Fate of every node contacted, in dispatch order.
+    /// Fate of every node contacted, in dispatch order. Only materialised
+    /// when the collection runs with `capture` on; `counts` always holds
+    /// the aggregate.
     outcomes: Vec<(NodeId, NodeOutcome)>,
+    /// Per-outcome totals of every node contacted.
+    counts: OutcomeCounts,
     /// Attempts beyond each node's first, summed.
     retries: u32,
     /// True if a hedge request was dispatched.
@@ -554,19 +646,35 @@ struct ShareCollection {
 /// and if the `k`-th share is still outstanding at the hedge threshold,
 /// one extra share is requested from an unused node — whichever `k`
 /// arrivals are earliest win.
-fn collect_shares<'n>(
-    transport: &mut dyn Transport,
-    policy: &FaultPolicy,
-    rng: &mut DetRng,
-    candidates: &[usize],
+/// The fixed per-request inputs to [`collect_shares`], bundled so the wave
+/// logic reads them as one unit.
+struct CollectSpec<'a> {
+    policy: &'a FaultPolicy,
     k: usize,
     expect_gen: u64,
+    capture: bool,
+    obs: &'a TransportMetrics,
+}
+
+fn collect_shares<'n>(
+    transport: &mut dyn Transport,
+    spec: &CollectSpec,
+    rng: &mut DetRng,
+    candidates: &[usize],
     frame_of: impl Fn(usize) -> Option<&'n Vec<u8>>,
 ) -> ShareCollection {
+    let &CollectSpec {
+        policy,
+        k,
+        expect_gen,
+        capture,
+        obs,
+    } = spec;
     let mut col = ShareCollection {
         used: Vec::new(),
         available: 0,
         outcomes: Vec::new(),
+        counts: OutcomeCounts::default(),
         retries: 0,
         hedged: false,
         latency: SimDuration::ZERO,
@@ -587,7 +695,15 @@ fn collect_shares<'n>(
         let frame = frame_of(node).expect("candidates hold the symbol");
         let r = fetch_share(transport, policy, rng, node, frame, expect_gen, start);
         col.retries += r.attempts.saturating_sub(1);
-        col.outcomes.push((NodeId(node), r.outcome));
+        col.counts.note(r.outcome);
+        obs.record_fetch(
+            node,
+            matches!(r.outcome, NodeOutcome::Ok),
+            r.finished.as_micros().saturating_sub(start.as_micros()),
+        );
+        if capture {
+            col.outcomes.push((NodeId(node), r.outcome));
+        }
         match r.arrival {
             Some(a) => successes.push((node, a, dispatch)),
             None => {
@@ -617,7 +733,15 @@ fn collect_shares<'n>(
                 let frame = frame_of(node).expect("candidates hold the symbol");
                 let r = fetch_share(transport, policy, rng, node, frame, expect_gen, h);
                 col.retries += r.attempts.saturating_sub(1);
-                col.outcomes.push((NodeId(node), r.outcome));
+                col.counts.note(r.outcome);
+                obs.record_fetch(
+                    node,
+                    matches!(r.outcome, NodeOutcome::Ok),
+                    r.finished.as_micros().saturating_sub(h.as_micros()),
+                );
+                if capture {
+                    col.outcomes.push((NodeId(node), r.outcome));
+                }
                 if let Some(a) = r.arrival {
                     successes.push((node, a, queue.len()));
                     successes.sort_by_key(|&(_, a, d)| (a, d));
@@ -638,6 +762,7 @@ struct GroupFetch {
     bytes_per_source: usize,
     degraded: bool,
     outcomes: Vec<(NodeId, NodeOutcome)>,
+    counts: OutcomeCounts,
     latency: SimDuration,
     hedged: bool,
     retries: u32,
@@ -710,6 +835,11 @@ impl DistributedStore {
             group_gens: HashMap::new(),
             next_epoch: 1,
             pending: Vec::new(),
+            recorder: Recorder::disabled(),
+            obs: StoreMetrics::default(),
+            node_obs: TransportMetrics::default(),
+            obs_clock: None,
+            capture_outcomes: false,
         }
     }
 
@@ -829,11 +959,144 @@ impl DistributedStore {
         self.transport.now()
     }
 
+    /// Attach a telemetry registry: every store/retrieve/seal/compact/repair
+    /// from here on records spans, counters, and latency histograms into it
+    /// (names under `storage.*`, spans under `span.store.*`). The recorder's
+    /// clock is a [`VirtualClock`] kept in lockstep with the transport's
+    /// virtual time, so a deterministic simulation renders bit-identical
+    /// span trees and histograms on every run. Also enables per-report
+    /// outcome capture (see [`DistributedStore::set_outcome_capture`]).
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let clock = Arc::new(VirtualClock::new());
+        clock.set_micros(self.transport.now().as_micros());
+        self.recorder = Recorder::new(registry.clone(), clock.clone());
+        self.obs_clock = Some(clock);
+        self.obs = StoreMetrics::new(registry);
+        self.node_obs = TransportMetrics::new(registry, self.nodes.len());
+        self.capture_outcomes = true;
+    }
+
+    /// Install a caller-built recorder — e.g. one on a
+    /// [`rain_obs::WallClock`] for live profiling, or
+    /// [`Recorder::disabled`] to switch telemetry off again. Unlike
+    /// [`DistributedStore::attach_registry`] the clock is the caller's and
+    /// is *not* synced to virtual time.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        match recorder.registry() {
+            Some(registry) => {
+                self.obs = StoreMetrics::new(registry);
+                self.node_obs = TransportMetrics::new(registry, self.nodes.len());
+            }
+            None => {
+                self.obs = StoreMetrics::default();
+                self.node_obs = TransportMetrics::default();
+            }
+        }
+        self.obs_clock = None;
+        self.recorder = recorder;
+    }
+
+    /// The recorder currently attached ([`Recorder::disabled`] by default).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Opt in or out of materialising [`RetrieveReport::outcomes`]. Off by
+    /// default (the hot path then allocates nothing per retrieve);
+    /// [`DistributedStore::attach_registry`] switches it on.
+    pub fn set_outcome_capture(&mut self, capture: bool) {
+        self.capture_outcomes = capture;
+    }
+
+    /// Publish the point-in-time state metrics into the attached registry
+    /// as gauges: group/WAL/pending accounting from
+    /// [`DistributedStore::group_stats`] (`storage.group.*`,
+    /// `storage.wal.*`, `storage.pending.*`) and the code's repair-row
+    /// cache counters (`codes.repair_rows.*`). A no-op without a registry.
+    /// Call it at a reporting boundary (end of a scenario, before a
+    /// snapshot); counters and histograms need no such call.
+    pub fn publish_gauges(&self) {
+        let Some(registry) = self.recorder.registry() else {
+            return;
+        };
+        let stats = self.group_stats();
+        registry
+            .gauge("storage.group.groups")
+            .set(stats.groups as i64);
+        registry
+            .gauge("storage.group.sealed_groups")
+            .set(stats.sealed_groups as i64);
+        registry
+            .gauge("storage.group.grouped_objects")
+            .set(stats.grouped_objects as i64);
+        registry
+            .gauge("storage.group.live_bytes")
+            .set(stats.live_bytes as i64);
+        registry
+            .gauge("storage.group.packed_bytes")
+            .set(stats.packed_bytes as i64);
+        registry
+            .gauge("storage.group.open_bytes")
+            .set(stats.open_bytes as i64);
+        registry
+            .gauge("storage.group.bytes_at_risk")
+            .set(stats.bytes_at_risk as i64);
+        registry
+            .gauge("storage.wal.records")
+            .set(stats.wal_records as i64);
+        registry
+            .gauge("storage.wal.bytes")
+            .set(stats.wal_bytes as i64);
+        registry
+            .gauge("storage.pending.installs")
+            .set(stats.pending_installs as i64);
+        registry
+            .gauge("storage.pending.bytes")
+            .set(stats.pending_install_bytes as i64);
+        let code = self.code.runtime_metrics();
+        registry
+            .gauge("codes.repair_rows.hits")
+            .set(code.repair_row_hits as i64);
+        registry
+            .gauge("codes.repair_rows.misses")
+            .set(code.repair_row_misses as i64);
+        registry
+            .gauge("codes.repair_rows.cached")
+            .set(code.repair_rows_cached as i64);
+    }
+
+    /// Push the transport's virtual time into the recorder's clock, so
+    /// spans closing after this observe the advanced time.
+    fn sync_obs_clock(&self) {
+        if let Some(clock) = &self.obs_clock {
+            clock.set_micros(self.transport.now().as_micros());
+        }
+    }
+
+    /// Advance the transport and keep the telemetry clock in lockstep —
+    /// every internal advance goes through here.
+    fn advance_transport(&mut self, by: SimDuration) {
+        self.transport.advance(by);
+        self.sync_obs_clock();
+    }
+
+    /// Fold one *served* retrieve's per-node outcome totals into the
+    /// registry counters backing [`OutcomeTally::from_registry`]. Called
+    /// only where a successful [`RetrieveReport`] is produced, mirroring
+    /// what apps historically fed to [`OutcomeTally::absorb`].
+    fn note_outcomes(&self, counts: OutcomeCounts) {
+        self.obs.outcome_ok.add(u64::from(counts.ok));
+        self.obs.outcome_timeout.add(u64::from(counts.timeout));
+        self.obs.outcome_corrupt.add(u64::from(counts.corrupt));
+        self.obs.outcome_down.add(u64::from(counts.down));
+        self.obs.outcome_stale.add(u64::from(counts.stale));
+    }
+
     /// Advance the transport's virtual clock (firing any scheduled faults
     /// that come due). Operations already advance the clock by their own
     /// latency; scenario drivers call this for idle time between requests.
     pub fn advance_time(&mut self, by: SimDuration) {
-        self.transport.advance(by);
+        self.advance_transport(by);
     }
 
     /// Failure detector: probe every node through the transport and report
@@ -878,6 +1141,7 @@ impl DistributedStore {
                 &mut self.policy_rng,
                 p.node,
                 p.frame.len() as u64,
+                &self.node_obs,
             );
             if drive.installed {
                 match &p.target {
@@ -903,7 +1167,15 @@ impl DistributedStore {
     /// replay runs with the log detached so redone ops are not re-logged.
     fn log(&mut self, record: RecordView<'_>) -> Result<(), StorageError> {
         match &mut self.wal {
-            Some(wal) => Ok(wal.append_view(record)?),
+            Some(wal) => {
+                let before = wal.bytes_appended();
+                wal.append_view(record)?;
+                self.obs.wal_appends.inc();
+                self.obs
+                    .wal_append_bytes
+                    .add(wal.bytes_appended().saturating_sub(before));
+                Ok(())
+            }
             None => Ok(()),
         }
     }
@@ -940,6 +1212,9 @@ impl DistributedStore {
     /// group seals; whole objects are durable on the nodes the moment this
     /// returns).
     pub fn store(&mut self, object: &str, data: &[u8]) -> Result<(), StorageError> {
+        let _span = span!(self.recorder, "store.store", bytes = data.len() as u64);
+        self.obs.store_ops.inc();
+        self.obs.store_bytes.add(data.len() as u64);
         let grouped = self.group_config.threshold > 0 && data.len() < self.group_config.threshold;
         // Records are borrowed views serialized straight into the log's
         // frame buffer: the Volatile hot path allocates nothing for them,
@@ -966,18 +1241,28 @@ impl DistributedStore {
         // buffers — a steady-state store loop allocates only the per-node
         // symbol copies the nodes keep.
         let unit = self.code.data_len_unit();
-        self.io_buf.clear();
-        self.io_buf
-            .extend_from_slice(&(data.len() as u64).to_le_bytes());
-        self.io_buf.extend_from_slice(data);
-        let pad = (unit - self.io_buf.len() % unit) % unit;
-        self.io_buf.extend(std::iter::repeat_n(0u8, pad));
+        {
+            let _frame = span!(self.recorder, "store.store.frame");
+            self.io_buf.clear();
+            self.io_buf
+                .extend_from_slice(&(data.len() as u64).to_le_bytes());
+            self.io_buf.extend_from_slice(data);
+            let pad = (unit - self.io_buf.len() % unit) % unit;
+            self.io_buf.extend(std::iter::repeat_n(0u8, pad));
+        }
 
         // The fallible encode runs before any state changes: a failed
         // encode must not have tombstoned the grouped predecessor (the
         // object table would point at a possibly-dropped group).
-        self.code
-            .encode_into(&self.io_buf, &mut self.encode_shares)?;
+        {
+            let _encode = span!(
+                self.recorder,
+                "store.store.encode",
+                bytes = self.io_buf.len() as u64
+            );
+            self.code
+                .encode_into(&self.io_buf, &mut self.encode_shares)?;
+        }
         // A whole -> whole overwrite just replaces the per-node symbols
         // below; a grouped predecessor is tombstoned instead.
         if let Some(&Placement::Grouped { group, span }) = self.objects.get(object) {
@@ -995,6 +1280,7 @@ impl DistributedStore {
         let mut installed = 0usize;
         let mut finishes: Vec<SimDuration> = Vec::new();
         let queued_from = self.pending.len();
+        let mut install_span = span!(self.recorder, "store.store.install");
         for i in 0..n {
             let frame = seal_frame(gen, self.encode_shares.share(i));
             let drive = drive_install(
@@ -1003,6 +1289,7 @@ impl DistributedStore {
                 &mut self.policy_rng,
                 i,
                 frame.len() as u64,
+                &self.node_obs,
             );
             if drive.installed {
                 self.nodes[i].symbols.insert(object.to_string(), frame);
@@ -1019,16 +1306,19 @@ impl DistributedStore {
                 });
             }
         }
+        install_span.field("installed", installed as u64);
         if installed < quorum {
             self.pending.truncate(queued_from);
-            self.transport.advance(self.policy.deadline);
+            self.advance_transport(self.policy.deadline);
+            self.obs.quorum_failures.inc();
             return Err(StorageError::QuorumNotReached {
                 installed,
                 needed: quorum,
             });
         }
         finishes.sort();
-        self.transport.advance(finishes[quorum - 1]);
+        self.advance_transport(finishes[quorum - 1]);
+        drop(install_span);
         self.whole_gens.insert(object.to_string(), gen);
         self.objects.insert(object.to_string(), Placement::Whole);
         Ok(())
@@ -1109,6 +1399,7 @@ impl DistributedStore {
             self.open_group = None;
             return Ok(FlushReport::default());
         }
+        let mut seal_span = span!(self.recorder, "store.seal");
         // Pad the packed block to the code's input unit (at least one unit:
         // a group of empty objects still needs a decodable block) and
         // encode it in place — no copy into a staging buffer.
@@ -1149,6 +1440,7 @@ impl DistributedStore {
                 &mut self.policy_rng,
                 i,
                 frame.len() as u64,
+                &self.node_obs,
             );
             if drive.installed {
                 self.nodes[i].group_symbols.insert(gid, frame);
@@ -1164,7 +1456,8 @@ impl DistributedStore {
         }
         if installed < quorum {
             self.pending.truncate(queued_from);
-            self.transport.advance(self.policy.deadline);
+            self.advance_transport(self.policy.deadline);
+            self.obs.quorum_failures.inc();
             block.truncate(packed_len);
             self.groups
                 .get_mut(&gid)
@@ -1176,7 +1469,11 @@ impl DistributedStore {
             });
         }
         finishes.sort();
-        self.transport.advance(finishes[quorum - 1]);
+        self.advance_transport(finishes[quorum - 1]);
+        seal_span.field("objects", objects_committed as u64);
+        drop(seal_span);
+        self.obs.group_seals.inc();
+        self.obs.sealed_objects.add(objects_committed as u64);
         let group = self.groups.get_mut(&gid).expect("sealing a known group");
         group.sealed = true;
         // Recycle the block buffer for the next open group.
@@ -1261,6 +1558,43 @@ impl DistributedStore {
         policy: SelectionPolicy,
         allowed: Option<&[NodeId]>,
     ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
+        let mut span = span!(self.recorder, "store.retrieve");
+        let result = self.retrieve_inner(object, policy, allowed);
+        match &result {
+            Ok((data, report)) => {
+                span.field("bytes", data.len() as u64);
+                if report.sources.is_empty() {
+                    // Served from coordinator memory: an open group's write
+                    // buffer or the group decode cache. No node was touched.
+                    self.obs.local_hits.inc();
+                } else {
+                    self.obs.retrieve_ok.inc();
+                    self.obs.latency_us.record(report.latency.as_micros());
+                }
+                if report.degraded {
+                    self.obs.degraded.inc();
+                }
+                if report.hedged {
+                    self.obs.hedged.inc();
+                }
+                self.obs.retries.add(u64::from(report.retries));
+            }
+            Err(StorageError::NotEnoughNodes { .. }) => {
+                self.obs.retrieve_unavailable.inc();
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// The uninstrumented retrieve core behind
+    /// [`DistributedStore::retrieve_from`].
+    fn retrieve_inner(
+        &mut self,
+        object: &str,
+        policy: SelectionPolicy,
+        allowed: Option<&[NodeId]>,
+    ) -> Result<(Vec<u8>, RetrieveReport), StorageError> {
         let placement = *self
             .objects
             .get(object)
@@ -1287,24 +1621,35 @@ impl DistributedStore {
         // `collect_shares`). Under the default direct transport this
         // degenerates to "the first k candidates, instantly".
         let expect_gen = self.whole_gens.get(object).copied().unwrap_or(0);
+        let mut transport_span = span!(
+            self.recorder,
+            "store.retrieve.transport",
+            candidates = candidates.len() as u64
+        );
         let nodes = &self.nodes;
         let col = collect_shares(
             self.transport.as_mut(),
-            &self.policy,
+            &CollectSpec {
+                policy: &self.policy,
+                k,
+                expect_gen,
+                capture: self.capture_outcomes,
+                obs: &self.node_obs,
+            },
             &mut self.policy_rng,
             &candidates,
-            k,
-            expect_gen,
             |n| nodes[n].symbols.get(object),
         );
+        transport_span.field("shares", col.available as u64);
         if col.used.len() < k {
-            self.transport.advance(self.policy.deadline);
+            self.advance_transport(self.policy.deadline);
             return Err(StorageError::NotEnoughNodes {
                 available: col.available,
                 needed: k,
             });
         }
-        self.transport.advance(col.latency);
+        self.advance_transport(col.latency);
+        drop(transport_span);
         // Account the served bytes (the payload, not the 16-byte frame
         // header), then decode straight out of the node buffers: the view
         // borrows the verified frames' payloads, so no share is cloned.
@@ -1314,6 +1659,7 @@ impl DistributedStore {
             bytes_per_source = len;
             self.nodes[i].bytes_served += len as u64;
         }
+        let decode_span = span!(self.recorder, "store.retrieve.decode");
         let mut view = ShareView::missing(self.code.n());
         for &i in &col.used {
             let (_, payload) =
@@ -1322,6 +1668,7 @@ impl DistributedStore {
         }
         self.code.decode_into(&view, &mut self.io_buf)?;
         drop(view);
+        drop(decode_span);
         // The frame is self-describing: its first 8 bytes carry the
         // original length (which is also what lets crash recovery rebuild
         // whole entries without decoding them).
@@ -1329,11 +1676,8 @@ impl DistributedStore {
         let stored_len = u64::from_le_bytes(framed[..8].try_into().expect("frame header")) as usize;
         debug_assert!(framed.len() >= 8 + stored_len, "frame shorter than header");
         let data = framed[8..8 + stored_len].to_vec();
-        let degraded = view_degraded
-            || col
-                .outcomes
-                .iter()
-                .any(|(_, o)| !matches!(o, NodeOutcome::Ok));
+        let degraded = view_degraded || col.counts.not_ok() > 0;
+        self.note_outcomes(col.counts);
         Ok((
             data,
             RetrieveReport {
@@ -1391,6 +1735,7 @@ impl DistributedStore {
             .get(gid)
             .expect("decode_group just populated the cache");
         let data = block[span.offset..span.offset + span.len].to_vec();
+        self.note_outcomes(fetch.counts);
         Ok((
             data,
             RetrieveReport {
@@ -1428,41 +1773,56 @@ impl DistributedStore {
         }
         let view_degraded = candidates.len() < self.code.n();
         if self.decode_cache.touch(gid) {
+            self.obs.cache_hits.inc();
             return Ok(GroupFetch {
                 sources: Vec::new(),
                 bytes_per_source: 0,
                 degraded: view_degraded,
                 outcomes: Vec::new(),
+                counts: OutcomeCounts::default(),
                 latency: SimDuration::ZERO,
                 hedged: false,
                 retries: 0,
             });
         }
+        self.obs.cache_misses.inc();
         let expect_gen = self.group_gens.get(&gid).copied().unwrap_or(0);
+        let mut transport_span = span!(
+            self.recorder,
+            "store.retrieve.transport",
+            candidates = candidates.len() as u64
+        );
         let nodes = &self.nodes;
         let col = collect_shares(
             self.transport.as_mut(),
-            &self.policy,
+            &CollectSpec {
+                policy: &self.policy,
+                k,
+                expect_gen,
+                capture: self.capture_outcomes,
+                obs: &self.node_obs,
+            },
             &mut self.policy_rng,
             &candidates,
-            k,
-            expect_gen,
             |n| nodes[n].group_symbols.get(&gid),
         );
+        transport_span.field("shares", col.available as u64);
         if col.used.len() < k {
-            self.transport.advance(self.policy.deadline);
+            self.advance_transport(self.policy.deadline);
             return Err(StorageError::NotEnoughNodes {
                 available: col.available,
                 needed: k,
             });
         }
-        self.transport.advance(col.latency);
+        self.advance_transport(col.latency);
+        drop(transport_span);
         let mut bytes_per_source = 0;
         for &i in &col.used {
             let len = self.nodes[i].group_symbols[&gid].len() - FRAME_HEADER;
             bytes_per_source = len;
             self.nodes[i].bytes_served += len as u64;
         }
+        let decode_span = span!(self.recorder, "store.retrieve.decode");
         let mut view = ShareView::missing(self.code.n());
         for &i in &col.used {
             let (_, payload) = split_frame(&self.nodes[i].group_symbols[&gid])
@@ -1471,17 +1831,15 @@ impl DistributedStore {
         }
         self.code.decode_into(&view, &mut self.io_buf)?;
         drop(view);
+        drop(decode_span);
         self.decode_cache.insert(gid, self.io_buf.clone());
-        let degraded = view_degraded
-            || col
-                .outcomes
-                .iter()
-                .any(|(_, o)| !matches!(o, NodeOutcome::Ok));
+        let degraded = view_degraded || col.counts.not_ok() > 0;
         Ok(GroupFetch {
             sources: col.used,
             bytes_per_source,
             degraded,
             outcomes: col.outcomes,
+            counts: col.counts,
             latency: col.latency,
             hedged: col.hedged,
             retries: col.retries,
@@ -1562,6 +1920,7 @@ impl DistributedStore {
     /// from every node. Needs `k` reachable symbols per rewritten group
     /// (it decodes the survivors' bytes).
     pub fn compact(&mut self) -> Result<CompactReport, StorageError> {
+        let _span = span!(self.recorder, "store.compact");
         let watermark = self.group_config.compact_watermark;
         let candidates: Vec<GroupId> = self
             .groups
@@ -1617,6 +1976,7 @@ impl DistributedStore {
                 "moving every live member drops the group"
             );
             report.groups_compacted += 1;
+            self.obs.compactions.inc();
         }
         Ok(report)
     }
@@ -1947,6 +2307,7 @@ impl DistributedStore {
         if node.0 >= self.nodes.len() {
             return Err(StorageError::UnknownNode(node));
         }
+        let mut span = span!(self.recorder, "store.repair", node = node.0 as u64);
         let mut repaired = self.repair_node_groups(node)?;
         let objects: Vec<String> = self
             .objects
@@ -1997,6 +2358,7 @@ impl DistributedStore {
                 &mut self.policy_rng,
                 node.0,
                 frame.len() as u64,
+                &self.node_obs,
             );
             if drive.installed {
                 self.nodes[node.0].symbols.insert(object.clone(), frame);
@@ -2013,6 +2375,8 @@ impl DistributedStore {
             }
             repaired += 1;
         }
+        span.field("symbols", repaired as u64);
+        self.obs.repair_symbols.add(repaired as u64);
         Ok(repaired)
     }
 
@@ -2068,6 +2432,7 @@ impl DistributedStore {
                 &mut self.policy_rng,
                 node.0,
                 frame.len() as u64,
+                &self.node_obs,
             );
             if drive.installed {
                 self.nodes[node.0].group_symbols.insert(gid, frame);
@@ -3172,6 +3537,7 @@ mod tests {
             // it first — the generation check must reject its share and fall
             // back to a backup node, never mix it into the decode.
             s.set_distance(NodeId(5), 0).unwrap();
+            s.set_outcome_capture(true);
             let (out, rep) = s.retrieve("obj", SelectionPolicy::Nearest).unwrap();
             assert_eq!(out, vec![2u8; 48]);
             assert!(rep.degraded);
@@ -3191,6 +3557,7 @@ mod tests {
                 hedge_after: Some(SimDuration::from_micros(500)),
                 ..FaultPolicy::default()
             });
+            s.set_outcome_capture(true);
             let (out, rep) = s.retrieve("obj", SelectionPolicy::FirstK).unwrap();
             assert_eq!(out, vec![7u8; 64]);
             assert!(rep.hedged);
