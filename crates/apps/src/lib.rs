@@ -17,13 +17,20 @@
 //!
 //! The RAINCheck distributed checkpointing system of Section 5.3 lives in
 //! its own crate, `rain-checkpoint` (experiment E14).
+//!
+//! [`sharded`] is deployment glue rather than a paper application: one
+//! handle ([`ShardedRain`]) that puts any of the above on the sharded
+//! multi-coordinator cluster of `rain-cluster`, with membership-driven
+//! rebalancing reconciled automatically.
 
 #![warn(missing_docs)]
 
 pub mod rainwall;
+pub mod sharded;
 pub mod snow;
 pub mod video;
 
 pub use rainwall::{BalancePolicy, ClusterStats, Rainwall, RainwallConfig, VirtualIp};
+pub use sharded::ShardedRain;
 pub use snow::{Served, SnowCluster};
 pub use video::{VideoClient, VideoSystem};

@@ -1,0 +1,194 @@
+//! Sharded service front-end: one handle bundling the cluster's data and
+//! control planes.
+//!
+//! The paper's applications each sit on a single coordinator; this module
+//! is the constructor glue that puts any of them on the sharded cluster
+//! instead. A [`ShardedRain`] owns a [`ClusterStore`] (epoch-stamped
+//! routing over many coordinators) and a [`ControlPlane`] (token-ring
+//! membership plus leader election) and keeps them consistent: call
+//! [`ShardedRain::tick`] to advance simulated time and
+//! [`ShardedRain::reconcile`] to let the leader's next committed view
+//! drive a full two-phase rebalance. Requests made through this handle are
+//! stamped with the committed epoch automatically — external clients that
+//! track their own epoch should talk to the [`ClusterStore`] directly.
+
+use rain_cluster::{ClusterError, ClusterStore, ControlPlane, ShardId};
+use rain_codes::CodeSpec;
+use rain_election::ElectionConfig;
+use rain_membership::MemberConfig;
+use rain_obs::Registry;
+use rain_sim::SimDuration;
+use rain_storage::{GroupConfig, SelectionPolicy};
+
+/// A sharded RAIN deployment: data plane, control plane, one handle.
+pub struct ShardedRain {
+    cluster: ClusterStore,
+    control: ControlPlane,
+}
+
+impl ShardedRain {
+    /// A deployment of up to `total` shards, the first `initial` of which
+    /// serve from the start; every shard is a full coordinator of the
+    /// given code with its own write-ahead log. `seed` fixes the entire
+    /// control-plane history.
+    pub fn new(
+        spec: CodeSpec,
+        config: GroupConfig,
+        total: usize,
+        initial: usize,
+        vnodes: usize,
+        seed: u64,
+    ) -> Result<Self, ClusterError> {
+        let members: Vec<ShardId> = (0..initial).collect();
+        Ok(ShardedRain {
+            cluster: ClusterStore::new(spec, config, &members, vnodes)?,
+            control: ControlPlane::new(
+                total,
+                initial,
+                MemberConfig::default(),
+                ElectionConfig::default(),
+                seed,
+            ),
+        })
+    }
+
+    /// The paper's running configuration: `(6, 4)` B-Code shards with
+    /// small-object grouping and 48 ring points per shard.
+    pub fn with_defaults(total: usize, initial: usize, seed: u64) -> Result<Self, ClusterError> {
+        ShardedRain::new(
+            CodeSpec::bcode_6_4(),
+            GroupConfig::small_objects(),
+            total,
+            initial,
+            48,
+            seed,
+        )
+    }
+
+    /// The committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.cluster.epoch()
+    }
+
+    /// Borrow the data plane.
+    pub fn cluster(&self) -> &ClusterStore {
+        &self.cluster
+    }
+
+    /// Mutably borrow the data plane (admin access: per-shard repair,
+    /// registry attachment, manual handover control).
+    pub fn cluster_mut(&mut self) -> &mut ClusterStore {
+        &mut self.cluster
+    }
+
+    /// Borrow the control plane.
+    pub fn control(&self) -> &ControlPlane {
+        &self.control
+    }
+
+    /// Attach a telemetry registry to both planes.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.cluster.attach_registry(registry);
+        self.control.publish_gauges(registry);
+    }
+
+    /// Advance both planes by `step` of simulated time.
+    pub fn tick(&mut self, step: SimDuration) {
+        self.control.tick(step);
+        self.cluster.advance_time(step);
+    }
+
+    /// If the elected leader has a converged view change ready, run the
+    /// whole two-phase handover for it — transfers, cutover, epoch bump —
+    /// and report the new epoch. `Ok(None)` when nothing changed.
+    pub fn reconcile(&mut self) -> Result<Option<u64>, ClusterError> {
+        let Some(members) = self.control.poll_transition() else {
+            return Ok(None);
+        };
+        self.cluster.begin_handover(&members)?;
+        while self.cluster.transfer_next()?.is_some() {}
+        let epoch = self.cluster.commit_handover()?;
+        self.control.mark_committed(&members);
+        Ok(Some(epoch))
+    }
+
+    /// Have shard `s` join via `contact`; the data plane follows once the
+    /// leader commits the wider view through [`ShardedRain::reconcile`].
+    pub fn join(&mut self, s: ShardId, contact: ShardId) {
+        self.control.join(s, contact);
+    }
+
+    /// Crash shard `s` on both planes.
+    pub fn crash(&mut self, s: ShardId) {
+        self.control.crash(s);
+        self.cluster.fail_shard(s);
+    }
+
+    /// Recover shard `s` on both planes.
+    pub fn recover(&mut self, s: ShardId) {
+        self.control.recover(s);
+        self.cluster.recover_shard(s);
+    }
+
+    /// Store `data` under `key`, stamped with the committed epoch.
+    pub fn store(&mut self, key: &str, data: &[u8]) -> Result<(), ClusterError> {
+        let epoch = self.cluster.epoch();
+        self.cluster.store(key, data, epoch)
+    }
+
+    /// Retrieve `key`'s bytes, stamped with the committed epoch.
+    pub fn retrieve(&mut self, key: &str) -> Result<Vec<u8>, ClusterError> {
+        let epoch = self.cluster.epoch();
+        Ok(self
+            .cluster
+            .retrieve(key, SelectionPolicy::FirstK, epoch)?
+            .bytes)
+    }
+
+    /// Delete `key`, stamped with the committed epoch.
+    pub fn delete(&mut self, key: &str) -> Result<(), ClusterError> {
+        let epoch = self.cluster.epoch();
+        self.cluster.delete(key, epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settle(rain: &mut ShardedRain, secs: u64) {
+        for _ in 0..secs * 10 {
+            rain.tick(SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn a_join_reconciles_into_a_committed_rebalance() {
+        let mut rain = ShardedRain::with_defaults(4, 3, 77).unwrap();
+        settle(&mut rain, 3);
+        assert_eq!(rain.reconcile().unwrap(), None, "nothing changed yet");
+
+        for i in 0..30 {
+            rain.store(&format!("doc-{i:02}"), &[i as u8; 700]).unwrap();
+        }
+        rain.cluster_mut().flush_all();
+
+        rain.join(3, 0);
+        let mut committed = None;
+        for _ in 0..200 {
+            rain.tick(SimDuration::from_millis(100));
+            if let Some(epoch) = rain.reconcile().unwrap() {
+                committed = Some(epoch);
+                break;
+            }
+        }
+        assert_eq!(committed, Some(2), "the join must commit epoch 2");
+        assert!(rain.cluster().stats().groups_moved > 0);
+        for i in 0..30 {
+            assert_eq!(
+                rain.retrieve(&format!("doc-{i:02}")).unwrap(),
+                [i as u8; 700]
+            );
+        }
+    }
+}

@@ -18,14 +18,17 @@
 //! becomes the new baseline.
 //!
 //! `--cluster` runs the closed-loop fault-injection scenarios
-//! ([`rain_storage::builtin_scenarios`]) instead of the throughput
-//! benches and writes per-scenario p50/p99/p999 retrieve latency, fault
-//! counters, and the full telemetry snapshot of each scenario's registry
-//! to `BENCH_cluster.json` (schema `rain-bench-cluster/v2`). Scenario
-//! time is *virtual*, so the file is bit-deterministic: CI regenerates
-//! it and fails on any drift (`git diff --exit-code BENCH_cluster.json`);
-//! after an intentional behaviour change, re-run `bench --cluster` and
-//! commit the new file — that is the bless path. In release builds the
+//! ([`rain_storage::builtin_scenarios`]) and the sharded membership-churn
+//! scenarios ([`rain_cluster::builtin_churn_specs`]) instead of the
+//! throughput benches and writes per-scenario p50/p99/p999 retrieve
+//! latency, fault counters, rebalance economics (groups moved,
+//! symbols-per-group), and the full telemetry snapshot of each scenario's
+//! registry to `BENCH_cluster.json` (schema `rain-bench-cluster/v3`).
+//! Scenario time is *virtual*, so the file is bit-deterministic: CI
+//! regenerates it and fails on any drift
+//! (`git diff --exit-code BENCH_cluster.json`); after an intentional
+//! behaviour change, re-run `bench --cluster` and commit the new file —
+//! that is the bless path. In release builds the
 //! cluster run also measures the cost of the telemetry layer itself and
 //! fails if an attached recorder costs more than 2% of store throughput.
 //!
@@ -39,6 +42,7 @@
 use std::sync::Arc;
 
 use bench::{throughput_mb_s, BenchConfig, Json};
+use rain_cluster::{builtin_churn_specs, run_churn_scenario_observed};
 use rain_codes::gf256::Gf256;
 use rain_codes::xor;
 use rain_codes::{
@@ -295,9 +299,75 @@ fn run_cluster_bench(no_assert: bool) {
             ("metrics", metrics),
         ]));
     }
+    // The sharded rows: the same closed-loop discipline, but across many
+    // coordinators with membership churn, leader elections, and
+    // group-granularity rebalancing in the loop.
+    println!(
+        "\nsharded scenario      writes  retrieves  exact  unavail  groups  wholes  symbols  \
+         s/unit  epoch"
+    );
+    let mut sharded = Vec::new();
+    for spec in builtin_churn_specs() {
+        let registry = Registry::new();
+        let r = run_churn_scenario_observed(&spec, &registry);
+        assert_eq!(r.wrong_bytes, 0, "{}: served wrong bytes", r.name);
+        assert_eq!(r.missing, 0, "{}: lost an acked object", r.name);
+        assert_eq!(
+            r.bit_exact + r.unavailable,
+            r.retrieves,
+            "{}: retrieves unaccounted for",
+            r.name
+        );
+        println!(
+            "{:<20}  {:>6}  {:>9}  {:>5}  {:>7}  {:>6}  {:>6}  {:>7}  {:>6.1}  {:>5}",
+            r.name,
+            r.writes_ok,
+            r.retrieves,
+            r.bit_exact,
+            r.unavailable,
+            r.groups_moved,
+            r.wholes_moved,
+            r.symbols_transferred,
+            r.symbols_per_group,
+            r.final_epoch
+        );
+        let metrics = Json::parse(&registry.snapshot().to_json())
+            .expect("registry snapshot must render valid JSON");
+        sharded.push(Json::obj(vec![
+            ("scenario", Json::Str(r.name.clone())),
+            ("final_epoch", Json::Int(r.final_epoch as i64)),
+            ("writes_ok", Json::Int(r.writes_ok as i64)),
+            ("writes_unavailable", Json::Int(r.writes_unavailable as i64)),
+            (
+                "stale_writes_rejected",
+                Json::Int(r.stale_writes_rejected as i64),
+            ),
+            ("forwarded_reads", Json::Int(r.forwarded_reads as i64)),
+            ("dual_writes", Json::Int(r.dual_writes as i64)),
+            ("retrieves", Json::Int(r.retrieves as i64)),
+            ("bit_exact", Json::Int(r.bit_exact as i64)),
+            ("unavailable", Json::Int(r.unavailable as i64)),
+            ("wrong_bytes", Json::Int(r.wrong_bytes as i64)),
+            ("missing", Json::Int(r.missing as i64)),
+            ("groups_moved", Json::Int(r.groups_moved as i64)),
+            ("wholes_moved", Json::Int(r.wholes_moved as i64)),
+            (
+                "symbols_transferred",
+                Json::Int(r.symbols_transferred as i64),
+            ),
+            ("symbols_per_group", Json::Num(r.symbols_per_group)),
+            ("transfer_skips", Json::Int(r.transfer_skips as i64)),
+            ("handover_aborts", Json::Int(r.handover_aborts as i64)),
+            ("leader_changes", Json::Int(r.leader_changes as i64)),
+            ("regenerations", Json::Int(r.regenerations as i64)),
+            ("tokens_received", Json::Int(r.tokens_received as i64)),
+            ("metrics", metrics),
+        ]));
+    }
     let doc = Json::obj(vec![
-        ("schema", Json::Str("rain-bench-cluster/v2".into())),
+        ("schema", Json::Str("rain-bench-cluster/v3".into())),
         ("scenarios", Json::Arr(rows)),
+        ("sharded", Json::Arr(sharded)),
     ]);
     let path = "BENCH_cluster.json";
     std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));

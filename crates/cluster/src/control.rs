@@ -1,0 +1,261 @@
+//! The cluster control plane: token-ring membership + leader election.
+//!
+//! This is where the so-far-freestanding `rain-membership` and
+//! `rain-election` crates meet the storage path. One membership node and
+//! one election state machine run per shard (shard `i` is control node
+//! `i`); the membership protocol circulates its token over the simulated
+//! fabric and converges every live node on a common view, the election
+//! protocol designates the smallest live shard id as **leader**, and only
+//! the leader may commit a view change — the data plane
+//! ([`crate::ClusterStore`]) never acts on a membership event until the
+//! leader has watched the token ring converge on it.
+//!
+//! The election machines are driven on the membership simulation's clock
+//! (announcements are exchanged between live nodes at every [`ControlPlane::tick`]),
+//! so one seed determines the entire control-plane history: token passes,
+//! exclusions, 911 regenerations, leadership hand-offs.
+
+use rain_election::{ElectionConfig, ElectionNode};
+use rain_membership::{MemberConfig, MembershipCluster};
+use rain_obs::Registry;
+use rain_sim::{NodeId, SimDuration};
+
+use crate::ring::ShardId;
+
+/// The control plane for a sharded cluster of up to `total` shards.
+pub struct ControlPlane {
+    membership: MembershipCluster,
+    electors: Vec<ElectionNode>,
+    /// Whether each shard currently participates (joined and not crashed).
+    active: Vec<bool>,
+    /// The member set of the last committed view, sorted.
+    committed: Vec<ShardId>,
+}
+
+impl ControlPlane {
+    /// A control plane over `total` shards, the first `initial` of which
+    /// participate from the start. Everything derives from `seed`.
+    pub fn new(
+        total: usize,
+        initial: usize,
+        member_config: MemberConfig,
+        election_config: ElectionConfig,
+        seed: u64,
+    ) -> Self {
+        let membership = MembershipCluster::new(total, initial, member_config, seed);
+        let electors = (0..total)
+            .map(|i| ElectionNode::new(NodeId(i), election_config))
+            .collect();
+        ControlPlane {
+            membership,
+            electors,
+            active: (0..total).map(|i| i < initial).collect(),
+            committed: (0..initial).collect(),
+        }
+    }
+
+    /// Run both protocols for `step` of simulated time: the membership
+    /// token circulates over the fabric, then every active node exchanges
+    /// election announcements (in shard-id order, so the run is
+    /// deterministic).
+    pub fn tick(&mut self, step: SimDuration) {
+        self.membership.run_for(step);
+        let now = self.membership.now();
+        for i in 0..self.electors.len() {
+            if !self.active[i] {
+                continue;
+            }
+            if let Some(announce) = self.electors[i].on_tick(now) {
+                for (j, elector) in self.electors.iter_mut().enumerate() {
+                    if j != i && self.active[j] {
+                        elector.on_announce(now, announce);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The unique live leader, if the active shards currently agree on one.
+    pub fn leader(&self) -> Option<ShardId> {
+        let mut leader = None;
+        for (i, elector) in self.electors.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            match leader {
+                None => leader = Some(elector.leader()),
+                Some(l) if elector.leader() == l => {}
+                Some(_) => return None,
+            }
+        }
+        let l = leader?;
+        self.active
+            .get(l.0)
+            .copied()
+            .unwrap_or(false)
+            .then_some(l.0)
+    }
+
+    /// The view change the leader is ready to commit: the leader's
+    /// membership view, once every live token-ring participant has
+    /// converged on it and it differs from the committed member set.
+    /// `None` while there is no stable leader, the ring is still churning,
+    /// or nothing changed.
+    pub fn poll_transition(&self) -> Option<Vec<ShardId>> {
+        let leader = self.leader()?;
+        let mut view: Vec<NodeId> = self.membership.node(NodeId(leader)).view().to_vec();
+        if view.is_empty() {
+            return None;
+        }
+        view.sort_by_key(|n| n.0);
+        if !self.membership.converged_on(&view) {
+            return None;
+        }
+        let members: Vec<ShardId> = view.iter().map(|n| n.0).collect();
+        (members != self.committed).then_some(members)
+    }
+
+    /// Record that the data plane committed a view over `members` — further
+    /// [`ControlPlane::poll_transition`] calls report only *new* changes.
+    pub fn mark_committed(&mut self, members: &[ShardId]) {
+        self.committed = members.to_vec();
+        self.committed.sort_unstable();
+    }
+
+    /// The member set of the last committed view, sorted.
+    pub fn committed(&self) -> &[ShardId] {
+        &self.committed
+    }
+
+    /// Crash shard `s`: its membership node goes down with its fabric node
+    /// and its elector falls silent (peers drop it one failure-timeout
+    /// later).
+    pub fn crash(&mut self, s: ShardId) {
+        self.membership.crash(NodeId(s));
+        self.active[s] = false;
+    }
+
+    /// Recover a crashed shard; it rejoins the token ring via the 911
+    /// mechanism and resumes announcing.
+    pub fn recover(&mut self, s: ShardId) {
+        self.membership.recover(NodeId(s));
+        self.active[s] = true;
+    }
+
+    /// Have a shard outside the initial membership join via `contact`.
+    pub fn join(&mut self, s: ShardId, contact: ShardId) {
+        self.membership.join(NodeId(s), NodeId(contact));
+        self.active[s] = true;
+    }
+
+    /// Total token regenerations across the cluster's history.
+    pub fn regenerations(&self) -> u64 {
+        self.membership.regenerations().len() as u64
+    }
+
+    /// Total tokens received, summed over all shards.
+    pub fn tokens_received(&self) -> u64 {
+        (0..self.active.len())
+            .map(|i| self.membership.node(NodeId(i)).tokens_received())
+            .sum()
+    }
+
+    /// Total leadership changes, summed over all shards' election state.
+    pub fn leader_changes(&self) -> u64 {
+        self.electors.iter().map(|e| e.leader_changes()).sum()
+    }
+
+    /// Publish the control-plane health gauges into `registry`:
+    /// `membership.regenerations`, `membership.tokens_received`, and
+    /// `election.leader_changes` — the churn signals a `ClusterStore`
+    /// operator watches without poking node internals.
+    pub fn publish_gauges(&self, registry: &Registry) {
+        registry
+            .gauge("membership.regenerations")
+            .set(self.regenerations() as i64);
+        registry
+            .gauge("membership.tokens_received")
+            .set(self.tokens_received() as i64);
+        registry
+            .gauge("election.leader_changes")
+            .set(self.leader_changes() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane(total: usize, initial: usize) -> ControlPlane {
+        ControlPlane::new(
+            total,
+            initial,
+            MemberConfig::default(),
+            ElectionConfig::default(),
+            42,
+        )
+    }
+
+    fn settle(cp: &mut ControlPlane, secs: u64) {
+        for _ in 0..secs * 10 {
+            cp.tick(SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn a_healthy_plane_elects_the_smallest_shard_and_reports_no_transition() {
+        let mut cp = plane(4, 4);
+        settle(&mut cp, 3);
+        assert_eq!(cp.leader(), Some(0));
+        assert_eq!(cp.poll_transition(), None, "nothing changed");
+        let reg = Registry::new();
+        cp.publish_gauges(&reg);
+        assert!(reg.gauge_value("membership.tokens_received") > 0);
+        assert_eq!(reg.gauge_value("membership.regenerations"), 0);
+    }
+
+    #[test]
+    fn a_join_surfaces_as_a_leader_committed_transition() {
+        let mut cp = plane(4, 3);
+        settle(&mut cp, 3);
+        assert_eq!(cp.poll_transition(), None);
+        cp.join(3, 1);
+        settle(&mut cp, 6);
+        let view = cp.poll_transition().expect("join must surface");
+        assert_eq!(view, vec![0, 1, 2, 3]);
+        cp.mark_committed(&view);
+        assert_eq!(cp.poll_transition(), None, "committed views stop reporting");
+    }
+
+    #[test]
+    fn killing_the_leader_re_elects_and_excludes_it_from_the_view() {
+        let mut cp = plane(4, 4);
+        settle(&mut cp, 3);
+        assert_eq!(cp.leader(), Some(0));
+        cp.crash(0);
+        settle(&mut cp, 20);
+        assert_eq!(cp.leader(), Some(1), "next-smallest live shard leads");
+        let view = cp.poll_transition().expect("exclusion must surface");
+        assert_eq!(view, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn control_histories_replay_bit_identically() {
+        let run = || {
+            let mut cp = plane(5, 4);
+            settle(&mut cp, 2);
+            cp.join(4, 0);
+            settle(&mut cp, 4);
+            cp.crash(2);
+            settle(&mut cp, 12);
+            (
+                cp.leader(),
+                cp.poll_transition(),
+                cp.regenerations(),
+                cp.tokens_received(),
+                cp.leader_changes(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

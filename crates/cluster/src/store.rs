@@ -1,0 +1,1104 @@
+//! The sharded store front-end: ring-routed requests, epoch stamping, and
+//! two-phase group-granularity handover.
+//!
+//! A [`ClusterStore`] splits the object namespace across many
+//! [`DistributedStore`] coordinators (**shards**). Placement is decided by
+//! the committed view's consistent-hash ring; the authoritative location of
+//! every object is tracked in a directory so that *sealed coding groups* —
+//! not individual objects — can be the unit of rebalancing, exactly as they
+//! are the unit of repair: moving a group costs one symbol per node no
+//! matter how many small objects ride inside it.
+//!
+//! ## Epochs
+//!
+//! Every request carries the epoch its client believes in. A write stamped
+//! with any other epoch is **rejected** with the current epoch (the client
+//! must refresh its view — acking a write routed by a dead ring could place
+//! it on a shard that just ceded the key). A read stamped with an old epoch
+//! is **forwarded**: the directory knows where the bytes live now, the
+//! read is served, and the forward is counted so an operator can see
+//! clients lagging behind a view change.
+//!
+//! ## Handover (joint consensus, two phases)
+//!
+//! A view change from `V` to `V'` runs as:
+//!
+//! 1. **Prepare** ([`ClusterStore::begin_handover`] +
+//!    [`ClusterStore::transfer_next`]): open groups are flushed so every
+//!    moving unit is sealed; each unit whose placement key maps to a
+//!    different shard under `V'` is exported from its old owner and
+//!    imported by its new one (both logged in the respective shards' WALs).
+//!    The old owner stays authoritative: reads hit it first and fall back
+//!    to the new copy only when the old one cannot serve (**dual-serve**);
+//!    writes land on the old owner *and* on the key's `V'` owner
+//!    (**dual-logged**), so whichever view survives has the bytes.
+//! 2. **Cutover** ([`ClusterStore::commit_handover`]): remaining transfers
+//!    finish, old copies of moved units are evicted, the directory repoints,
+//!    dual-written keys collapse onto their `V'` owner, and the epoch
+//!    advances. [`ClusterStore::abort_handover`] is the mirror image — new
+//!    copies are evicted and `V` stays authoritative — used when the
+//!    transition is overtaken (e.g. the joining shard crashed mid-handover).
+//!
+//! A unit whose source shard is down at transfer time is skipped, stays
+//! owned by its (possibly dead) shard, and reads of it report honest
+//! unavailability until the shard returns — never wrong bytes.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use rain_codes::{build_code, CodeSpec};
+use rain_obs::{span, Recorder, Registry, VirtualClock};
+use rain_sim::{NodeId, SimDuration};
+use rain_storage::wal::MemLog;
+use rain_storage::{
+    DistributedStore, GroupConfig, GroupId, RetrieveReport, SelectionPolicy, StorageError,
+};
+
+use crate::ring::ShardId;
+use crate::view::MembershipView;
+
+/// Errors surfaced by the cluster routing layer.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// The request was stamped with an epoch other than the committed one.
+    /// Writes get this; reads are forwarded instead.
+    StaleEpoch {
+        /// The epoch the client stamped.
+        stamped: u64,
+        /// The epoch the cluster is at.
+        current: u64,
+    },
+    /// The shard that must serve this request is down.
+    ShardDown(ShardId),
+    /// The view has no members, so no shard owns the key.
+    NoOwner,
+    /// A handover is already in progress.
+    HandoverInProgress,
+    /// No handover is in progress.
+    NoHandover,
+    /// The owning shard failed the operation.
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::StaleEpoch { stamped, current } => {
+                write!(f, "stale epoch {stamped}, cluster is at {current}")
+            }
+            ClusterError::ShardDown(s) => write!(f, "shard {s} is down"),
+            ClusterError::NoOwner => write!(f, "the view has no members"),
+            ClusterError::HandoverInProgress => write!(f, "a handover is already in progress"),
+            ClusterError::NoHandover => write!(f, "no handover is in progress"),
+            ClusterError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<StorageError> for ClusterError {
+    fn from(e: StorageError) -> Self {
+        ClusterError::Storage(e)
+    }
+}
+
+/// A successful routed read.
+#[derive(Debug)]
+pub struct ClusterRead {
+    /// The object's bytes.
+    pub bytes: Vec<u8>,
+    /// The shard that served them.
+    pub shard: ShardId,
+    /// The shard-level retrieve report.
+    pub report: RetrieveReport,
+    /// True when the primary owner could not serve and the bytes came from
+    /// the handover secondary (dual-serve).
+    pub fallback: bool,
+}
+
+/// Running totals of cluster-level events, published as gauges by
+/// [`ClusterStore::publish_gauges`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// View changes committed (epoch bumps past genesis).
+    pub epoch_commits: u64,
+    /// Handovers abandoned by [`ClusterStore::abort_handover`].
+    pub handover_aborts: u64,
+    /// Sealed coding groups rebalanced to a new owner.
+    pub groups_moved: u64,
+    /// Whole objects rebalanced to a new owner.
+    pub wholes_moved: u64,
+    /// Symbols installed by transfers — the true rebalance cost, counted
+    /// per node per *unit* (group or whole), never per object.
+    pub symbols_transferred: u64,
+    /// Planned unit moves skipped because a shard was down or the unit
+    /// could not be read/installed; the unit stayed with its old owner.
+    pub transfer_skips: u64,
+    /// Writes rejected for carrying a stale epoch.
+    pub stale_writes_rejected: u64,
+    /// Reads served despite a stale epoch stamp (directory forwarding).
+    pub forwarded_reads: u64,
+    /// Writes applied to both the old and new owner during a handover.
+    pub dual_writes: u64,
+}
+
+/// What one placement unit is.
+#[derive(Debug, Clone)]
+enum UnitKind {
+    /// A sealed coding group, identified by its id at the source shard.
+    Group { gid: GroupId },
+    /// An individually placed object.
+    Whole { name: String },
+}
+
+/// One planned unit migration within a handover.
+#[derive(Debug, Clone)]
+struct UnitMove {
+    from: ShardId,
+    to: ShardId,
+    kind: UnitKind,
+    /// Set once the transfer lands: the member names now also present at
+    /// `to`, and (for groups) the id the destination assigned.
+    landed: Option<(Vec<String>, Option<GroupId>)>,
+}
+
+/// In-flight two-phase view transition.
+struct Handover {
+    target: MembershipView,
+    moves: Vec<UnitMove>,
+    cursor: usize,
+    /// Keys dual-written during the transition, mapped to their owner
+    /// under the target view (the copy that wins at commit).
+    dual: BTreeMap<String, ShardId>,
+    /// Secondary location of every transferred member (dual-serve reads).
+    moved: HashMap<String, ShardId>,
+}
+
+/// A sharded, epoch-stamped front-end over many coordinator shards.
+pub struct ClusterStore {
+    spec: CodeSpec,
+    config: GroupConfig,
+    shards: BTreeMap<ShardId, DistributedStore>,
+    up: BTreeMap<ShardId, bool>,
+    view: MembershipView,
+    /// Authoritative object location. Placement of new keys comes from the
+    /// ring; the directory is what lets *groups* (not keys) migrate.
+    directory: HashMap<String, ShardId>,
+    /// Placement key per sealed group, probed so the group's ring position
+    /// is its sealing shard — the trick that gives consistent-hashing
+    /// minimal movement at group granularity.
+    pkeys: HashMap<(ShardId, GroupId), String>,
+    handover: Option<Handover>,
+    stats: ClusterStats,
+    recorder: Recorder,
+    registry: Option<Registry>,
+    clock: Option<Arc<VirtualClock>>,
+}
+
+impl ClusterStore {
+    /// A cluster over `members` shards, each a [`DistributedStore`] of the
+    /// given code with its own write-ahead log, routed by a ring with
+    /// `vnodes` points per shard. The genesis view is epoch 1.
+    pub fn new(
+        spec: CodeSpec,
+        config: GroupConfig,
+        members: &[ShardId],
+        vnodes: usize,
+    ) -> Result<Self, ClusterError> {
+        let mut cluster = ClusterStore {
+            spec,
+            config,
+            shards: BTreeMap::new(),
+            up: BTreeMap::new(),
+            view: MembershipView::genesis(members, vnodes),
+            directory: HashMap::new(),
+            pkeys: HashMap::new(),
+            handover: None,
+            stats: ClusterStats::default(),
+            recorder: Recorder::disabled(),
+            registry: None,
+            clock: None,
+        };
+        for &s in cluster.view.members().to_vec().iter() {
+            cluster.ensure_shard(s)?;
+        }
+        Ok(cluster)
+    }
+
+    fn ensure_shard(&mut self, s: ShardId) -> Result<(), ClusterError> {
+        if self.shards.contains_key(&s) {
+            return Ok(());
+        }
+        let code = build_code(self.spec).map_err(StorageError::from)?;
+        let mut store = DistributedStore::with_wal(code, self.config, Box::new(MemLog::new()));
+        if let Some(reg) = &self.registry {
+            store.attach_registry(reg);
+        }
+        self.shards.insert(s, store);
+        self.up.insert(s, true);
+        Ok(())
+    }
+
+    /// Attach a telemetry registry: every shard records its store metrics
+    /// into it (aggregated across shards), and the cluster layer adds its
+    /// own gauges, counters, and handover spans — all on virtual clocks, so
+    /// snapshots replay bit-identically.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let clock = Arc::new(VirtualClock::new());
+        self.recorder = Recorder::new(registry.clone(), clock.clone());
+        self.clock = Some(clock);
+        self.registry = Some(registry.clone());
+        for store in self.shards.values_mut() {
+            store.attach_registry(registry);
+        }
+        self.publish_gauges();
+    }
+
+    /// The committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.view.epoch()
+    }
+
+    /// The committed view.
+    pub fn view(&self) -> &MembershipView {
+        &self.view
+    }
+
+    /// True while a handover is in flight.
+    pub fn handover_in_progress(&self) -> bool {
+        self.handover.is_some()
+    }
+
+    /// Cluster-level running totals.
+    pub fn stats(&self) -> ClusterStats {
+        self.stats
+    }
+
+    /// Borrow one shard's coordinator (admin/test access).
+    pub fn shard(&self, s: ShardId) -> Option<&DistributedStore> {
+        self.shards.get(&s)
+    }
+
+    /// Mutably borrow one shard's coordinator, e.g. to fail or repair
+    /// individual storage nodes inside it.
+    pub fn shard_mut(&mut self, s: ShardId) -> Option<&mut DistributedStore> {
+        self.shards.get_mut(&s)
+    }
+
+    /// Objects tracked across all shards.
+    pub fn num_objects(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Mark a shard down: requests routed to it fail with
+    /// [`ClusterError::ShardDown`] until [`ClusterStore::recover_shard`].
+    pub fn fail_shard(&mut self, s: ShardId) {
+        if let Some(up) = self.up.get_mut(&s) {
+            *up = false;
+        }
+    }
+
+    /// Mark a failed shard up again (its coordinator state survived — the
+    /// per-shard WAL crash/recovery path is exercised at the
+    /// [`DistributedStore`] level).
+    pub fn recover_shard(&mut self, s: ShardId) {
+        if let Some(up) = self.up.get_mut(&s) {
+            *up = true;
+        }
+    }
+
+    /// True if the shard exists and is up.
+    pub fn shard_up(&self, s: ShardId) -> bool {
+        self.up.get(&s).copied().unwrap_or(false)
+    }
+
+    /// Advance virtual time on every live shard's transport (and the
+    /// cluster's own span clock).
+    pub fn advance_time(&mut self, step: SimDuration) {
+        for (s, store) in self.shards.iter_mut() {
+            if self.up[s] {
+                store.advance_time(step);
+            }
+        }
+        if let Some(clock) = &self.clock {
+            clock.advance_micros(step.as_micros());
+        }
+    }
+
+    fn check_epoch_write(&mut self, stamped: u64) -> Result<(), ClusterError> {
+        let current = self.view.epoch();
+        if stamped != current {
+            self.stats.stale_writes_rejected += 1;
+            return Err(ClusterError::StaleEpoch { stamped, current });
+        }
+        Ok(())
+    }
+
+    /// Store (or overwrite) an object. The write goes to the key's owner
+    /// under the committed view; during a handover it is additionally
+    /// applied to the key's owner under the target view (dual-logged in
+    /// both shards' WALs), so the bytes survive whichever way the
+    /// transition resolves. Rejects stale epoch stamps.
+    pub fn store(&mut self, key: &str, data: &[u8], epoch: u64) -> Result<(), ClusterError> {
+        self.check_epoch_write(epoch)?;
+        let primary = match self.directory.get(key) {
+            Some(&s) => s,
+            None => self.view.owner_of(key).ok_or(ClusterError::NoOwner)?,
+        };
+        if !self.shard_up(primary) {
+            return Err(ClusterError::ShardDown(primary));
+        }
+        self.shards
+            .get_mut(&primary)
+            .expect("directory names a shard")
+            .store(key, data)?;
+        self.directory.insert(key.to_string(), primary);
+        if let Some(h) = &mut self.handover {
+            let target_owner = h.target.owner_of(key);
+            if let Some(t) = target_owner {
+                let stale_secondary = h
+                    .moved
+                    .get(key)
+                    .copied()
+                    .filter(|&d| d != t && d != primary);
+                if t != primary && self.up.get(&t).copied().unwrap_or(false) {
+                    self.shards
+                        .get_mut(&t)
+                        .expect("target view members have shards")
+                        .store(key, data)?;
+                    h.dual.insert(key.to_string(), t);
+                    self.stats.dual_writes += 1;
+                } else if t == primary {
+                    // The key stays home under the target view, but an
+                    // already-transferred unit may hold a now-stale copy of
+                    // it elsewhere; the dual override at commit clears it.
+                    if stale_secondary.is_some() {
+                        h.dual.insert(key.to_string(), t);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retrieve an object. The authoritative owner serves; while a
+    /// handover is in flight and the owner cannot (down, or too few
+    /// symbols), the read falls back to the key's secondary copy — the
+    /// dual-written bytes or the transferred unit (**dual-serve**). A
+    /// stale epoch stamp does not fail a read: the directory forwards it
+    /// (counted in [`ClusterStats::forwarded_reads`]).
+    pub fn retrieve(
+        &mut self,
+        key: &str,
+        policy: SelectionPolicy,
+        epoch: u64,
+    ) -> Result<ClusterRead, ClusterError> {
+        if epoch != self.view.epoch() {
+            self.stats.forwarded_reads += 1;
+        }
+        let Some(&primary) = self.directory.get(key) else {
+            return Err(ClusterError::Storage(StorageError::UnknownObject {
+                object: key.to_string(),
+            }));
+        };
+        let primary_err: ClusterError = if self.shard_up(primary) {
+            match self
+                .shards
+                .get_mut(&primary)
+                .expect("directory names a shard")
+                .retrieve(key, policy)
+            {
+                Ok((bytes, report)) => {
+                    return Ok(ClusterRead {
+                        bytes,
+                        shard: primary,
+                        report,
+                        fallback: false,
+                    });
+                }
+                Err(e @ StorageError::NotEnoughNodes { .. }) => e.into(),
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            ClusterError::ShardDown(primary)
+        };
+        // Dual-serve: newest copy first (a dual write supersedes a
+        // transferred unit's snapshot), then the transferred unit.
+        let mut secondaries: Vec<ShardId> = Vec::new();
+        if let Some(h) = &self.handover {
+            if let Some(&t) = h.dual.get(key) {
+                secondaries.push(t);
+            }
+            if let Some(&d) = h.moved.get(key) {
+                secondaries.push(d);
+            }
+        }
+        for s in secondaries {
+            if s == primary || !self.shard_up(s) {
+                continue;
+            }
+            match self
+                .shards
+                .get_mut(&s)
+                .expect("secondary names a shard")
+                .retrieve(key, policy)
+            {
+                Ok((bytes, report)) => {
+                    return Ok(ClusterRead {
+                        bytes,
+                        shard: s,
+                        report,
+                        fallback: true,
+                    });
+                }
+                Err(StorageError::NotEnoughNodes { .. })
+                | Err(StorageError::UnknownObject { .. }) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Err(primary_err)
+    }
+
+    /// Delete an object everywhere it lives (owner, plus any handover
+    /// secondary). Rejects stale epoch stamps.
+    pub fn delete(&mut self, key: &str, epoch: u64) -> Result<(), ClusterError> {
+        self.check_epoch_write(epoch)?;
+        let Some(&primary) = self.directory.get(key) else {
+            return Err(ClusterError::Storage(StorageError::UnknownObject {
+                object: key.to_string(),
+            }));
+        };
+        if !self.shard_up(primary) {
+            return Err(ClusterError::ShardDown(primary));
+        }
+        self.shards
+            .get_mut(&primary)
+            .expect("directory names a shard")
+            .delete(key)?;
+        self.directory.remove(key);
+        let mut extra: Vec<ShardId> = Vec::new();
+        if let Some(h) = &mut self.handover {
+            if let Some(t) = h.dual.remove(key) {
+                extra.push(t);
+            }
+            if let Some(d) = h.moved.remove(key) {
+                extra.push(d);
+            }
+        }
+        for s in extra {
+            if s != primary && self.shard_up(s) {
+                match self.shards.get_mut(&s).expect("named shard").delete(key) {
+                    Ok(()) | Err(StorageError::UnknownObject { .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair one storage node inside one shard (routed admin operation).
+    /// Returns the symbols repaired.
+    pub fn repair_node(&mut self, shard: ShardId, node: NodeId) -> Result<usize, ClusterError> {
+        if !self.shard_up(shard) {
+            return Err(ClusterError::ShardDown(shard));
+        }
+        let store = self
+            .shards
+            .get_mut(&shard)
+            .ok_or(ClusterError::ShardDown(shard))?;
+        Ok(store.repair_node(node)?)
+    }
+
+    /// Flush every live shard's open group so all grouped bytes become
+    /// sealed (movable, repairable) units. A shard whose seal misses its
+    /// write quorum keeps its group open — nothing acked is lost, the
+    /// group simply does not move this round.
+    pub fn flush_all(&mut self) {
+        for (s, store) in self.shards.iter_mut() {
+            if self.up[s] {
+                let _ = store.flush();
+            }
+        }
+    }
+
+    /// Choose a placement key for a unit that must currently map to
+    /// `shard`: salted probes until the ring agrees. The probe is cheap
+    /// (pure hashing) and deterministic; if no salt lands within the
+    /// budget the base key is used and the unit simply migrates early.
+    fn probe_pkey(view: &MembershipView, shard: ShardId, base: &str) -> String {
+        for salt in 0..4096u32 {
+            let pkey = format!("{base}#{salt}");
+            if view.owner_of(&pkey) == Some(shard) {
+                return pkey;
+            }
+        }
+        format!("{base}#0")
+    }
+
+    /// Begin a two-phase handover toward a view over `members`. Seals all
+    /// open groups, computes which placement units change owner under the
+    /// target ring, and returns the number of planned unit moves. Until
+    /// [`ClusterStore::commit_handover`], the current view stays
+    /// authoritative and the epoch does not change.
+    pub fn begin_handover(&mut self, members: &[ShardId]) -> Result<usize, ClusterError> {
+        if self.handover.is_some() {
+            return Err(ClusterError::HandoverInProgress);
+        }
+        let target = self.view.successor(members);
+        if target.members().is_empty() {
+            return Err(ClusterError::NoOwner);
+        }
+        for &s in target.members() {
+            self.ensure_shard(s)?;
+        }
+        self.flush_all();
+        let mut moves = Vec::new();
+        let shard_ids: Vec<ShardId> = self.shards.keys().copied().collect();
+        for s in shard_ids {
+            if !self.up[&s] {
+                continue;
+            }
+            let store = &self.shards[&s];
+            for gid in store.sealed_group_ids() {
+                let pkey = match self.pkeys.get(&(s, gid)) {
+                    Some(p) => p.clone(),
+                    None => {
+                        let p = Self::probe_pkey(&self.view, s, &format!("unit/{s}/{gid}"));
+                        self.pkeys.insert((s, gid), p.clone());
+                        p
+                    }
+                };
+                let dst = target.owner_of(&pkey).expect("target view is non-empty");
+                if dst != s {
+                    moves.push(UnitMove {
+                        from: s,
+                        to: dst,
+                        kind: UnitKind::Group { gid },
+                        landed: None,
+                    });
+                }
+            }
+            for name in self.shards[&s].whole_object_names() {
+                let dst = target.owner_of(&name).expect("target view is non-empty");
+                if dst != s {
+                    moves.push(UnitMove {
+                        from: s,
+                        to: dst,
+                        kind: UnitKind::Whole { name },
+                        landed: None,
+                    });
+                }
+            }
+        }
+        let planned = moves.len();
+        let mut span = span!(
+            self.recorder,
+            "cluster.handover.begin",
+            target_epoch = target.epoch(),
+            moves = planned as u64
+        );
+        span.field("members", members.len() as u64);
+        self.handover = Some(Handover {
+            target,
+            moves,
+            cursor: 0,
+            dual: BTreeMap::new(),
+            moved: HashMap::new(),
+        });
+        Ok(planned)
+    }
+
+    /// Transfer the next planned unit. Returns the symbols it cost
+    /// (`Ok(Some(0))` for a skipped unit — source or destination down, or
+    /// the unit unreadable right now), or `Ok(None)` when no moves remain.
+    pub fn transfer_next(&mut self) -> Result<Option<u64>, ClusterError> {
+        let h = self.handover.as_mut().ok_or(ClusterError::NoHandover)?;
+        let Some(mv) = h.moves.get(h.cursor).cloned() else {
+            return Ok(None);
+        };
+        let idx = h.cursor;
+        h.cursor += 1;
+        let src_up = self.up.get(&mv.from).copied().unwrap_or(false);
+        let dst_up = self.up.get(&mv.to).copied().unwrap_or(false);
+        if !src_up || !dst_up {
+            self.stats.transfer_skips += 1;
+            return Ok(Some(0));
+        }
+        let mut span = span!(
+            self.recorder,
+            "cluster.handover.transfer",
+            from = mv.from as u64,
+            to = mv.to as u64
+        );
+        let landed = match &mv.kind {
+            UnitKind::Group { gid } => {
+                let export = match self
+                    .shards
+                    .get_mut(&mv.from)
+                    .expect("move names a shard")
+                    .export_group(*gid, SelectionPolicy::FirstK)
+                {
+                    Ok(e) => e,
+                    Err(StorageError::NotEnoughNodes { .. })
+                    | Err(StorageError::UnknownGroup(_)) => {
+                        self.stats.transfer_skips += 1;
+                        return Ok(Some(0));
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let dst = self.shards.get_mut(&mv.to).expect("move names a shard");
+                let new_gid = match dst.import_group(&export) {
+                    Ok(g) => g,
+                    Err(StorageError::QuorumNotReached { .. }) => {
+                        self.stats.transfer_skips += 1;
+                        return Ok(Some(0));
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let symbols = dst.num_nodes() as u64;
+                self.stats.groups_moved += 1;
+                self.stats.symbols_transferred += symbols;
+                let members: Vec<String> = export.members.iter().map(|(n, _)| n.clone()).collect();
+                span.field("objects", members.len() as u64);
+                span.field("symbols", symbols);
+                let h = self.handover.as_mut().expect("checked above");
+                let pkey = Self::probe_pkey(&h.target, mv.to, &format!("unit/{}/{new_gid}", mv.to));
+                self.pkeys.insert((mv.to, new_gid), pkey);
+                for m in &members {
+                    h.moved.insert(m.clone(), mv.to);
+                }
+                (members, Some(new_gid), symbols)
+            }
+            UnitKind::Whole { name } => {
+                let bytes = match self
+                    .shards
+                    .get_mut(&mv.from)
+                    .expect("move names a shard")
+                    .retrieve(name, SelectionPolicy::FirstK)
+                {
+                    Ok((bytes, _)) => bytes,
+                    Err(StorageError::NotEnoughNodes { .. })
+                    | Err(StorageError::UnknownObject { .. }) => {
+                        self.stats.transfer_skips += 1;
+                        return Ok(Some(0));
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                let dst = self.shards.get_mut(&mv.to).expect("move names a shard");
+                match dst.store(name, &bytes) {
+                    Ok(()) => {}
+                    Err(StorageError::QuorumNotReached { .. }) => {
+                        self.stats.transfer_skips += 1;
+                        return Ok(Some(0));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+                let symbols = dst.num_nodes() as u64;
+                self.stats.wholes_moved += 1;
+                self.stats.symbols_transferred += symbols;
+                span.field("symbols", symbols);
+                let h = self.handover.as_mut().expect("checked above");
+                h.moved.insert(name.clone(), mv.to);
+                (vec![name.clone()], None, symbols)
+            }
+        };
+        let h = self.handover.as_mut().expect("checked above");
+        h.moves[idx].landed = Some((landed.0, landed.1));
+        Ok(Some(landed.2))
+    }
+
+    /// Cut over to the target view: finish remaining transfers, evict old
+    /// copies of every landed unit, repoint the directory, collapse
+    /// dual-written keys onto their new owner, and advance the epoch.
+    /// Returns the new epoch.
+    pub fn commit_handover(&mut self) -> Result<u64, ClusterError> {
+        if self.handover.is_none() {
+            return Err(ClusterError::NoHandover);
+        }
+        while self.transfer_next()?.is_some() {}
+        let h = self.handover.take().expect("checked above");
+        let mut span = span!(
+            self.recorder,
+            "cluster.handover.commit",
+            epoch = h.target.epoch()
+        );
+        let mut evicted = 0u64;
+        for mv in &h.moves {
+            let Some((members, _)) = &mv.landed else {
+                continue; // skipped: the unit stays with its old owner
+            };
+            match &mv.kind {
+                UnitKind::Group { gid } => {
+                    if self.shard_up(mv.from) {
+                        match self
+                            .shards
+                            .get_mut(&mv.from)
+                            .expect("move names a shard")
+                            .evict_group(*gid)
+                        {
+                            Ok(_) => evicted += 1,
+                            // Already gone (every member overwritten or
+                            // deleted during the transition).
+                            Err(StorageError::UnknownGroup(_)) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                    self.pkeys.remove(&(mv.from, *gid));
+                }
+                UnitKind::Whole { name } => {
+                    if self.shard_up(mv.from) {
+                        match self
+                            .shards
+                            .get_mut(&mv.from)
+                            .expect("move names a shard")
+                            .delete(name)
+                        {
+                            Ok(()) | Err(StorageError::UnknownObject { .. }) => {}
+                            Err(e) => return Err(e.into()),
+                        }
+                    }
+                }
+            }
+            for m in members {
+                // Only repoint members that still live where the unit was
+                // exported from: a key overwritten mid-transition left the
+                // unit at the source and is governed by the dual override
+                // below (or stayed home entirely).
+                if self.directory.get(m) == Some(&mv.from) {
+                    self.directory.insert(m.clone(), mv.to);
+                }
+            }
+        }
+        // Dual-written keys collapse onto their target-view owner; every
+        // other copy (old owner, superseded unit snapshot) is dropped.
+        for (key, t) in &h.dual {
+            let mut holders: Vec<ShardId> = Vec::new();
+            if let Some(&cur) = self.directory.get(key) {
+                if cur != *t {
+                    holders.push(cur);
+                }
+            } else {
+                continue; // deleted during the transition
+            }
+            if let Some(&d) = h.moved.get(key) {
+                if d != *t && !holders.contains(&d) {
+                    holders.push(d);
+                }
+            }
+            for s in holders {
+                if self.shard_up(s) {
+                    match self.shards.get_mut(&s).expect("named shard").delete(key) {
+                        Ok(()) | Err(StorageError::UnknownObject { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            self.directory.insert(key.clone(), *t);
+        }
+        span.field("evicted", evicted);
+        drop(span);
+        self.view = h.target;
+        self.stats.epoch_commits += 1;
+        self.publish_gauges();
+        Ok(self.view.epoch())
+    }
+
+    /// Abandon the in-flight handover: evict every copy the transition
+    /// created (imported units, dual-written keys) and keep the current
+    /// view authoritative. Used when the transition was overtaken — e.g.
+    /// the joining shard crashed mid-transfer.
+    pub fn abort_handover(&mut self) -> Result<(), ClusterError> {
+        let h = self.handover.take().ok_or(ClusterError::NoHandover)?;
+        let _span = span!(
+            self.recorder,
+            "cluster.handover.abort",
+            target_epoch = h.target.epoch()
+        );
+        for mv in &h.moves {
+            let Some((_, new_gid)) = &mv.landed else {
+                continue;
+            };
+            if !self.shard_up(mv.to) {
+                continue;
+            }
+            match (&mv.kind, new_gid) {
+                (UnitKind::Group { .. }, Some(new_gid)) => {
+                    match self
+                        .shards
+                        .get_mut(&mv.to)
+                        .expect("move names a shard")
+                        .evict_group(*new_gid)
+                    {
+                        Ok(_) | Err(StorageError::UnknownGroup(_)) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                    self.pkeys.remove(&(mv.to, *new_gid));
+                }
+                (UnitKind::Whole { name }, _) => {
+                    match self
+                        .shards
+                        .get_mut(&mv.to)
+                        .expect("move names a shard")
+                        .delete(name)
+                    {
+                        Ok(()) | Err(StorageError::UnknownObject { .. }) => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                (UnitKind::Group { .. }, None) => unreachable!("landed groups carry their id"),
+            }
+        }
+        for (key, t) in &h.dual {
+            if self.directory.get(key).is_some_and(|cur| cur != t) && self.shard_up(*t) {
+                match self.shards.get_mut(t).expect("named shard").delete(key) {
+                    Ok(()) | Err(StorageError::UnknownObject { .. }) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        self.stats.handover_aborts += 1;
+        self.publish_gauges();
+        Ok(())
+    }
+
+    /// Publish the cluster gauges: `cluster.epoch`, per-shard object
+    /// counts, and the [`ClusterStats`] totals. No-op without a registry.
+    pub fn publish_gauges(&self) {
+        let Some(reg) = &self.registry else { return };
+        reg.gauge("cluster.epoch").set(self.view.epoch() as i64);
+        reg.gauge("cluster.shards")
+            .set(self.view.members().len() as i64);
+        reg.gauge("cluster.objects")
+            .set(self.directory.len() as i64);
+        for (s, store) in &self.shards {
+            reg.gauge(&format!("cluster.shard{s}.objects"))
+                .set(store.num_objects() as i64);
+        }
+        reg.gauge("cluster.epoch_commits")
+            .set(self.stats.epoch_commits as i64);
+        reg.gauge("cluster.handover_aborts")
+            .set(self.stats.handover_aborts as i64);
+        reg.gauge("cluster.groups_moved")
+            .set(self.stats.groups_moved as i64);
+        reg.gauge("cluster.wholes_moved")
+            .set(self.stats.wholes_moved as i64);
+        reg.gauge("cluster.symbols_transferred")
+            .set(self.stats.symbols_transferred as i64);
+        reg.gauge("cluster.transfer_skips")
+            .set(self.stats.transfer_skips as i64);
+        reg.gauge("cluster.stale_writes_rejected")
+            .set(self.stats.stale_writes_rejected as i64);
+        reg.gauge("cluster.forwarded_reads")
+            .set(self.stats.forwarded_reads as i64);
+        reg.gauge("cluster.dual_writes")
+            .set(self.stats.dual_writes as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(members: &[ShardId]) -> ClusterStore {
+        ClusterStore::new(
+            CodeSpec::bcode_6_4(),
+            GroupConfig::small_objects(),
+            members,
+            48,
+        )
+        .expect("bcode_6_4 builds")
+    }
+
+    fn payload(i: usize, version: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|j| ((i as u64 * 131 + version * 17 + j as u64) % 251) as u8)
+            .collect()
+    }
+
+    fn key(i: usize) -> String {
+        format!("obj-{i:03}")
+    }
+
+    /// Seed `count` objects (every sixth one large enough to be placed
+    /// whole) and seal the open groups.
+    fn seed(cs: &mut ClusterStore, count: usize) {
+        for i in 0..count {
+            let len = if i % 6 == 5 { 9_000 } else { 600 };
+            cs.store(&key(i), &payload(i, 0, len), cs.epoch()).unwrap();
+        }
+        cs.flush_all();
+    }
+
+    fn assert_bit_exact(cs: &mut ClusterStore, count: usize, versions: &HashMap<usize, u64>) {
+        for i in 0..count {
+            let len_v = versions.get(&i).copied().unwrap_or(0);
+            let len = if i % 6 == 5 { 9_000 } else { 600 };
+            let read = cs
+                .retrieve(&key(i), SelectionPolicy::FirstK, cs.epoch())
+                .unwrap_or_else(|e| panic!("{} unreadable: {e}", key(i)));
+            assert_eq!(read.bytes, payload(i, len_v, len), "{} bytes", key(i));
+        }
+    }
+
+    /// After a committed or aborted handover every key must live on
+    /// exactly one shard: no dual copy, no unit copy left behind.
+    fn assert_single_homed(cs: &ClusterStore) {
+        let per_shard: usize = cs.shards.values().map(|s| s.num_objects()).sum();
+        assert_eq!(per_shard, cs.num_objects(), "stray copies left behind");
+    }
+
+    #[test]
+    fn routing_round_trips_and_enforces_epoch_discipline() {
+        let mut cs = cluster(&[0, 1, 2]);
+        assert_eq!(cs.epoch(), 1);
+        seed(&mut cs, 12);
+        assert_bit_exact(&mut cs, 12, &HashMap::new());
+
+        let err = cs.store("obj-000", b"stale", 0).unwrap_err();
+        assert!(matches!(
+            err,
+            ClusterError::StaleEpoch {
+                stamped: 0,
+                current: 1
+            }
+        ));
+        assert_eq!(cs.stats().stale_writes_rejected, 1);
+
+        // Reads with a wrong stamp are forwarded, not refused.
+        let read = cs.retrieve("obj-001", SelectionPolicy::FirstK, 99).unwrap();
+        assert_eq!(read.bytes, payload(1, 0, 600));
+        assert_eq!(cs.stats().forwarded_reads, 1);
+
+        cs.delete("obj-002", 1).unwrap();
+        let gone = cs.retrieve("obj-002", SelectionPolicy::FirstK, 1);
+        assert!(matches!(
+            gone,
+            Err(ClusterError::Storage(StorageError::UnknownObject { .. }))
+        ));
+        assert_eq!(cs.num_objects(), 11);
+    }
+
+    #[test]
+    fn a_join_rebalances_units_for_one_symbol_per_node_each() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 60);
+        let planned = cs.begin_handover(&[0, 1, 2, 3]).unwrap();
+        assert!(planned > 0, "a new shard must steal some units");
+        while cs.transfer_next().unwrap().is_some() {}
+        let epoch = cs.commit_handover().unwrap();
+        assert_eq!(epoch, 2);
+
+        let stats = cs.stats();
+        let units = stats.groups_moved + stats.wholes_moved;
+        assert!(stats.groups_moved > 0, "groups must move as units");
+        let n = cs.shard(0).unwrap().num_nodes() as u64;
+        assert_eq!(
+            stats.symbols_transferred,
+            units * n,
+            "each unit must cost exactly one symbol per node"
+        );
+        assert!(cs.shard(3).unwrap().num_objects() > 0);
+        assert_bit_exact(&mut cs, 60, &HashMap::new());
+        assert_single_homed(&cs);
+    }
+
+    #[test]
+    fn overwrites_during_a_handover_win_after_commit() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 30);
+        cs.begin_handover(&[0, 1, 2, 3]).unwrap();
+        let mut versions = HashMap::new();
+        let mut i = 0usize;
+        while cs.transfer_next().unwrap().is_some() {
+            let obj = (i * 7) % 30;
+            let len = if obj % 6 == 5 { 9_000 } else { 600 };
+            cs.store(&key(obj), &payload(obj, 1, len), cs.epoch())
+                .unwrap();
+            versions.insert(obj, 1);
+            i += 1;
+        }
+        cs.commit_handover().unwrap();
+        assert_bit_exact(&mut cs, 30, &versions);
+        assert_single_homed(&cs);
+    }
+
+    #[test]
+    fn an_aborted_handover_leaves_no_copies_at_the_destination() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 30);
+        cs.begin_handover(&[0, 1, 2, 3]).unwrap();
+        let mut versions = HashMap::new();
+        let mut i = 0usize;
+        while cs.transfer_next().unwrap().is_some() {
+            let obj = (i * 11) % 30;
+            let len = if obj % 6 == 5 { 9_000 } else { 600 };
+            cs.store(&key(obj), &payload(obj, 1, len), cs.epoch())
+                .unwrap();
+            versions.insert(obj, 1);
+            i += 1;
+        }
+        assert!(cs.stats().dual_writes > 0, "handover writes must dual-log");
+        cs.abort_handover().unwrap();
+        assert_eq!(cs.epoch(), 1, "an abort must not advance the epoch");
+        assert_eq!(
+            cs.shard(3).unwrap().num_objects(),
+            0,
+            "every destination copy must be evicted"
+        );
+        assert_bit_exact(&mut cs, 30, &versions);
+        assert_single_homed(&cs);
+    }
+
+    #[test]
+    fn units_on_a_downed_source_are_skipped_and_recover_honestly() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 40);
+        // Plan the handover while everyone is up, then lose shard 2: its
+        // outbound units are skipped, stay directory-owned by it, and
+        // read as honest unavailability until it returns.
+        cs.begin_handover(&[0, 1]).unwrap();
+        cs.fail_shard(2);
+        while cs.transfer_next().unwrap().is_some() {}
+        assert!(
+            cs.stats().transfer_skips > 0,
+            "downed source must be skipped"
+        );
+        cs.commit_handover().unwrap();
+        assert_eq!(cs.epoch(), 2);
+
+        let mut down = 0;
+        for i in 0..40 {
+            match cs.retrieve(&key(i), SelectionPolicy::FirstK, 2) {
+                Ok(read) => {
+                    let len = if i % 6 == 5 { 9_000 } else { 600 };
+                    assert_eq!(read.bytes, payload(i, 0, len));
+                }
+                Err(ClusterError::ShardDown(2)) => down += 1,
+                Err(e) => panic!("{}: unexpected {e}", key(i)),
+            }
+        }
+        assert!(down > 0, "shard 2 owned something");
+
+        cs.recover_shard(2);
+        assert_bit_exact(&mut cs, 40, &HashMap::new());
+    }
+
+    #[test]
+    fn handover_telemetry_lands_in_the_registry() {
+        let registry = Registry::new();
+        let mut cs = cluster(&[0, 1, 2]);
+        cs.attach_registry(&registry);
+        seed(&mut cs, 24);
+        cs.begin_handover(&[0, 1, 2, 3]).unwrap();
+        while cs.transfer_next().unwrap().is_some() {}
+        cs.commit_handover().unwrap();
+        assert_eq!(registry.gauge_value("cluster.epoch"), 2);
+        assert_eq!(registry.gauge_value("cluster.shards"), 4);
+        assert!(registry.gauge_value("cluster.groups_moved") > 0);
+        let spans = registry.spans();
+        assert!(spans.iter().any(|s| s.name == "cluster.handover.begin"));
+        assert!(spans.iter().any(|s| s.name == "cluster.handover.transfer"));
+        assert!(spans.iter().any(|s| s.name == "cluster.handover.commit"));
+    }
+}

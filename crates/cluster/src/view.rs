@@ -1,0 +1,93 @@
+//! Epoch-numbered membership views.
+//!
+//! A [`MembershipView`] is an immutable snapshot of the cluster: which
+//! shards are in, stamped with a monotonically increasing **epoch**. Views
+//! follow the joint-consensus shape of the membership design in the
+//! related-work notes: between two committed views the cluster runs in a
+//! transition where both the old and the proposed member set matter (old
+//! owners keep serving, new owners warm up), and the epoch only advances
+//! when the elected leader commits the cutover. Requests are stamped with
+//! the epoch their client believes in; a mismatch is detected at the
+//! routing layer, not discovered as silent misplacement.
+
+use crate::ring::{HashRing, ShardId};
+
+/// One committed membership view: the epoch, the member set, and the
+/// consistent-hash ring derived from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipView {
+    epoch: u64,
+    ring: HashRing,
+}
+
+impl MembershipView {
+    /// The genesis view: epoch 1 over the initial member set.
+    pub fn genesis(members: &[ShardId], vnodes: usize) -> Self {
+        MembershipView {
+            epoch: 1,
+            ring: HashRing::new(members, vnodes),
+        }
+    }
+
+    /// This view's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The member shards, sorted.
+    pub fn members(&self) -> &[ShardId] {
+        self.ring.shards()
+    }
+
+    /// True if `shard` is a member of this view.
+    pub fn contains(&self, shard: ShardId) -> bool {
+        self.ring.shards().contains(&shard)
+    }
+
+    /// The ring this view routes by.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The shard owning `key` under this view (`None` on an empty view).
+    pub fn owner_of(&self, key: &str) -> Option<ShardId> {
+        self.ring.lookup(key)
+    }
+
+    /// The committed successor of this view: the next epoch over a new
+    /// member set (same vnode count).
+    pub fn successor(&self, members: &[ShardId]) -> MembershipView {
+        MembershipView {
+            epoch: self.epoch + 1,
+            ring: HashRing::new(members, self.ring.vnodes()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_advance_one_commit_at_a_time() {
+        let v1 = MembershipView::genesis(&[0, 1, 2], 32);
+        assert_eq!(v1.epoch(), 1);
+        assert_eq!(v1.members(), &[0, 1, 2]);
+        let v2 = v1.successor(&[0, 1, 2, 3]);
+        assert_eq!(v2.epoch(), 2);
+        assert!(v2.contains(3) && !v1.contains(3));
+        let v3 = v2.successor(&[1, 2, 3]);
+        assert_eq!(v3.epoch(), 3);
+        assert!(!v3.contains(0));
+    }
+
+    #[test]
+    fn views_with_the_same_members_route_identically() {
+        let a = MembershipView::genesis(&[0, 1, 2], 32);
+        let b = a.successor(&[0, 1, 2]);
+        for i in 0..100 {
+            let key = format!("k{i}");
+            assert_eq!(a.owner_of(&key), b.owner_of(&key));
+        }
+    }
+}

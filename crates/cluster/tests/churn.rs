@@ -1,0 +1,80 @@
+//! The acceptance run for the sharded cluster: the scripted churn
+//! scenario (join → rebalance → leader kill → re-election → crash during
+//! handover) must keep every acked object bit-exact or honestly
+//! unavailable at every epoch, move data only in sealed-group units at
+//! one symbol per node each, and replay bit-identically from its seed.
+
+use rain_cluster::scenario::{run_churn_scenario, run_churn_scenario_observed, ChurnSpec};
+use rain_obs::Registry;
+
+#[test]
+fn churn_never_serves_wrong_bytes_and_never_loses_an_acked_object() {
+    let report = run_churn_scenario(&ChurnSpec::default_churn());
+    assert_eq!(report.wrong_bytes, 0, "wrong bytes are disqualifying");
+    assert_eq!(report.missing, 0, "acked objects must never vanish");
+    assert_eq!(
+        report.bit_exact + report.unavailable,
+        report.retrieves,
+        "every sweep read must be bit-exact or an honest unavailability"
+    );
+    assert!(
+        report.unavailable > 0,
+        "the dead shard's units must go dark honestly"
+    );
+    assert!(report.writes_ok > 0 && report.retrieves > 0);
+}
+
+#[test]
+fn churn_walks_the_whole_script() {
+    let report = run_churn_scenario(&ChurnSpec::default_churn());
+    assert_eq!(
+        report.final_epoch, 3,
+        "genesis, join commit, post-kill commit"
+    );
+    assert_eq!(
+        report.handover_aborts, 1,
+        "the mid-handover crash must abort"
+    );
+    assert!(report.leader_changes >= 2, "election plus re-election");
+    assert!(
+        report.stale_writes_rejected >= 1,
+        "stale writes must bounce"
+    );
+    assert!(report.forwarded_reads >= 1, "stale reads must be forwarded");
+    assert!(report.dual_writes >= 1, "handover writes must dual-log");
+}
+
+#[test]
+fn churn_rebalances_in_sealed_group_units_at_one_symbol_per_node() {
+    let report = run_churn_scenario(&ChurnSpec::default_churn());
+    assert!(
+        report.groups_moved >= 1,
+        "groups are the unit of rebalancing"
+    );
+    let units = report.groups_moved + report.wholes_moved;
+    // The (6, 4) B-Code shards run six storage nodes: every moved unit —
+    // no matter how many objects it packs — costs exactly one symbol per
+    // node, so the per-unit cost is the node count, not the object count.
+    assert_eq!(report.symbols_transferred, units * 6);
+    assert!((report.symbols_per_group - 6.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn churn_replays_bit_identically_and_fills_the_registry() {
+    let spec = ChurnSpec::default_churn();
+    let reg_a = Registry::new();
+    let reg_b = Registry::new();
+    let a = run_churn_scenario_observed(&spec, &reg_a);
+    let b = run_churn_scenario_observed(&spec, &reg_b);
+    assert_eq!(a, b, "same seed, same history");
+    assert_eq!(reg_a.snapshot(), reg_b.snapshot(), "same telemetry too");
+
+    assert_eq!(reg_a.gauge_value("cluster.epoch"), 3);
+    assert!(reg_a.gauge_value("cluster.groups_moved") >= 1);
+    assert!(reg_a.gauge_value("membership.tokens_received") > 0);
+    assert!(reg_a.gauge_value("election.leader_changes") >= 2);
+    let spans = reg_a.spans();
+    assert!(spans.iter().any(|s| s.name == "cluster.handover.begin"));
+    assert!(spans.iter().any(|s| s.name == "cluster.handover.commit"));
+    assert!(spans.iter().any(|s| s.name == "cluster.handover.abort"));
+}

@@ -1,0 +1,125 @@
+//! Property tests for the consistent-hash ring: the contracts the cluster
+//! layer stakes correctness on. Lookups must be total and stable, adding
+//! or removing one shard must move only the minimal slice of the keyspace
+//! (and only to/from the changed shard), and ownership must stay within a
+//! bounded skew of fair across every cluster size the roadmap cares about.
+
+use proptest::prelude::*;
+use rain_cluster::{HashRing, ShardId};
+
+const VNODES: usize = 128;
+
+fn keys(salt: u64, count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("key-{salt}-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every key maps to exactly one member shard, and asking twice gives
+    /// the same answer: routing is a pure function of the member set.
+    #[test]
+    fn prop_lookup_is_total_and_stable(
+        members in prop::collection::vec(0usize..64, 1..12),
+        salt in any::<u64>(),
+    ) {
+        let ring = HashRing::new(&members, VNODES);
+        let shards: Vec<ShardId> = ring.shards().to_vec();
+        let twin = HashRing::new(&shards, VNODES);
+        for key in keys(salt, 300) {
+            let owner = ring.lookup(&key).expect("non-empty ring");
+            prop_assert!(shards.contains(&owner), "{key} routed off-ring");
+            prop_assert_eq!(ring.lookup(&key), Some(owner));
+            prop_assert_eq!(twin.lookup(&key), Some(owner));
+        }
+    }
+
+    /// Adding one shard steals at most about `keys / shards` of the
+    /// keyspace, and every stolen key lands on the newcomer.
+    #[test]
+    fn prop_adding_a_shard_moves_minimally(
+        members in prop::collection::vec(0usize..64, 1..12),
+        newcomer in 64usize..96,
+        salt in any::<u64>(),
+    ) {
+        let old = HashRing::new(&members, VNODES);
+        let new = old.with_shard(newcomer);
+        let sample = keys(salt, 600);
+        let mut moved = 0usize;
+        for key in &sample {
+            let before = old.lookup(key).unwrap();
+            let after = new.lookup(key).unwrap();
+            if before != after {
+                prop_assert_eq!(after, newcomer);
+                moved += 1;
+            }
+        }
+        let fair = sample.len().div_ceil(new.shards().len());
+        prop_assert!(
+            moved <= 2 * fair + 16,
+            "moved {moved} of {} keys, fair share {fair}",
+            sample.len()
+        );
+    }
+
+    /// Removing one shard redistributes only that shard's keys; everything
+    /// else stays put, and the victim's share was itself bounded.
+    #[test]
+    fn prop_removing_a_shard_moves_minimally(
+        members in prop::collection::vec(0usize..64, 2..12),
+        pick in any::<usize>(),
+        salt in any::<u64>(),
+    ) {
+        let old = HashRing::new(&members, VNODES);
+        prop_assume!(old.shards().len() >= 2);
+        let victim = old.shards()[pick % old.shards().len()];
+        let new = old.without_shard(victim);
+        let sample = keys(salt, 600);
+        let mut moved = 0usize;
+        for key in &sample {
+            let before = old.lookup(key).unwrap();
+            let after = new.lookup(key).unwrap();
+            if before == victim {
+                prop_assert_ne!(after, victim);
+                moved += 1;
+            } else {
+                prop_assert_eq!(before, after);
+            }
+        }
+        let fair = sample.len().div_ceil(old.shards().len());
+        prop_assert!(
+            moved <= 2 * fair + 16,
+            "victim owned {moved} of {} keys, fair share {fair}",
+            sample.len()
+        );
+    }
+}
+
+/// Ownership stays within a bounded skew of fair for every cluster size
+/// from 1 to 64 shards: no shard owns more than four fair shares (plus a
+/// small-sample allowance), and with few shards nobody is starved.
+#[test]
+fn balance_is_bounded_for_every_cluster_size_up_to_64() {
+    let sample = keys(7, 2048);
+    for n in 1..=64usize {
+        let shards: Vec<ShardId> = (0..n).collect();
+        let ring = HashRing::new(&shards, VNODES);
+        let mut load = vec![0usize; n];
+        for key in &sample {
+            load[ring.lookup(key).unwrap()] += 1;
+        }
+        let fair = sample.len().div_ceil(n);
+        let max = *load.iter().max().unwrap();
+        assert!(
+            max <= 4 * fair + 8,
+            "{n} shards: heaviest owns {max}, fair share {fair}"
+        );
+        if n <= 8 {
+            let min = *load.iter().min().unwrap();
+            assert!(
+                min * 8 >= fair,
+                "{n} shards: lightest owns {min}, fair share {fair}"
+            );
+        }
+    }
+}

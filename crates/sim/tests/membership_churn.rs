@@ -1,0 +1,71 @@
+//! Membership-churn suite: the sharded cluster's scripted scenarios run
+//! entirely on this crate's simulated time — token passes, election
+//! announcements, transport latencies, and telemetry clocks all derive
+//! from one seed. This suite replays every builtin churn scenario and
+//! holds the cluster to the storage layer's standard: an acked object is
+//! returned bit-exact or reported honestly unavailable, never silently
+//! lost, never wrong — while shards join, the leader dies, and a
+//! handover is crashed mid-flight.
+
+use rain_cluster::{builtin_churn_specs, run_churn_scenario, ChurnSpec};
+use rain_storage::SizeMix;
+
+#[test]
+fn every_builtin_churn_scenario_upholds_the_durability_contract() {
+    for spec in builtin_churn_specs() {
+        let r = run_churn_scenario(&spec);
+        assert_eq!(r.wrong_bytes, 0, "{}: served wrong bytes", spec.name);
+        assert_eq!(r.missing, 0, "{}: silently lost an acked object", spec.name);
+        assert_eq!(
+            r.bit_exact + r.unavailable,
+            r.retrieves,
+            "{}: a sweep read was neither exact nor honestly unavailable",
+            spec.name
+        );
+        assert!(
+            r.unavailable < r.retrieves / 2,
+            "{}: most reads dark — the cluster is not actually serving",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn churn_scenarios_replay_bit_identically_from_their_seed() {
+    for spec in builtin_churn_specs() {
+        let a = run_churn_scenario(&spec);
+        let b = run_churn_scenario(&spec);
+        assert_eq!(a, b, "{}: same seed must give the same history", spec.name);
+    }
+}
+
+#[test]
+fn rebalancing_cost_scales_with_groups_not_objects() {
+    // Two runs over the same script with very different object counts:
+    // the per-unit transfer cost must stay exactly one symbol per storage
+    // node regardless of how many objects ride in each group.
+    for objects in [24usize, 96] {
+        let spec = ChurnSpec {
+            name: "cost_scaling",
+            seed: 0xBEEF,
+            objects,
+            vnodes: 48,
+            zipf_exponent: 1.2,
+            mix: SizeMix {
+                small_len: 500,
+                large_len: 8_000,
+                large_fraction: 0.15,
+            },
+        };
+        let r = run_churn_scenario(&spec);
+        assert_eq!(r.wrong_bytes, 0);
+        assert_eq!(r.missing, 0);
+        let units = r.groups_moved + r.wholes_moved;
+        assert!(units > 0, "{objects} objects: nothing moved");
+        assert_eq!(
+            r.symbols_transferred,
+            units * 6,
+            "{objects} objects: a moved unit must cost one symbol per node"
+        );
+    }
+}

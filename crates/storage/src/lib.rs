@@ -32,11 +32,14 @@ pub mod transport;
 pub mod wal;
 
 pub use fs::{FileMeta, RainFs};
-pub use group::{CompactReport, Durability, FlushReport, GroupConfig, GroupStats, ObjSpan};
+pub use group::{
+    CompactReport, Durability, FlushReport, GroupConfig, GroupId, GroupStats, ObjSpan,
+};
 pub use scenario::{
     builtin_scenarios, run_scenario, run_scenario_observed, Action, Scenario, ScenarioReport,
-    TransportSpec,
+    SizeMix, TransportSpec, ZipfSampler,
 };
+pub use store::shard::{self, GroupExport};
 pub use store::{
     DistributedStore, OutcomeTally, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError,
     SurvivingNodes,

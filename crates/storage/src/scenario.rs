@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use rain_codes::{build_code, CodeSpec};
 use rain_obs::Registry;
-use rain_sim::{FaultPlan, NodeId, SimDuration};
+use rain_sim::{DetRng, FaultPlan, NodeId, SimDuration};
 
 use crate::group::GroupConfig;
 use crate::store::{DistributedStore, SelectionPolicy, StorageError};
@@ -169,6 +169,78 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     match sorted.len() {
         0 => 0,
         len => sorted[((len - 1) as f64 * p).round() as usize],
+    }
+}
+
+/// Zipf-distributed key popularity: rank `i` (0-based) is drawn with
+/// probability proportional to `1 / (i + 1)^exponent`, the standard model
+/// for skewed access patterns (a handful of hot keys take most of the
+/// traffic, the tail is cold). Sampling inverts a precomputed CDF with a
+/// binary search, and every draw comes from the caller's [`DetRng`], so a
+/// workload built on it replays bit-identically from its seed.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// `cdf[i]` = probability of drawing a rank `<= i`, normalised so the
+    /// last entry is 1.0.
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `keys` ranks with the given exponent (`1.0` is
+    /// classic Zipf; `0.0` degenerates to uniform).
+    ///
+    /// # Panics
+    /// If `keys` is zero.
+    pub fn new(keys: usize, exponent: f64) -> Self {
+        assert!(keys > 0, "a Zipf sampler needs at least one key");
+        let mut cdf = Vec::with_capacity(keys);
+        let mut total = 0.0f64;
+        for i in 0..keys {
+            total += ((i + 1) as f64).powf(exponent).recip();
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn keys(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..keys()`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.unit();
+        let i = self.cdf.partition_point(|&c| c < u);
+        i.min(self.cdf.len() - 1)
+    }
+}
+
+/// A mixed small/large object-size distribution: each draw is `small_len`
+/// or `large_len`, with `large_fraction` of draws (in expectation) large.
+/// Paired with the coding-group threshold this decides, per object, whether
+/// it rides the grouped path or is placed whole — the bimodal shape real
+/// object stores see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeMix {
+    /// Byte length of a small draw (below the grouping threshold).
+    pub small_len: usize,
+    /// Byte length of a large draw (a whole placement).
+    pub large_len: usize,
+    /// Probability a draw is large, in `[0, 1]`.
+    pub large_fraction: f64,
+}
+
+impl SizeMix {
+    /// Draw one object length from the caller's [`DetRng`].
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        if rng.chance(self.large_fraction) {
+            self.large_len
+        } else {
+            self.small_len
+        }
     }
 }
 
@@ -544,6 +616,49 @@ mod tests {
         let tail = &snapshot_json[at..];
         let end = tail.find([',', '}'])?;
         tail[..end].trim().parse().ok()
+    }
+
+    #[test]
+    fn zipf_sampling_is_skewed_total_and_deterministic() {
+        let zipf = ZipfSampler::new(16, 1.0);
+        let draw = |seed| {
+            let mut rng = DetRng::new(seed);
+            let mut hist = vec![0u64; zipf.keys()];
+            for _ in 0..4000 {
+                let rank = zipf.sample(&mut rng);
+                assert!(rank < zipf.keys(), "lookup must be total");
+                hist[rank] += 1;
+            }
+            hist
+        };
+        let a = draw(42);
+        assert_eq!(a, draw(42), "same seed, same draws");
+        assert_ne!(a, draw(43), "different seed, different draws");
+        assert!(
+            a[0] > 2 * a[8],
+            "rank 0 must dominate mid-tail ranks: {a:?}"
+        );
+        assert!(a.iter().sum::<u64>() == 4000);
+    }
+
+    #[test]
+    fn size_mix_draws_both_modes_at_roughly_the_asked_fraction() {
+        let mix = SizeMix {
+            small_len: 256,
+            large_len: 4096,
+            large_fraction: 0.25,
+        };
+        let mut rng = DetRng::new(7);
+        let mut large = 0u64;
+        for _ in 0..4000 {
+            match mix.sample(&mut rng) {
+                4096 => large += 1,
+                256 => {}
+                other => panic!("impossible draw {other}"),
+            }
+        }
+        let frac = large as f64 / 4000.0;
+        assert!((0.2..0.3).contains(&frac), "got large fraction {frac}");
     }
 
     #[test]

@@ -37,6 +37,8 @@ use crate::transport::{
 };
 use crate::wal::{RecordView, WalError, WalRecord, WriteAheadLog};
 
+pub mod shard;
+
 /// Why a store or retrieve failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
@@ -63,6 +65,9 @@ pub enum StorageError {
         /// What went wrong.
         reason: String,
     },
+    /// The caller named a group that does not exist or is not sealed (only
+    /// sealed groups are placement units a shard can export or evict).
+    UnknownGroup(GroupId),
     /// A write could not install enough symbols within the fault policy's
     /// budget to meet its ack quorum (`n - write_slack`, never below `k`).
     QuorumNotReached {
@@ -84,6 +89,7 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownNode(n) => write!(f, "unknown node {n}"),
             StorageError::Wal(e) => write!(f, "write-ahead log error: {e}"),
             StorageError::Recovery { reason } => write!(f, "recovery failed: {reason}"),
+            StorageError::UnknownGroup(g) => write!(f, "unknown or unsealed group {g}"),
             StorageError::QuorumNotReached { installed, needed } => {
                 write!(f, "only {installed} symbols installed, quorum is {needed}")
             }
@@ -2212,6 +2218,24 @@ impl DistributedStore {
                     "compaction only rewrites sealed groups"
                 );
                 report.compactions_noted += 1;
+                Ok(())
+            }
+            WalRecord::GroupImport {
+                group,
+                members,
+                bytes,
+            } => {
+                // Logged after its installs, like `Seal`: the record's
+                // existence proves the import was acked, so replay always
+                // redoes it (the bytes travel in the record — re-encoding
+                // is deterministic and needs no node to be reachable).
+                self.apply_group_import(*group, members, bytes)
+            }
+            WalRecord::GroupEvict { group } => {
+                // Redo semantics: a logged eviction completes even if the
+                // crash preceded its apply — it is only ever logged once
+                // the receiving shard's copy of the group is durable.
+                self.apply_group_evict(*group);
                 Ok(())
             }
         }

@@ -60,7 +60,7 @@
 //! at any record boundary or mid-frame); a file-backed implementation slots
 //! in behind the same small trait.
 
-use crate::group::GroupId;
+use crate::group::{GroupId, ObjSpan};
 
 /// Why a log operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -232,6 +232,29 @@ pub enum WalRecord {
         /// The group being rewritten.
         group: GroupId,
     },
+    /// A sealed coding group was transferred **in** from another coordinator
+    /// shard (phase 1 of a cluster handover). The record carries the
+    /// repacked block and the member table so replay can rebuild the group
+    /// without reaching the exporting shard. Logged **after** the symbols
+    /// are installed, like [`WalRecord::Seal`]: a quorum-failed import must
+    /// never be resurrected by replay.
+    GroupImport {
+        /// The importing store's id for the group.
+        group: GroupId,
+        /// Live members and their spans within `bytes`.
+        members: Vec<(String, ObjSpan)>,
+        /// The repacked (live-members-only, unpadded) block.
+        bytes: Vec<u8>,
+    },
+    /// This coordinator ceded ownership of sealed group `group` to another
+    /// shard (cutover, phase 2 of a handover). Logged **before** the local
+    /// copy is dropped — redo semantics finish an interrupted eviction,
+    /// which is safe because an eviction is only logged once the receiving
+    /// shard's import is durable.
+    GroupEvict {
+        /// The group being dropped.
+        group: GroupId,
+    },
 }
 
 /// A borrowed view of one mutation, for the logging hot path: the store
@@ -270,6 +293,20 @@ pub(crate) enum RecordView<'a> {
         /// The group being rewritten.
         group: GroupId,
     },
+    /// See [`WalRecord::GroupImport`].
+    GroupImport {
+        /// The importing store's id for the group.
+        group: GroupId,
+        /// Live members and their spans within `bytes`.
+        members: &'a [(String, ObjSpan)],
+        /// The repacked block.
+        bytes: &'a [u8],
+    },
+    /// See [`WalRecord::GroupEvict`].
+    GroupEvict {
+        /// The group being dropped.
+        group: GroupId,
+    },
 }
 
 const TAG_STORE_WHOLE: u8 = 1;
@@ -277,6 +314,8 @@ const TAG_STORE_GROUPED: u8 = 2;
 const TAG_DELETE: u8 = 3;
 const TAG_SEAL: u8 = 4;
 const TAG_COMPACT: u8 = 5;
+const TAG_GROUP_IMPORT: u8 = 6;
+const TAG_GROUP_EVICT: u8 = 7;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -348,6 +387,16 @@ impl WalRecord {
             WalRecord::Delete { object } => RecordView::Delete { object },
             WalRecord::Seal { group } => RecordView::Seal { group: *group },
             WalRecord::Compact { group } => RecordView::Compact { group: *group },
+            WalRecord::GroupImport {
+                group,
+                members,
+                bytes,
+            } => RecordView::GroupImport {
+                group: *group,
+                members,
+                bytes,
+            },
+            WalRecord::GroupEvict { group } => RecordView::GroupEvict { group: *group },
         }
     }
 }
@@ -382,6 +431,25 @@ impl RecordView<'_> {
                 out.push(TAG_COMPACT);
                 out.extend_from_slice(&group.to_le_bytes());
             }
+            RecordView::GroupImport {
+                group,
+                members,
+                bytes,
+            } => {
+                out.push(TAG_GROUP_IMPORT);
+                out.extend_from_slice(&group.to_le_bytes());
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                for (name, span) in members {
+                    put_str(out, name);
+                    out.extend_from_slice(&(span.offset as u64).to_le_bytes());
+                    out.extend_from_slice(&(span.len as u64).to_le_bytes());
+                }
+                put_bytes(out, bytes);
+            }
+            RecordView::GroupEvict { group } => {
+                out.push(TAG_GROUP_EVICT);
+                out.extend_from_slice(&group.to_le_bytes());
+            }
         }
     }
 }
@@ -403,6 +471,23 @@ impl WalRecord {
             TAG_DELETE => WalRecord::Delete { object: c.str()? },
             TAG_SEAL => WalRecord::Seal { group: c.u64()? },
             TAG_COMPACT => WalRecord::Compact { group: c.u64()? },
+            TAG_GROUP_IMPORT => {
+                let group = c.u64()?;
+                let count = c.u32()? as usize;
+                let mut members = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let name = c.str()?;
+                    let offset = c.u64()? as usize;
+                    let len = c.u64()? as usize;
+                    members.push((name, ObjSpan { offset, len }));
+                }
+                WalRecord::GroupImport {
+                    group,
+                    members,
+                    bytes: c.bytes()?,
+                }
+            }
+            TAG_GROUP_EVICT => WalRecord::GroupEvict { group: c.u64()? },
             _ => return None,
         };
         c.finished().then_some(record)
