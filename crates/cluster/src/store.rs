@@ -137,8 +137,13 @@ pub struct ClusterStats {
     pub transfer_skips: u64,
     /// Writes rejected for carrying a stale epoch.
     pub stale_writes_rejected: u64,
-    /// Reads served despite a stale epoch stamp (directory forwarding).
+    /// Reads served despite a stale epoch stamp (directory forwarding) —
+    /// the "clients lagging behind a view change" operator signal.
     pub forwarded_reads: u64,
+    /// Reads stamped with an epoch *ahead* of the committed one — a buggy
+    /// or future-view client, counted apart from [`Self::forwarded_reads`]
+    /// so lag stays a clean signal.
+    pub future_stamped_reads: u64,
     /// Writes applied to both the old and new owner during a handover.
     pub dual_writes: u64,
 }
@@ -339,7 +344,11 @@ impl ClusterStore {
     /// under the committed view; during a handover it is additionally
     /// applied to the key's owner under the target view (dual-logged in
     /// both shards' WALs), so the bytes survive whichever way the
-    /// transition resolves. Rejects stale epoch stamps.
+    /// transition resolves. If the target-view owner is down the write
+    /// still acks on the committed owner, and the commit-time dual
+    /// override pins the key there — an acked overwrite is never
+    /// superseded by a transferred unit's older snapshot. Rejects stale
+    /// epoch stamps.
     pub fn store(&mut self, key: &str, data: &[u8], epoch: u64) -> Result<(), ClusterError> {
         self.check_epoch_write(epoch)?;
         let primary = match self.directory.get(key) {
@@ -369,7 +378,15 @@ impl ClusterStore {
                         .store(key, data)?;
                     h.dual.insert(key.to_string(), t);
                     self.stats.dual_writes += 1;
-                } else if t == primary {
+                } else if t != primary {
+                    // The target-view owner is down, so the fresh bytes
+                    // exist only at the committed owner. Point the dual
+                    // override there: commit must collapse the key onto
+                    // this copy, not onto a transferred unit's
+                    // pre-overwrite snapshot (nor onto a dual copy an
+                    // earlier overwrite left at `t`).
+                    h.dual.insert(key.to_string(), primary);
+                } else {
                     // The key stays home under the target view, but an
                     // already-transferred unit may hold a now-stale copy of
                     // it elsewhere; the dual override at commit clears it.
@@ -387,15 +404,20 @@ impl ClusterStore {
     /// symbols), the read falls back to the key's secondary copy — the
     /// dual-written bytes or the transferred unit (**dual-serve**). A
     /// stale epoch stamp does not fail a read: the directory forwards it
-    /// (counted in [`ClusterStats::forwarded_reads`]).
+    /// (counted in [`ClusterStats::forwarded_reads`]; a stamp *ahead* of
+    /// the committed epoch is served too but counted in
+    /// [`ClusterStats::future_stamped_reads`] instead).
     pub fn retrieve(
         &mut self,
         key: &str,
         policy: SelectionPolicy,
         epoch: u64,
     ) -> Result<ClusterRead, ClusterError> {
-        if epoch != self.view.epoch() {
+        let current = self.view.epoch();
+        if epoch < current {
             self.stats.forwarded_reads += 1;
+        } else if epoch > current {
+            self.stats.future_stamped_reads += 1;
         }
         let Some(&primary) = self.directory.get(key) else {
             return Err(ClusterError::Storage(StorageError::UnknownObject {
@@ -423,38 +445,39 @@ impl ClusterStore {
         } else {
             ClusterError::ShardDown(primary)
         };
-        // Dual-serve: newest copy first (a dual write supersedes a
-        // transferred unit's snapshot), then the transferred unit.
-        let mut secondaries: Vec<ShardId> = Vec::new();
-        if let Some(h) = &self.handover {
-            if let Some(&t) = h.dual.get(key) {
-                secondaries.push(t);
-            }
-            if let Some(&d) = h.moved.get(key) {
-                secondaries.push(d);
-            }
-        }
-        for s in secondaries {
-            if s == primary || !self.shard_up(s) {
-                continue;
-            }
-            match self
-                .shards
-                .get_mut(&s)
-                .expect("secondary names a shard")
-                .retrieve(key, policy)
-            {
-                Ok((bytes, report)) => {
-                    return Ok(ClusterRead {
-                        bytes,
-                        shard: s,
-                        report,
-                        fallback: true,
-                    });
+        // Dual-serve: a dual-written copy holds the newest bytes and is the
+        // only safe fallback when one exists — a transferred unit's
+        // snapshot predates it by construction. If the dual copy cannot
+        // serve (its shard down, or the dual copy *is* the failed
+        // primary), the read fails honestly rather than surfacing the
+        // superseded snapshot.
+        let secondary = match &self.handover {
+            Some(h) => match h.dual.get(key) {
+                Some(&t) => (t != primary).then_some(t),
+                None => h.moved.get(key).copied().filter(|&d| d != primary),
+            },
+            None => None,
+        };
+        if let Some(s) = secondary {
+            if self.shard_up(s) {
+                match self
+                    .shards
+                    .get_mut(&s)
+                    .expect("secondary names a shard")
+                    .retrieve(key, policy)
+                {
+                    Ok((bytes, report)) => {
+                        return Ok(ClusterRead {
+                            bytes,
+                            shard: s,
+                            report,
+                            fallback: true,
+                        });
+                    }
+                    Err(StorageError::NotEnoughNodes { .. })
+                    | Err(StorageError::UnknownObject { .. }) => {}
+                    Err(e) => return Err(e.into()),
                 }
-                Err(StorageError::NotEnoughNodes { .. })
-                | Err(StorageError::UnknownObject { .. }) => {}
-                Err(e) => return Err(e.into()),
             }
         }
         Err(primary_err)
@@ -747,7 +770,12 @@ impl ClusterStore {
                     self.pkeys.remove(&(mv.from, *gid));
                 }
                 UnitKind::Whole { name } => {
-                    if self.shard_up(mv.from) {
+                    // Drop the source copy only when it is superseded. If
+                    // the dual override pins the key to the source (its
+                    // target-view owner was down at overwrite time), the
+                    // source holds the only fresh bytes — the transferred
+                    // snapshot is the copy that dies, below.
+                    if self.shard_up(mv.from) && h.dual.get(name) != Some(&mv.from) {
                         match self
                             .shards
                             .get_mut(&mv.from)
@@ -891,6 +919,8 @@ impl ClusterStore {
             .set(self.stats.stale_writes_rejected as i64);
         reg.gauge("cluster.forwarded_reads")
             .set(self.stats.forwarded_reads as i64);
+        reg.gauge("cluster.future_stamped_reads")
+            .set(self.stats.future_stamped_reads as i64);
         reg.gauge("cluster.dual_writes")
             .set(self.stats.dual_writes as i64);
     }
@@ -965,10 +995,17 @@ mod tests {
         ));
         assert_eq!(cs.stats().stale_writes_rejected, 1);
 
-        // Reads with a wrong stamp are forwarded, not refused.
+        // Reads with an old stamp are forwarded, not refused.
+        let read = cs.retrieve("obj-001", SelectionPolicy::FirstK, 0).unwrap();
+        assert_eq!(read.bytes, payload(1, 0, 600));
+        assert_eq!(cs.stats().forwarded_reads, 1);
+
+        // A stamp ahead of the committed epoch is served too, but counted
+        // apart — a buggy client, not one lagging behind a view change.
         let read = cs.retrieve("obj-001", SelectionPolicy::FirstK, 99).unwrap();
         assert_eq!(read.bytes, payload(1, 0, 600));
         assert_eq!(cs.stats().forwarded_reads, 1);
+        assert_eq!(cs.stats().future_stamped_reads, 1);
 
         cs.delete("obj-002", 1).unwrap();
         let gone = cs.retrieve("obj-002", SelectionPolicy::FirstK, 1);
@@ -1021,6 +1058,90 @@ mod tests {
         cs.commit_handover().unwrap();
         assert_bit_exact(&mut cs, 30, &versions);
         assert_single_homed(&cs);
+    }
+
+    #[test]
+    fn an_overwrite_whose_target_owner_is_down_survives_commit() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 48);
+        cs.begin_handover(&[0, 1, 2, 3]).unwrap();
+        while cs.transfer_next().unwrap().is_some() {}
+        // Lose the joiner once every transfer has landed, then overwrite
+        // keys whose target-view owner it is: the dual write cannot apply,
+        // so commit must pin each key to its committed owner's fresh copy
+        // rather than repoint to the transferred pre-overwrite snapshot.
+        cs.fail_shard(3);
+        let candidates: Vec<(usize, String)> = {
+            let h = cs.handover.as_ref().unwrap();
+            (0..48)
+                .filter_map(|i| {
+                    let k = key(i);
+                    h.moved.get(&k)?;
+                    (h.target.owner_of(&k) == Some(3)).then_some((i, k))
+                })
+                .collect()
+        };
+        assert!(
+            !candidates.is_empty(),
+            "some transferred key targets the joiner"
+        );
+        let mut versions = HashMap::new();
+        for (i, k) in &candidates {
+            let len = if i % 6 == 5 { 9_000 } else { 600 };
+            cs.store(k, &payload(*i, 1, len), cs.epoch()).unwrap();
+            versions.insert(*i, 1);
+        }
+        assert_eq!(cs.stats().dual_writes, 0, "the target owner was down");
+        cs.recover_shard(3);
+        cs.commit_handover().unwrap();
+        assert_bit_exact(&mut cs, 48, &versions);
+        assert_single_homed(&cs);
+    }
+
+    #[test]
+    fn a_superseded_unit_snapshot_is_never_served_when_the_dual_copy_is_down() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 72);
+        // A join+leave change so a departing shard's keys can land on an
+        // *existing* shard while their unit migrates to a different one.
+        cs.begin_handover(&[0, 1, 3]).unwrap();
+        while cs.transfer_next().unwrap().is_some() {}
+        // A key whose primary, target-view owner, and transferred-unit
+        // destination are three distinct shards: overwrite it (dual-applied
+        // to the target owner), then lose both shards holding fresh bytes.
+        let pick = {
+            let h = cs.handover.as_ref().unwrap();
+            (0..72).find_map(|i| {
+                let k = key(i);
+                let p = *cs.directory.get(&k)?;
+                let d = *h.moved.get(&k)?;
+                let t = h.target.owner_of(&k)?;
+                (t != p && t != d && d != p).then_some((i, k, p, t))
+            })
+        };
+        let (i, k, p, t) = pick.expect("some key has distinct primary/dual/unit shards");
+        let len = if i % 6 == 5 { 9_000 } else { 600 };
+        let fresh = payload(i, 1, len);
+        cs.store(&k, &fresh, cs.epoch()).unwrap();
+        cs.fail_shard(p);
+        cs.fail_shard(t);
+        // The transferred unit's shard is still up, but its snapshot
+        // predates the overwrite: the read must fail honestly.
+        let err = cs
+            .retrieve(&k, SelectionPolicy::FirstK, cs.epoch())
+            .unwrap_err();
+        assert!(
+            matches!(err, ClusterError::ShardDown(s) if s == p),
+            "stale unit snapshot must not be served: {err}"
+        );
+        // With the dual copy back, the fresh bytes serve again.
+        cs.recover_shard(t);
+        let read = cs
+            .retrieve(&k, SelectionPolicy::FirstK, cs.epoch())
+            .unwrap();
+        assert_eq!(read.bytes, fresh);
+        assert!(read.fallback, "primary is still down");
+        cs.recover_shard(p);
     }
 
     #[test]
