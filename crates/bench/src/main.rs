@@ -50,10 +50,10 @@ use rain_codes::{
     XCode,
 };
 use rain_obs::{render_spans, Recorder, Registry, VirtualClock};
-use rain_sim::{Fault, FaultPlan, NodeId, SimTime};
+use rain_sim::{Fault, FaultPlan, NodeId, SimDuration, SimTime};
 use rain_storage::{
     builtin_scenarios, run_scenario_observed, ChaosTransport, DistributedStore, FaultPolicy,
-    GroupConfig, SelectionPolicy,
+    FaultSpec, FaultyFile, FileLog, FsyncPolicy, GroupConfig, SelectionPolicy, WriteAheadLog,
 };
 
 /// Kernel speedups below this factor fail the run (release builds only).
@@ -168,6 +168,7 @@ fn main() {
     let striped = bench_striped(&config);
     let repair = bench_repair(&config);
     let grouped = bench_grouped(&config, smoke);
+    let recovery = bench_recovery(smoke);
 
     let doc = Json::obj(vec![
         ("schema", Json::Str("rain-bench-codes/v2".into())),
@@ -209,6 +210,7 @@ fn main() {
             "grouped",
             Json::Arr(grouped.iter().map(GroupedRow::to_json).collect()),
         ),
+        ("recovery", recovery),
     ]);
     let path = "BENCH_codes.json";
     std::fs::write(path, doc.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -1007,6 +1009,172 @@ fn bench_grouped(config: &BenchConfig, smoke: bool) -> Vec<GroupedRow> {
         }
     }
     rows
+}
+
+/// Grouping configuration for the recovery rows: 48-byte objects are
+/// grouped, groups seal at 4 KiB, the log lives in a real file.
+fn recovery_bench_config(checkpoint_every: u64, fsync: FsyncPolicy) -> GroupConfig {
+    GroupConfig {
+        threshold: 256,
+        capacity: 4096,
+        compact_watermark: 0.5,
+        ..GroupConfig::disabled()
+    }
+    .logged()
+    .with_fsync(fsync)
+    .with_checkpoint_every(checkpoint_every)
+}
+
+/// Recovery economics of the file-backed WAL. Two tables:
+///
+/// * **replay** — recovery time and replayed record count as the workload
+///   history grows, with and without checkpoint truncation. The record
+///   counts are deterministic and asserted here: uncheckpointed replay is
+///   O(history), checkpointed replay is O(live state) — it must NOT grow
+///   with the op count.
+/// * **fsync_policy** — store wall-time under each [`FsyncPolicy`] on a
+///   real file, plus the deterministic fsync/write-batch counts from an
+///   identical run against the simulated file.
+///
+/// Wall-times are informational (the baseline diff gates only the `codes`
+/// rows); the record/sync counts are the load-bearing numbers.
+fn bench_recovery(smoke: bool) -> Json {
+    let code: Arc<dyn ErasureCode> = Arc::new(BCode::table_1a());
+    let dir = std::env::temp_dir().join(format!("rain-bench-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create recovery bench dir");
+    let payload: Vec<u8> = (0..48).map(|i| (i * 19 + 3) as u8).collect();
+
+    let lengths: &[usize] = if smoke {
+        &[100, 400]
+    } else {
+        &[100, 400, 1600]
+    };
+    println!("\nrecovery       ckpt every     ops  replayed   log KiB  recover ms");
+    let mut replay_rows = Vec::new();
+    for &ops in lengths {
+        for checkpoint_every in [0u64, 16] {
+            let path = dir.join(format!("replay-{ops}-{checkpoint_every}.wal"));
+            let _ = std::fs::remove_file(&path);
+            let config = recovery_bench_config(checkpoint_every, FsyncPolicy::EveryN(8));
+            let mut store = DistributedStore::with_wal_file(code.clone(), config, &path)
+                .expect("open bench wal");
+            for i in 0..ops {
+                store.store(&format!("obj-{}", i % 8), &payload).unwrap();
+            }
+            store.sync_wal().unwrap();
+            let wal_bytes = store.group_stats().wal_bytes;
+            let (nodes, _discarded) = store.crash();
+            let started = std::time::Instant::now();
+            let wal = WriteAheadLog::new(Box::new(
+                FileLog::open(&path, config.fsync).expect("reopen bench wal"),
+            ));
+            let (recovered, report) =
+                DistributedStore::recover(code.clone(), config, nodes, wal).expect("recovery");
+            let recover_ms = started.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(recovered.num_objects(), 8, "the working set survives");
+            if checkpoint_every == 0 {
+                assert!(
+                    report.records_replayed >= ops,
+                    "uncheckpointed replay is O(history): {} records for {ops} ops",
+                    report.records_replayed
+                );
+            } else {
+                assert!(
+                    report.records_replayed as u64 <= 2 * checkpoint_every + 8,
+                    "checkpointed replay must stay O(live state): {} records for {ops} ops",
+                    report.records_replayed
+                );
+            }
+            println!(
+                "{:<13}  {:>10}  {:>6}  {:>8}  {:>8.1}  {:>10.2}",
+                "file-wal",
+                checkpoint_every,
+                ops,
+                report.records_replayed,
+                wal_bytes as f64 / 1024.0,
+                recover_ms
+            );
+            replay_rows.push(Json::obj(vec![
+                ("checkpoint_every", Json::Int(checkpoint_every as i64)),
+                ("ops", Json::Int(ops as i64)),
+                (
+                    "records_replayed",
+                    Json::Int(report.records_replayed as i64),
+                ),
+                ("wal_bytes", Json::Int(wal_bytes as i64)),
+                (
+                    "checkpoint_restored",
+                    Json::Bool(report.checkpoint_restored),
+                ),
+                ("recover_ms", Json::Num(recover_ms)),
+            ]));
+        }
+    }
+
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("always", FsyncPolicy::Always),
+        ("every-8-records", FsyncPolicy::EveryN(8)),
+        (
+            "every-2ms",
+            FsyncPolicy::EveryT(SimDuration::from_millis(2)),
+        ),
+    ];
+    let ops = if smoke { 128 } else { 512 };
+    println!(
+        "\nfsync policy        ops  elapsed ms     ops/s   fsyncs  writes  (counts simulated)"
+    );
+    let mut policy_rows = Vec::new();
+    for (label, policy) in policies {
+        // Wall-clock against a real file: what the durability schedule
+        // actually costs on this machine's filesystem.
+        let path = dir.join(format!("policy-{label}.wal"));
+        let _ = std::fs::remove_file(&path);
+        let config = recovery_bench_config(0, policy);
+        let mut store =
+            DistributedStore::with_wal_file(code.clone(), config, &path).expect("open bench wal");
+        let started = std::time::Instant::now();
+        for i in 0..ops {
+            store.store(&format!("obj-{}", i % 8), &payload).unwrap();
+            store.advance_time(SimDuration::from_millis(1));
+        }
+        store.sync_wal().unwrap();
+        let elapsed = started.elapsed().as_secs_f64();
+
+        // Deterministic schedule counts from an identical run against the
+        // simulated file: how many fsyncs and write batches the policy
+        // issued for the same op stream.
+        let (file, handle) = FaultyFile::new(FaultSpec::default());
+        let log = FileLog::with_raw(Box::new(file), policy).expect("fresh sim file");
+        let mut sim = DistributedStore::with_wal(code.clone(), config, Box::new(log));
+        for i in 0..ops {
+            sim.store(&format!("obj-{}", i % 8), &payload).unwrap();
+            sim.advance_time(SimDuration::from_millis(1));
+        }
+        sim.sync_wal().unwrap();
+
+        println!(
+            "{:<16}  {:>5}  {:>10.1}  {:>8.0}  {:>7}  {:>6}",
+            label,
+            ops,
+            elapsed * 1e3,
+            ops as f64 / elapsed,
+            handle.syncs(),
+            handle.writes()
+        );
+        policy_rows.push(Json::obj(vec![
+            ("policy", Json::Str(label.into())),
+            ("ops", Json::Int(ops as i64)),
+            ("elapsed_ms", Json::Num(elapsed * 1e3)),
+            ("ops_per_s", Json::Num(ops as f64 / elapsed)),
+            ("fsyncs", Json::Int(handle.syncs() as i64)),
+            ("write_batches", Json::Int(handle.writes() as i64)),
+        ]));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Json::obj(vec![
+        ("replay", Json::Arr(replay_rows)),
+        ("fsync_policy", Json::Arr(policy_rows)),
+    ])
 }
 
 /// Enforce the coding-group wins (release builds only, same rationale as

@@ -49,9 +49,11 @@ use std::sync::Arc;
 use rain_codes::{build_code, CodeSpec};
 use rain_obs::{span, Recorder, Registry, VirtualClock};
 use rain_sim::{NodeId, SimDuration};
-use rain_storage::wal::MemLog;
+use rain_storage::wal::file::FileLog;
+use rain_storage::wal::{MemLog, WriteAheadLog};
 use rain_storage::{
-    DistributedStore, GroupConfig, GroupId, RetrieveReport, SelectionPolicy, StorageError,
+    DistributedStore, GroupConfig, GroupId, RecoveryReport, RetrieveReport, SelectionPolicy,
+    StorageError,
 };
 
 use crate::ring::ShardId;
@@ -199,6 +201,11 @@ pub struct ClusterStore {
     recorder: Recorder,
     registry: Option<Registry>,
     clock: Option<Arc<VirtualClock>>,
+    /// When set, each shard's WAL is the file `shard-<id>.wal` in this
+    /// directory (synced per [`GroupConfig::fsync`]) instead of an
+    /// in-memory log, and [`ClusterStore::restart_shard_from_disk`] can
+    /// rebuild a shard coordinator purely from its on-disk log.
+    wal_dir: Option<std::path::PathBuf>,
 }
 
 impl ClusterStore {
@@ -210,6 +217,30 @@ impl ClusterStore {
         config: GroupConfig,
         members: &[ShardId],
         vnodes: usize,
+    ) -> Result<Self, ClusterError> {
+        Self::build(spec, config, members, vnodes, None)
+    }
+
+    /// Like [`ClusterStore::new`], but every shard's WAL is a file in
+    /// `dir` (`shard-<id>.wal`, created as needed), synced according to
+    /// `config.fsync`. A shard can then be rebuilt from nothing but its
+    /// on-disk log via [`ClusterStore::restart_shard_from_disk`].
+    pub fn with_wal_dir(
+        spec: CodeSpec,
+        config: GroupConfig,
+        members: &[ShardId],
+        vnodes: usize,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> Result<Self, ClusterError> {
+        Self::build(spec, config, members, vnodes, Some(dir.into()))
+    }
+
+    fn build(
+        spec: CodeSpec,
+        config: GroupConfig,
+        members: &[ShardId],
+        vnodes: usize,
+        wal_dir: Option<std::path::PathBuf>,
     ) -> Result<Self, ClusterError> {
         let mut cluster = ClusterStore {
             spec,
@@ -224,6 +255,7 @@ impl ClusterStore {
             recorder: Recorder::disabled(),
             registry: None,
             clock: None,
+            wal_dir,
         };
         for &s in cluster.view.members().to_vec().iter() {
             cluster.ensure_shard(s)?;
@@ -231,18 +263,60 @@ impl ClusterStore {
         Ok(cluster)
     }
 
+    /// The on-disk WAL path for shard `s`, when file-backed.
+    fn shard_wal_path(&self, s: ShardId) -> Option<std::path::PathBuf> {
+        self.wal_dir
+            .as_ref()
+            .map(|d| d.join(format!("shard-{s}.wal")))
+    }
+
     fn ensure_shard(&mut self, s: ShardId) -> Result<(), ClusterError> {
         if self.shards.contains_key(&s) {
             return Ok(());
         }
         let code = build_code(self.spec).map_err(StorageError::from)?;
-        let mut store = DistributedStore::with_wal(code, self.config, Box::new(MemLog::new()));
+        let mut store = match self.shard_wal_path(s) {
+            Some(path) => DistributedStore::with_wal_file(code, self.config, path)?,
+            None => DistributedStore::with_wal(code, self.config, Box::new(MemLog::new())),
+        };
         if let Some(reg) = &self.registry {
             store.attach_registry(reg);
         }
         self.shards.insert(s, store);
         self.up.insert(s, true);
         Ok(())
+    }
+
+    /// Crash-restart one file-backed shard: the coordinator's memory is
+    /// discarded (along with its in-memory log handle — any batched,
+    /// un-synced WAL tail is genuinely lost, as in a real process crash)
+    /// and rebuilt by replaying the shard's on-disk log against its
+    /// surviving node fabric. The shard comes back up on success.
+    ///
+    /// Errors if the cluster was not built with
+    /// [`ClusterStore::with_wal_dir`] or the shard does not exist.
+    pub fn restart_shard_from_disk(&mut self, s: ShardId) -> Result<RecoveryReport, ClusterError> {
+        let path = self.shard_wal_path(s).ok_or_else(|| {
+            ClusterError::Storage(StorageError::Recovery {
+                reason: "restart_from_disk needs a file-backed cluster (with_wal_dir)".to_string(),
+            })
+        })?;
+        let store = self.shards.remove(&s).ok_or(ClusterError::ShardDown(s))?;
+        // The returned in-memory WAL handle is dropped on the floor:
+        // recovery must read the log back from the filesystem.
+        let (nodes, _discarded) = store.crash();
+        let reopen = |e| ClusterError::Storage(StorageError::Wal(e));
+        let file = FileLog::open(&path, self.config.fsync).map_err(reopen)?;
+        let code = build_code(self.spec).map_err(StorageError::from)?;
+        let (mut rebuilt, report) =
+            DistributedStore::recover(code, self.config, nodes, WriteAheadLog::new(Box::new(file)))
+                .map_err(ClusterError::Storage)?;
+        if let Some(reg) = &self.registry {
+            rebuilt.attach_registry(reg);
+        }
+        self.shards.insert(s, rebuilt);
+        self.up.insert(s, true);
+        Ok(report)
     }
 
     /// Attach a telemetry registry: every shard records its store metrics

@@ -23,6 +23,7 @@
 //! symbol placement, group decode, per-group repair — live in
 //! [`crate::store::DistributedStore`].
 
+use crate::wal::file::FsyncPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a coding group within one store.
@@ -66,6 +67,16 @@ pub struct GroupConfig {
     /// Whether acked-but-unsealed objects are protected by a write-ahead
     /// log (see [`Durability`]).
     pub durability: Durability,
+    /// When a file-backed log forces its group-commit buffer to disk (see
+    /// [`FsyncPolicy`]). Ignored by synchronous backends such as
+    /// [`crate::MemLog`], where every accepted byte is durable at once.
+    pub fsync: FsyncPolicy,
+    /// Auto-checkpoint cadence: after this many log records since the last
+    /// checkpoint, the store snapshots its logical state into the log and
+    /// drops the prefix before the previous checkpoint
+    /// ([`crate::DistributedStore::checkpoint`]), keeping replay O(live
+    /// state). `0` disables auto-checkpoints (explicit calls still work).
+    pub checkpoint_every: u64,
 }
 
 impl GroupConfig {
@@ -76,6 +87,8 @@ impl GroupConfig {
             capacity: 64 * 1024,
             compact_watermark: 0.5,
             durability: Durability::Volatile,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 0,
         }
     }
 
@@ -87,6 +100,8 @@ impl GroupConfig {
             capacity: 64 * 1024,
             compact_watermark: 0.5,
             durability: Durability::Volatile,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 0,
         }
     }
 
@@ -94,6 +109,21 @@ impl GroupConfig {
     /// written ahead to a log so a coordinator crash loses nothing acked.
     pub fn logged(mut self) -> Self {
         self.durability = Durability::Logged;
+        self
+    }
+
+    /// The same configuration with the given fsync schedule for file-backed
+    /// logs (see [`FsyncPolicy`] for what each policy can lose).
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// The same configuration auto-checkpointing every `records` log
+    /// records (`0` disables). Bounds replay work to O(live state + two
+    /// checkpoint intervals).
+    pub fn with_checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records;
         self
     }
 }
@@ -239,10 +269,25 @@ pub struct GroupStats {
     /// [`Durability::Volatile`], on nothing at all — to survive a
     /// coordinator crash.
     pub bytes_at_risk: usize,
-    /// Records appended to the write-ahead log (0 without one).
+    /// Records currently **in** the write-ahead log (0 without one).
+    /// Checkpoint truncation subtracts the dropped prefix, so this tracks
+    /// replay work, not lifetime append traffic.
     pub wal_records: u64,
-    /// Frame bytes appended to the write-ahead log (0 without one).
+    /// Frame bytes currently in the write-ahead log (0 without one); like
+    /// [`GroupStats::wal_records`], truncation subtracts.
     pub wal_bytes: u64,
+    /// Log frame bytes accepted but not yet fsynced (a group-commit batch
+    /// still in flight). What a power loss right now would take.
+    pub wal_pending_sync_bytes: u64,
+    /// Checkpoints taken by this store handle (explicit + automatic).
+    pub wal_checkpoints: u64,
+    /// Live object bytes whose log records are **not yet durable** under a
+    /// relaxed [`FsyncPolicy`]: acked, in the log's buffer, but gone if
+    /// power fails before the next group commit. Always 0 under
+    /// [`FsyncPolicy::Always`] and on synchronous backends. A subset of
+    /// [`GroupStats::bytes_at_risk`]'s exposure, with a stricter failure
+    /// model (power loss rather than coordinator death).
+    pub bytes_unsynced: usize,
     /// Symbol installs acked past the write quorum but not yet landed on
     /// their node (see [`crate::DistributedStore::complete_writes`]). Until
     /// they land, the affected objects run below full `n`-way redundancy.

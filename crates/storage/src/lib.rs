@@ -41,11 +41,17 @@ pub use scenario::{
 };
 pub use store::shard::{self, GroupExport};
 pub use store::{
-    DistributedStore, OutcomeTally, RecoveryReport, RetrieveReport, SelectionPolicy, StorageError,
-    SurvivingNodes,
+    CheckpointReport, DistributedStore, OutcomeTally, RecoveryReport, RetrieveReport,
+    SelectionPolicy, StorageError, SurvivingNodes,
 };
 pub use transport::{
     Attempt, ChaosTransport, DirectTransport, FaultPolicy, NodeOutcome, SimNetTransport, Transport,
     TransportError, TransportOp, TransportStats,
 };
-pub use wal::{CrashFuse, LogBackend, MemLog, WalError, WalRecord, WriteAheadLog};
+pub use wal::file::{
+    FaultSpec, FaultyFile, FaultyHandle, FileLog, FsyncPolicy, RawLogFile, StdFsFile, SyncFault,
+};
+pub use wal::{
+    CheckpointPlacement, CheckpointState, CrashFuse, GroupSnapshot, LogBackend, MemLog, WalError,
+    WalRecord, WriteAheadLog,
+};

@@ -249,9 +249,10 @@ impl DistributedStore {
         for (name, member_span) in members {
             match self.objects.get(name) {
                 Some(&Placement::Grouped { group, span }) => {
-                    self.tombstone_member(group, span);
+                    self.tombstone_member(group, span)?;
                 }
                 Some(Placement::Whole) if !self.replaying => {
+                    self.destructive_apply_barrier()?;
                     for node in &mut self.nodes {
                         node.symbols.remove(name);
                     }
@@ -282,12 +283,12 @@ impl DistributedStore {
             return Err(StorageError::UnknownGroup(gid));
         }
         self.log(RecordView::GroupEvict { group: gid })?;
-        Ok(self.apply_group_evict(gid))
+        self.apply_group_evict(gid)
     }
 
     /// The transition core of an eviction, shared by the live path and log
     /// replay.
-    pub(crate) fn apply_group_evict(&mut self, gid: GroupId) -> usize {
+    pub(crate) fn apply_group_evict(&mut self, gid: GroupId) -> Result<usize, StorageError> {
         let members: Vec<String> = self
             .objects
             .iter()
@@ -298,9 +299,9 @@ impl DistributedStore {
             self.objects.remove(name);
         }
         if self.groups.contains_key(&gid) {
-            self.drop_group(gid);
+            self.drop_group(gid)?;
         }
-        members.len()
+        Ok(members.len())
     }
 }
 

@@ -32,6 +32,16 @@
 //!                                                          the moves follow
 //!                                                          as ordinary store
 //!                                                          records
+//!   tag 6  GroupImport  { group: u64, members, bytes }   — sealed group
+//!                                                          transferred in
+//!                                                          from another shard
+//!   tag 7  GroupEvict   { group: u64 }                   — ownership ceded
+//!                                                          to another shard
+//!   tag 8  Checkpoint   { state_crc: u32, state }        — full logical
+//!                                                          coordinator state;
+//!                                                          replay restores it
+//!                                                          and continues with
+//!                                                          the suffix
 //! str   := [len: u32 LE] ++ utf-8 bytes
 //! bytes := [len: u32 LE] ++ raw bytes
 //! ```
@@ -47,20 +57,31 @@
 //! frame *followed by more bytes* is real corruption and fails the replay
 //! with [`WalError::Corrupt`].
 //!
-//! Aside from cutting a torn tail at recovery, the log is append-only
-//! and its *prefix* is never truncated in this iteration: sealed
-//! groups' `StoreGrouped` records stay load-bearing for replay (recovery
-//! re-seals from the replayed buffers rather than reading node symbols),
-//! so log size and replay time grow with total write history. Bounding
-//! that with a checkpoint record + prefix drop is the named follow-up in
-//! ROADMAP.md.
+//! ## Checkpoints and prefix truncation
+//!
+//! Without truncation the log grows with total write history and replay is
+//! O(everything ever written). A [`WalRecord::Checkpoint`] snapshots the
+//! coordinator's full *logical* state — object table, group directory,
+//! open-group buffers; never node symbol bytes (those are erasure-coded and
+//! survive on the nodes) — so replay can restore the snapshot and redo only
+//! the suffix. After a checkpoint is durable the store drops the prefix
+//! before the *previous* checkpoint via [`LogBackend::drop_prefix`], keeping
+//! two checkpoints in the log: if the newest one is torn or fails its
+//! embedded state checksum, recovery falls back to the one before it and
+//! replays the longer suffix. Replay is O(live state + records since the
+//! last two checkpoints), not O(history).
 //!
 //! The [`LogBackend`] is pluggable: [`MemLog`] is the in-memory simulation
 //! backend (with an optional [`CrashFuse`] so tests can kill the coordinator
-//! at any record boundary or mid-frame); a file-backed implementation slots
-//! in behind the same small trait.
+//! at any record boundary or mid-frame); [`file::FileLog`] is the production
+//! file backend, with an [`file::FsyncPolicy`] knob that batches group
+//! commits behind one write+fsync and a [`file::FaultyFile`] twin for
+//! filesystem-fault injection.
+
+pub mod file;
 
 use crate::group::{GroupId, ObjSpan};
+use rain_sim::SimDuration;
 
 /// Why a log operation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,19 +116,52 @@ impl std::error::Error for WalError {}
 
 /// Durable byte sink backing a [`WriteAheadLog`].
 ///
-/// The contract is append-only: `append` either persists the whole frame or
-/// fails; `contents` returns every byte persisted so far (including a
-/// partial final frame, if the writer died mid-append).
+/// The contract is append-only: `append` either *accepts* the whole frame or
+/// fails; `contents` returns every byte accepted so far (including a
+/// partial final frame, if the writer died mid-append). A backend may defer
+/// durability — group-commit batching — in which case `pending_bytes`
+/// reports the accepted-but-not-yet-durable tail and `sync` forces it down.
+/// Synchronous backends ([`MemLog`]) keep the defaults: every accepted byte
+/// is immediately durable.
 pub trait LogBackend: std::fmt::Debug {
-    /// Persist one encoded frame.
+    /// Accept one encoded frame (durable immediately or at the next commit,
+    /// per the backend's fsync policy).
     fn append(&mut self, frame: &[u8]) -> Result<(), WalError>;
-    /// All bytes persisted so far.
+    /// All bytes accepted so far (durable and pending alike — the writer's
+    /// logical view of the log).
     fn contents(&self) -> Result<Vec<u8>, WalError>;
     /// Discard every byte past `len`. Recovery cuts a torn tail with this
     /// before reusing the log — without it the orphan partial frame would
     /// sit *in front of* post-recovery appends and turn the next replay
     /// into a mid-log corruption error.
     fn truncate(&mut self, len: usize) -> Result<(), WalError>;
+    /// Force every accepted byte to durable storage (one group commit).
+    /// Synchronous backends have nothing pending and keep the no-op.
+    fn sync(&mut self) -> Result<(), WalError> {
+        Ok(())
+    }
+    /// Bytes accepted by `append` but not yet durable — what a power loss
+    /// right now would take with it.
+    fn pending_bytes(&self) -> usize {
+        0
+    }
+    /// Advance the backend's virtual clock: drives interval-based fsync
+    /// policies ([`file::FsyncPolicy::EveryT`]). May trigger a group commit.
+    fn advance_clock(&mut self, _by: SimDuration) -> Result<(), WalError> {
+        Ok(())
+    }
+    /// Atomically discard the first `len` bytes (checkpoint truncation:
+    /// everything before the retained checkpoint is dead weight). Backends
+    /// that cannot drop a prefix crash-atomically must refuse.
+    fn drop_prefix(&mut self, _len: usize) -> Result<(), WalError> {
+        Err(WalError::Backend(
+            "this backend does not support prefix truncation".to_string(),
+        ))
+    }
+    /// The writer process died (not a power loss): user-space buffered
+    /// bytes are gone, OS-accepted bytes survive. [`MemLog`] models the
+    /// whole simulated machine, so the default keeps everything.
+    fn on_writer_crash(&mut self) {}
 }
 
 /// Crash injection for [`MemLog`]: the fuse fires on the append *after*
@@ -188,6 +242,149 @@ impl LogBackend for MemLog {
         self.buf.truncate(len);
         Ok(())
     }
+
+    fn drop_prefix(&mut self, len: usize) -> Result<(), WalError> {
+        if len > self.buf.len() {
+            return Err(WalError::Backend(format!(
+                "drop_prefix past end: {len} > {}",
+                self.buf.len()
+            )));
+        }
+        self.buf.drain(..len);
+        Ok(())
+    }
+}
+
+/// Where a checkpointed object lives — the serializable twin of the store's
+/// internal placement entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointPlacement {
+    /// Individually erasure-coded; the bytes are on the nodes.
+    Whole,
+    /// Packed into a coding group at the given span.
+    Grouped {
+        /// The owning group.
+        group: GroupId,
+        /// The object's span within the group block.
+        span: ObjSpan,
+    },
+}
+
+/// One coding group's logical state inside a [`WalRecord::Checkpoint`].
+///
+/// Sealed groups carry **no block bytes** — their data is erasure-coded on
+/// the nodes and a checkpoint must never duplicate node symbol payloads.
+/// Open groups carry their buffered block, which exists nowhere but
+/// coordinator memory and the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupSnapshot {
+    /// The group id.
+    pub group: GroupId,
+    /// Whether the group has been encoded onto the nodes.
+    pub sealed: bool,
+    /// Bytes packed into the block (live + tombstoned).
+    pub packed_len: usize,
+    /// Live (non-tombstoned) bytes.
+    pub live_bytes: usize,
+    /// Live member count.
+    pub live_objects: usize,
+    /// The buffered block for open groups; empty for sealed groups.
+    pub data: Vec<u8>,
+}
+
+/// The coordinator's full logical state at one instant: what a
+/// [`WalRecord::Checkpoint`] carries so replay can restore it and redo only
+/// the log suffix.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CheckpointState {
+    /// The next group id the store would allocate.
+    pub next_group_id: GroupId,
+    /// The currently open group, if any.
+    pub open_group: Option<GroupId>,
+    /// Every known object and its placement, sorted by name (deterministic
+    /// encoding — equal states checkpoint to equal bytes).
+    pub objects: Vec<(String, CheckpointPlacement)>,
+    /// Every known group, sorted by id.
+    pub groups: Vec<GroupSnapshot>,
+}
+
+impl CheckpointState {
+    /// Serialize the state fields (everything the embedded checksum covers).
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.next_group_id.to_le_bytes());
+        out.extend_from_slice(&self.open_group.unwrap_or(u64::MAX).to_le_bytes());
+        out.extend_from_slice(&(self.objects.len() as u32).to_le_bytes());
+        for (name, placement) in &self.objects {
+            put_str(out, name);
+            match placement {
+                CheckpointPlacement::Whole => out.push(0),
+                CheckpointPlacement::Grouped { group, span } => {
+                    out.push(1);
+                    out.extend_from_slice(&group.to_le_bytes());
+                    out.extend_from_slice(&(span.offset as u64).to_le_bytes());
+                    out.extend_from_slice(&(span.len as u64).to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.groups.len() as u32).to_le_bytes());
+        for g in &self.groups {
+            out.extend_from_slice(&g.group.to_le_bytes());
+            out.push(g.sealed as u8);
+            out.extend_from_slice(&(g.packed_len as u64).to_le_bytes());
+            out.extend_from_slice(&(g.live_bytes as u64).to_le_bytes());
+            out.extend_from_slice(&(g.live_objects as u64).to_le_bytes());
+            put_bytes(out, &g.data);
+        }
+    }
+
+    fn decode_body(c: &mut Cursor<'_>) -> Option<CheckpointState> {
+        let next_group_id = c.u64()?;
+        let open_group = match c.u64()? {
+            u64::MAX => None,
+            g => Some(g),
+        };
+        let object_count = c.u32()? as usize;
+        let mut objects = Vec::with_capacity(object_count.min(4096));
+        for _ in 0..object_count {
+            let name = c.str()?;
+            let placement = match c.u8()? {
+                0 => CheckpointPlacement::Whole,
+                1 => {
+                    let group = c.u64()?;
+                    let offset = c.u64()? as usize;
+                    let len = c.u64()? as usize;
+                    CheckpointPlacement::Grouped {
+                        group,
+                        span: ObjSpan { offset, len },
+                    }
+                }
+                _ => return None,
+            };
+            objects.push((name, placement));
+        }
+        let group_count = c.u32()? as usize;
+        let mut groups = Vec::with_capacity(group_count.min(4096));
+        for _ in 0..group_count {
+            groups.push(GroupSnapshot {
+                group: c.u64()?,
+                sealed: match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                },
+                packed_len: c.u64()? as usize,
+                live_bytes: c.u64()? as usize,
+                live_objects: c.u64()? as usize,
+                data: c.bytes()?,
+            });
+        }
+        Some(CheckpointState {
+            next_group_id,
+            open_group,
+            objects,
+            groups,
+        })
+    }
 }
 
 /// One logged mutation. See the module docs for the byte format.
@@ -255,6 +452,19 @@ pub enum WalRecord {
         /// The group being dropped.
         group: GroupId,
     },
+    /// A snapshot of the coordinator's full logical state. Replay restores
+    /// the newest restorable checkpoint and redoes only the records after
+    /// it; everything before the *previous* checkpoint is dropped from the
+    /// log once this record is durable.
+    Checkpoint {
+        /// The snapshotted state.
+        state: CheckpointState,
+        /// Decode-side: whether the embedded state checksum matched. A
+        /// mismatch means the checkpoint body rotted (or a buggy writer) —
+        /// recovery must fall back to the previous checkpoint rather than
+        /// trust this one. Always `true` for records this process built.
+        state_crc_ok: bool,
+    },
 }
 
 /// A borrowed view of one mutation, for the logging hot path: the store
@@ -307,6 +517,11 @@ pub(crate) enum RecordView<'a> {
         /// The group being dropped.
         group: GroupId,
     },
+    /// See [`WalRecord::Checkpoint`].
+    Checkpoint {
+        /// The snapshotted state.
+        state: &'a CheckpointState,
+    },
 }
 
 const TAG_STORE_WHOLE: u8 = 1;
@@ -316,6 +531,7 @@ const TAG_SEAL: u8 = 4;
 const TAG_COMPACT: u8 = 5;
 const TAG_GROUP_IMPORT: u8 = 6;
 const TAG_GROUP_EVICT: u8 = 7;
+const TAG_CHECKPOINT: u8 = 8;
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -397,6 +613,7 @@ impl WalRecord {
                 bytes,
             },
             WalRecord::GroupEvict { group } => RecordView::GroupEvict { group: *group },
+            WalRecord::Checkpoint { state, .. } => RecordView::Checkpoint { state },
         }
     }
 }
@@ -450,6 +667,16 @@ impl RecordView<'_> {
                 out.push(TAG_GROUP_EVICT);
                 out.extend_from_slice(&group.to_le_bytes());
             }
+            RecordView::Checkpoint { state } => {
+                out.push(TAG_CHECKPOINT);
+                // Reserve the state-checksum slot, encode the body after
+                // it, then patch the checksum in — no temporary buffer.
+                let crc_at = out.len();
+                out.extend_from_slice(&[0u8; 4]);
+                state.encode_body(out);
+                let crc = crc32(&out[crc_at + 4..]);
+                out[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+            }
         }
     }
 }
@@ -488,6 +715,15 @@ impl WalRecord {
                 }
             }
             TAG_GROUP_EVICT => WalRecord::GroupEvict { group: c.u64()? },
+            TAG_CHECKPOINT => {
+                let declared = c.u32()?;
+                let computed = crc32(&c.buf[c.pos..]);
+                let state = CheckpointState::decode_body(&mut c)?;
+                WalRecord::Checkpoint {
+                    state,
+                    state_crc_ok: declared == computed,
+                }
+            }
             _ => return None,
         };
         c.finished().then_some(record)
@@ -536,6 +772,9 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub struct Replay {
     /// Every complete, checksum-valid record in log order.
     pub records: Vec<WalRecord>,
+    /// Byte offset of each record's frame start, parallel to `records` —
+    /// recovery uses these to re-anchor checkpoint truncation marks.
+    pub offsets: Vec<usize>,
     /// True if the log ended in a partial frame.
     pub torn_tail: bool,
     /// Bytes consumed by the complete records (the torn tail, if any,
@@ -611,6 +850,40 @@ impl WriteAheadLog {
         self.backend.truncate(len)
     }
 
+    /// Force every accepted frame to durable storage (group commit).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.backend.sync()
+    }
+
+    /// Bytes accepted but not yet durable on the backend.
+    pub fn pending_bytes(&self) -> usize {
+        self.backend.pending_bytes()
+    }
+
+    /// Advance the backend's virtual clock (interval fsync policies).
+    pub fn advance_clock(&mut self, by: SimDuration) -> Result<(), WalError> {
+        self.backend.advance_clock(by)
+    }
+
+    /// Tell the backend the writer process died (drops user-space pending
+    /// buffers; OS-durable bytes survive).
+    pub(crate) fn on_writer_crash(&mut self) {
+        self.backend.on_writer_crash();
+    }
+
+    /// Drop the first `len` bytes / `records` records of the log
+    /// (checkpoint truncation) and adjust the live counters to match —
+    /// `records_appended` / `bytes_appended` count what is *in* the log,
+    /// not what was ever written.
+    pub(crate) fn drop_prefix(&mut self, len: usize, records: u64) -> Result<(), WalError> {
+        debug_assert!(len as u64 <= self.bytes_appended);
+        debug_assert!(records <= self.records_appended);
+        self.backend.drop_prefix(len)?;
+        self.bytes_appended = self.bytes_appended.saturating_sub(len as u64);
+        self.records_appended = self.records_appended.saturating_sub(records);
+        Ok(())
+    }
+
     /// Frame and persist one record.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), WalError> {
         self.append_view(record.view())
@@ -668,6 +941,7 @@ impl WriteAheadLog {
     pub fn replay(&self) -> Result<Replay, WalError> {
         let buf = self.backend.contents()?;
         let mut records = Vec::new();
+        let mut offsets = Vec::new();
         let mut pos = 0usize;
         while pos < buf.len() {
             let remaining = buf.len() - pos;
@@ -675,6 +949,7 @@ impl WriteAheadLog {
                 // Incomplete header: torn mid-write.
                 return Ok(Replay {
                     records,
+                    offsets,
                     torn_tail: true,
                     bytes_replayed: pos,
                 });
@@ -694,6 +969,7 @@ impl WriteAheadLog {
                 // Trustworthy length, short payload: torn mid-write.
                 return Ok(Replay {
                     records,
+                    offsets,
                     torn_tail: true,
                     bytes_replayed: pos,
                 });
@@ -706,7 +982,10 @@ impl WriteAheadLog {
                 None
             };
             match record {
-                Some(r) => records.push(r),
+                Some(r) => {
+                    records.push(r);
+                    offsets.push(pos);
+                }
                 None if !valid && frame_end == buf.len() => {
                     // Checksum-failed final payload: indistinguishable from
                     // a torn write on a backend that preallocates,
@@ -717,6 +996,7 @@ impl WriteAheadLog {
                     // checksummed record would be data loss.
                     return Ok(Replay {
                         records,
+                        offsets,
                         torn_tail: true,
                         bytes_replayed: pos,
                     });
@@ -727,6 +1007,7 @@ impl WriteAheadLog {
         }
         Ok(Replay {
             records,
+            offsets,
             torn_tail: false,
             bytes_replayed: pos,
         })
@@ -755,6 +1036,41 @@ mod tests {
                 group: 1,
                 bytes: Vec::new(),
             },
+            WalRecord::Checkpoint {
+                state: CheckpointState {
+                    next_group_id: 2,
+                    open_group: Some(1),
+                    objects: vec![
+                        (
+                            "a".into(),
+                            CheckpointPlacement::Grouped {
+                                group: 0,
+                                span: ObjSpan { offset: 0, len: 3 },
+                            },
+                        ),
+                        ("big".into(), CheckpointPlacement::Whole),
+                    ],
+                    groups: vec![
+                        GroupSnapshot {
+                            group: 0,
+                            sealed: true,
+                            packed_len: 3,
+                            live_bytes: 3,
+                            live_objects: 1,
+                            data: Vec::new(),
+                        },
+                        GroupSnapshot {
+                            group: 1,
+                            sealed: false,
+                            packed_len: 2,
+                            live_bytes: 2,
+                            live_objects: 1,
+                            data: vec![9, 9],
+                        },
+                    ],
+                },
+                state_crc_ok: true,
+            },
         ]
     }
 
@@ -774,7 +1090,13 @@ mod tests {
         assert_eq!(replay.records, sample_records());
         assert!(!replay.torn_tail);
         assert_eq!(replay.bytes_replayed as u64, wal.bytes_appended());
-        assert_eq!(wal.records_appended(), 6);
+        assert_eq!(wal.records_appended(), 7);
+        // Offsets are frame starts: first at 0, strictly increasing, last
+        // short of the replayed byte count.
+        assert_eq!(replay.offsets.len(), replay.records.len());
+        assert_eq!(replay.offsets[0], 0);
+        assert!(replay.offsets.windows(2).all(|w| w[0] < w[1]));
+        assert!(*replay.offsets.last().unwrap() < replay.bytes_replayed);
     }
 
     #[test]
@@ -1011,6 +1333,75 @@ mod tests {
             WriteAheadLog::new(Box::new(backend)).replay(),
             Err(WalError::Corrupt { offset })
         );
+    }
+
+    #[test]
+    fn checkpoint_with_a_rotted_body_decodes_with_crc_flag_false() {
+        // Frame CRCs valid, embedded state checksum wrong: the record must
+        // still *decode* (so replay can fall back to an earlier checkpoint)
+        // but flag itself as unrestorable.
+        let state = match &sample_records()[6] {
+            WalRecord::Checkpoint { state, .. } => state.clone(),
+            _ => unreachable!("sample 6 is the checkpoint"),
+        };
+        let mut payload = vec![TAG_CHECKPOINT];
+        let crc_at = payload.len();
+        payload.extend_from_slice(&[0u8; 4]);
+        state.encode_body(&mut payload);
+        let bad_crc = crc32(&payload[crc_at + 4..]) ^ 1;
+        payload[crc_at..crc_at + 4].copy_from_slice(&bad_crc.to_le_bytes());
+        let len_bytes = (payload.len() as u32).to_le_bytes();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&len_bytes);
+        frame.extend_from_slice(&crc32(&len_bytes).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let mut backend = MemLog::new();
+        backend.append(&frame).unwrap();
+        let replay = WriteAheadLog::new(Box::new(backend)).replay().unwrap();
+        assert_eq!(
+            replay.records,
+            vec![WalRecord::Checkpoint {
+                state,
+                state_crc_ok: false,
+            }]
+        );
+        assert!(!replay.torn_tail);
+    }
+
+    #[test]
+    fn drop_prefix_removes_records_and_keeps_live_counters_honest() {
+        let records = sample_records();
+        let mut wal = WriteAheadLog::in_memory();
+        let mut boundaries = vec![0usize];
+        for r in &records {
+            wal.append(r).unwrap();
+            boundaries.push(wal.bytes_appended() as usize);
+        }
+        let total_bytes = wal.bytes_appended();
+        // Drop the first two frames: the log now *starts* at record 2.
+        wal.drop_prefix(boundaries[2], 2).unwrap();
+        assert_eq!(wal.records_appended(), records.len() as u64 - 2);
+        assert_eq!(wal.bytes_appended(), total_bytes - boundaries[2] as u64);
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records[2..].to_vec());
+        assert!(!replay.torn_tail);
+        // Appends keep working after the drop.
+        wal.append(&records[0]).unwrap();
+        assert_eq!(
+            wal.replay().unwrap().records.last(),
+            Some(&records[0]),
+            "append after drop_prefix replays"
+        );
+    }
+
+    #[test]
+    fn mem_log_refuses_to_drop_past_its_end() {
+        let mut log = MemLog::new();
+        log.append(b"abc").unwrap();
+        assert!(matches!(log.drop_prefix(4), Err(WalError::Backend(_))));
+        log.drop_prefix(3).unwrap();
+        assert!(log.is_empty());
     }
 
     #[test]

@@ -1,0 +1,789 @@
+//! File-backed [`LogBackend`] with group-commit fsync batching.
+//!
+//! [`FileLog`] frames the same byte format as every other backend; what it
+//! adds is a *durability schedule*. Appends land in a user-space
+//! group-commit buffer and are pushed to the file in batches — one
+//! `write` + one `fsync` per **commit**, however many records the batch
+//! holds — so heavy small-object traffic amortises the fsync the same way
+//! coding groups amortise encodes. The [`FsyncPolicy`] knob picks the
+//! schedule:
+//!
+//! | policy | commit happens | a crash can lose |
+//! |---|---|---|
+//! | [`FsyncPolicy::Always`] | on every append | nothing acked |
+//! | [`FsyncPolicy::EveryN`]`(n)` | once `n` records are pending | up to `n - 1` records |
+//! | [`FsyncPolicy::EveryT`]`(t)` | first event once `t` virtual time has passed since the last commit | records from the last `t` window |
+//!
+//! "Lose" here means exactly the un-fsynced tail: everything up to the last
+//! completed commit replays bit-exact (the crash sweep in
+//! `crates/sim/tests/wal_durability.rs` proves it under fault injection).
+//! [`LogBackend::sync`] forces a commit at any moment, and the store syncs
+//! explicitly where correctness demands it (checkpoints).
+//!
+//! The physical file layer is the small [`RawLogFile`] trait with two
+//! implementations: [`StdFsFile`] over a real `std::fs::File` (prefix drops
+//! rewrite through a temp file + atomic rename + directory fsync, so a
+//! crash mid-truncation leaves either the old or the new log, never a
+//! hybrid), and [`FaultyFile`], an in-memory twin that injects short
+//! writes, failed or lying fsyncs, and power loss between write and fsync
+//! for the durability test suite.
+
+use super::{LogBackend, WalError};
+use rain_sim::SimDuration;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// When a [`FileLog`] forces its group-commit buffer to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Write + fsync on every append: nothing acked is ever at risk, one
+    /// fsync per record.
+    #[default]
+    Always,
+    /// Commit once this many records are pending. Bounds loss to `n - 1`
+    /// records while dividing the fsync cost by `n`.
+    EveryN(usize),
+    /// Commit at the first append or clock tick after this much virtual
+    /// time has passed since the previous commit.
+    EveryT(SimDuration),
+}
+
+/// The physical byte store under a [`FileLog`]: an append-only file with
+/// explicit durability and whole-content replacement.
+pub trait RawLogFile: std::fmt::Debug {
+    /// Append `bytes` at the end of the file. Accepted bytes are in the
+    /// OS's hands but **not durable** until [`RawLogFile::sync`].
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+    /// Make every accepted byte durable (fsync).
+    fn sync(&mut self) -> Result<(), WalError>;
+    /// The file's current bytes, as the OS sees them.
+    fn read_all(&self) -> Result<Vec<u8>, WalError>;
+    /// Atomically replace the whole file with `bytes`, durably: after this
+    /// returns the new content has been fsynced, and a crash during the
+    /// call leaves either the old content or the new, never a mixture.
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), WalError>;
+}
+
+fn io_err(what: &str, e: std::io::Error) -> WalError {
+    WalError::Backend(format!("{what}: {e}"))
+}
+
+/// [`RawLogFile`] over a real filesystem path.
+#[derive(Debug)]
+pub struct StdFsFile {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+impl StdFsFile {
+    /// Open (creating if absent) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("open log file", e))?;
+        Ok(StdFsFile { path, file })
+    }
+
+    /// Fsync the directory holding the log, so a rename into it is durable.
+    fn sync_dir(&self) -> Result<(), WalError> {
+        let dir = self.path.parent().unwrap_or_else(|| Path::new("."));
+        std::fs::File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err("fsync log directory", e))
+    }
+}
+
+impl RawLogFile for StdFsFile {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| io_err("append to log file", e))
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("fsync log file", e))
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, WalError> {
+        let mut buf = Vec::new();
+        std::fs::File::open(&self.path)
+            .and_then(|mut f| f.read_to_end(&mut buf))
+            .map_err(|e| io_err("read log file", e))?;
+        Ok(buf)
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let tmp = self.path.with_extension("wal.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err("create temp log", e))?;
+            f.write_all(bytes)
+                .and_then(|()| f.sync_all())
+                .map_err(|e| io_err("write temp log", e))?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(|e| io_err("rename temp log", e))?;
+        self.sync_dir()?;
+        // The old handle points at the unlinked inode; reopen the new file
+        // so later appends land in it.
+        self.file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("reopen log file", e))?;
+        Ok(())
+    }
+}
+
+/// What a planned [`FaultyFile`] sync fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncFault {
+    /// The fsync returns an error and durability does not advance.
+    Fail,
+    /// The fsync *claims* success but durability does not advance — the
+    /// firmware-lies case. The writer proceeds believing the data safe.
+    Lie,
+}
+
+/// Planned faults for a [`FaultyFile`]. Each slot is one-shot: it fires on
+/// the matching zero-based call index and then disarms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultSpec {
+    /// Power loss at write call `at`: the write's bytes are accepted, then
+    /// everything past the durable mark except `torn_bytes` survivors
+    /// vanishes and the call returns [`WalError::Crashed`].
+    pub crash_on_write: Option<(usize, usize)>,
+    /// Short write at write call `at`: only the first `kept` bytes are
+    /// accepted and the call fails (the writer lives).
+    pub short_write: Option<(usize, usize)>,
+    /// Fault at sync call `at`.
+    pub sync_fault: Option<(usize, SyncFault)>,
+    /// Power loss at replace call `at`: replacement is atomic, so either
+    /// the new content survives (`true`) or the old does (`false`).
+    pub crash_on_replace: Option<(usize, bool)>,
+}
+
+#[derive(Debug)]
+struct FaultyState {
+    /// Bytes the OS has accepted (page cache).
+    data: Vec<u8>,
+    /// Durable prefix of `data`.
+    synced_len: usize,
+    writes: usize,
+    syncs: usize,
+    replaces: usize,
+    faults: FaultSpec,
+    /// Power was lost: the device is gone. Every subsequent I/O call fails
+    /// with [`WalError::Crashed`] — a dead machine takes no writes, so a
+    /// writer that swallowed the original error cannot scribble past the
+    /// survivor image. Tests reopen the image with
+    /// [`FaultyFile::with_contents`].
+    crashed: bool,
+}
+
+impl FaultyState {
+    /// Apply a power loss: only the durable prefix plus `torn` extra bytes
+    /// of the unsynced tail survive, and the device stays dead (see
+    /// [`FaultyState::crashed`]).
+    fn power_loss(&mut self, torn: usize) {
+        let survive = (self.synced_len + torn).min(self.data.len());
+        self.data.truncate(survive);
+        self.synced_len = self.data.len();
+        self.faults = FaultSpec::default();
+        self.crashed = true;
+    }
+}
+
+/// Shared inspection handle onto a [`FaultyFile`]: the test keeps it while
+/// the store owns the file, and reads the durable image after a crash.
+#[derive(Debug, Clone)]
+pub struct FaultyHandle(Arc<Mutex<FaultyState>>);
+
+impl FaultyHandle {
+    /// Every byte the OS has accepted (durable or not).
+    pub fn accepted_bytes(&self) -> Vec<u8> {
+        self.0.lock().unwrap().data.clone()
+    }
+
+    /// The durable prefix — what a power loss right now would leave.
+    pub fn durable_bytes(&self) -> Vec<u8> {
+        let st = self.0.lock().unwrap();
+        st.data[..st.synced_len].to_vec()
+    }
+
+    /// Length of the durable prefix.
+    pub fn synced_len(&self) -> usize {
+        self.0.lock().unwrap().synced_len
+    }
+
+    /// Sync calls observed so far.
+    pub fn syncs(&self) -> usize {
+        self.0.lock().unwrap().syncs
+    }
+
+    /// Write calls observed so far.
+    pub fn writes(&self) -> usize {
+        self.0.lock().unwrap().writes
+    }
+}
+
+/// In-memory [`RawLogFile`] with filesystem-fault injection: short writes,
+/// failed and lying fsyncs, and power loss between write and fsync. The
+/// durability suite sweeps these under every [`FsyncPolicy`].
+#[derive(Debug)]
+pub struct FaultyFile {
+    state: Arc<Mutex<FaultyState>>,
+}
+
+impl FaultyFile {
+    /// An empty file with the given fault plan. Returns the file (for the
+    /// [`FileLog`]) and an inspection handle (for the test).
+    pub fn new(faults: FaultSpec) -> (FaultyFile, FaultyHandle) {
+        Self::with_contents(Vec::new(), faults)
+    }
+
+    /// A file already holding `data` (all of it durable) — how a test
+    /// "reopens" the survivor image after a crash.
+    pub fn with_contents(data: Vec<u8>, faults: FaultSpec) -> (FaultyFile, FaultyHandle) {
+        let state = Arc::new(Mutex::new(FaultyState {
+            synced_len: data.len(),
+            data,
+            writes: 0,
+            syncs: 0,
+            replaces: 0,
+            faults,
+            crashed: false,
+        }));
+        (
+            FaultyFile {
+                state: Arc::clone(&state),
+            },
+            FaultyHandle(state),
+        )
+    }
+}
+
+impl RawLogFile for FaultyFile {
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        let call = st.writes;
+        st.writes += 1;
+        if let Some((at, torn)) = st.faults.crash_on_write {
+            if at == call {
+                st.data.extend_from_slice(bytes);
+                st.power_loss(torn);
+                return Err(WalError::Crashed);
+            }
+        }
+        if let Some((at, kept)) = st.faults.short_write {
+            if at == call {
+                let kept = kept.min(bytes.len());
+                st.data.extend_from_slice(&bytes[..kept]);
+                st.faults.short_write = None;
+                return Err(WalError::Backend("injected short write".to_string()));
+            }
+        }
+        st.data.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        let call = st.syncs;
+        st.syncs += 1;
+        if let Some((at, fault)) = st.faults.sync_fault {
+            if at == call {
+                st.faults.sync_fault = None;
+                return match fault {
+                    SyncFault::Fail => Err(WalError::Backend("injected fsync failure".to_string())),
+                    // The lie: report success, advance nothing.
+                    SyncFault::Lie => Ok(()),
+                };
+            }
+        }
+        st.synced_len = st.data.len();
+        Ok(())
+    }
+
+    fn read_all(&self) -> Result<Vec<u8>, WalError> {
+        let st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        Ok(st.data.clone())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let mut st = self.state.lock().unwrap();
+        if st.crashed {
+            return Err(WalError::Crashed);
+        }
+        let call = st.replaces;
+        st.replaces += 1;
+        if let Some((at, new_survives)) = st.faults.crash_on_replace {
+            if at == call {
+                if new_survives {
+                    st.data = bytes.to_vec();
+                }
+                let len = st.data.len();
+                st.synced_len = len;
+                st.faults = FaultSpec::default();
+                st.crashed = true;
+                return Err(WalError::Crashed);
+            }
+        }
+        st.data = bytes.to_vec();
+        st.synced_len = st.data.len();
+        Ok(())
+    }
+}
+
+/// File-backed [`LogBackend`] with group-commit batching and an
+/// [`FsyncPolicy`] durability schedule. See the module docs.
+#[derive(Debug)]
+pub struct FileLog {
+    raw: Box<dyn RawLogFile>,
+    policy: FsyncPolicy,
+    /// Group-commit buffer: frames accepted but not yet written to the OS.
+    /// A *process* crash loses these; a committed batch survives it.
+    pending: Vec<u8>,
+    /// Length of each pending frame, so a truncate can pop whole frames.
+    pending_frames: Vec<usize>,
+    /// Logical length of the raw file: bytes successfully handed to the OS
+    /// through this handle plus whatever the file held at open.
+    raw_len: usize,
+    /// Raw bytes written but whose fsync failed — accepted, not durable.
+    unsynced_raw: usize,
+    /// A failed raw write may have left partial garbage past `raw_len`;
+    /// the next mutation rewrites the file to its known-good prefix first.
+    raw_dirty: bool,
+    /// Virtual now / last commit instant, driving [`FsyncPolicy::EveryT`].
+    now_us: u64,
+    last_commit_us: u64,
+}
+
+impl FileLog {
+    /// Open (creating if absent) a file-backed log at `path`.
+    pub fn open(path: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Self, WalError> {
+        Self::with_raw(Box::new(StdFsFile::open(path)?), policy)
+    }
+
+    /// A log over any [`RawLogFile`] (tests inject a [`FaultyFile`] here).
+    pub fn with_raw(raw: Box<dyn RawLogFile>, policy: FsyncPolicy) -> Result<Self, WalError> {
+        let raw_len = raw.read_all()?.len();
+        Ok(FileLog {
+            raw,
+            policy,
+            pending: Vec::new(),
+            pending_frames: Vec::new(),
+            raw_len,
+            unsynced_raw: 0,
+            raw_dirty: false,
+            now_us: 0,
+            last_commit_us: 0,
+        })
+    }
+
+    /// The durability schedule this log runs.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Rewrite the file to its known-good prefix if a failed write left
+    /// partial garbage past `raw_len` — without this, the next append
+    /// would land *behind* the garbage and corrupt the log.
+    fn ensure_clean(&mut self) -> Result<(), WalError> {
+        if !self.raw_dirty {
+            return Ok(());
+        }
+        let mut good = self.raw.read_all()?;
+        good.truncate(self.raw_len);
+        self.raw.replace(&good)?;
+        self.unsynced_raw = 0;
+        self.raw_dirty = false;
+        Ok(())
+    }
+
+    /// One group commit: push the whole pending buffer with one write and
+    /// one fsync. On a write failure the buffer is kept (the frames were
+    /// accepted) and the file is marked dirty; on an fsync failure the
+    /// bytes count as accepted-but-not-durable (`unsynced_raw`).
+    fn commit(&mut self) -> Result<(), WalError> {
+        self.last_commit_us = self.now_us;
+        if self.pending.is_empty() && self.unsynced_raw == 0 {
+            return Ok(());
+        }
+        self.ensure_clean()?;
+        if !self.pending.is_empty() {
+            match self.raw.write_all(&self.pending) {
+                Ok(()) => {
+                    self.raw_len += self.pending.len();
+                    self.unsynced_raw += self.pending.len();
+                    self.pending.clear();
+                    self.pending_frames.clear();
+                }
+                Err(WalError::Crashed) => return Err(WalError::Crashed),
+                Err(e) => {
+                    self.raw_dirty = true;
+                    return Err(e);
+                }
+            }
+        }
+        self.raw.sync()?;
+        self.unsynced_raw = 0;
+        Ok(())
+    }
+
+    /// Whether the policy wants a commit right now.
+    fn due(&self) -> bool {
+        match self.policy {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.pending_frames.len() >= n.max(1),
+            FsyncPolicy::EveryT(t) => self.now_us.saturating_sub(self.last_commit_us) >= t.0,
+        }
+    }
+}
+
+impl LogBackend for FileLog {
+    fn append(&mut self, frame: &[u8]) -> Result<(), WalError> {
+        self.pending.extend_from_slice(frame);
+        self.pending_frames.push(frame.len());
+        if self.due() {
+            self.commit()?;
+        }
+        Ok(())
+    }
+
+    fn contents(&self) -> Result<Vec<u8>, WalError> {
+        // The writer's logical view: the known-good raw prefix plus the
+        // group-commit buffer. (After a power loss the raw file is shorter
+        // than `raw_len` and the truncate is a no-op — the survivor image
+        // is the truth.)
+        let mut bytes = self.raw.read_all()?;
+        bytes.truncate(self.raw_len);
+        bytes.extend_from_slice(&self.pending);
+        Ok(bytes)
+    }
+
+    fn truncate(&mut self, len: usize) -> Result<(), WalError> {
+        // Cut pending frames first (newest bytes), then the raw file.
+        while self.raw_len + self.pending.len() > len {
+            match self.pending_frames.last() {
+                Some(&f) if self.pending.len() >= f => {
+                    self.pending.truncate(self.pending.len() - f);
+                    self.pending_frames.pop();
+                }
+                _ => break,
+            }
+        }
+        if self.raw_len + self.pending.len() > len {
+            // The cut lands inside the raw file: rewrite it atomically.
+            self.pending.clear();
+            self.pending_frames.clear();
+            let mut bytes = self.raw.read_all()?;
+            bytes.truncate(self.raw_len.min(len));
+            self.raw.replace(&bytes)?;
+            self.raw_len = bytes.len();
+            self.unsynced_raw = 0;
+            self.raw_dirty = false;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> Result<(), WalError> {
+        self.commit()
+    }
+
+    fn pending_bytes(&self) -> usize {
+        self.pending.len() + self.unsynced_raw
+    }
+
+    fn advance_clock(&mut self, by: SimDuration) -> Result<(), WalError> {
+        self.now_us = self.now_us.saturating_add(by.0);
+        if let FsyncPolicy::EveryT(_) = self.policy {
+            if self.due() && !self.pending.is_empty() {
+                self.commit()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn drop_prefix(&mut self, len: usize) -> Result<(), WalError> {
+        // Make the tail durable first, then rewrite the file without the
+        // prefix. `replace` is atomic, so a crash leaves either the old
+        // log (prefix intact — replay just does more work) or the new one.
+        self.commit()?;
+        let mut bytes = self.raw.read_all()?;
+        bytes.truncate(self.raw_len);
+        if len > bytes.len() {
+            return Err(WalError::Backend(format!(
+                "drop_prefix past end: {len} > {}",
+                bytes.len()
+            )));
+        }
+        bytes.drain(..len);
+        self.raw.replace(&bytes)?;
+        self.raw_len = bytes.len();
+        Ok(())
+    }
+
+    fn on_writer_crash(&mut self) {
+        // Process death: the user-space group-commit buffer dies with the
+        // process; OS-accepted bytes survive.
+        self.pending.clear();
+        self.pending_frames.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{WalRecord, WriteAheadLog};
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let pid = std::process::id();
+        std::env::temp_dir().join(format!("rain-wal-{pid}-{tag}-{n}.wal"))
+    }
+
+    fn records() -> Vec<WalRecord> {
+        (0..6)
+            .map(|i| WalRecord::StoreGrouped {
+                object: format!("obj{i}"),
+                group: 0,
+                bytes: vec![i as u8; 16 + i],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn a_real_file_log_survives_reopen() {
+        let path = tmp_path("reopen");
+        let mut wal =
+            WriteAheadLog::new(Box::new(FileLog::open(&path, FsyncPolicy::Always).unwrap()));
+        for r in records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let wal = WriteAheadLog::new(Box::new(FileLog::open(&path, FsyncPolicy::Always).unwrap()));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, records());
+        assert!(!replay.torn_tail);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn a_real_file_drop_prefix_survives_reopen() {
+        let path = tmp_path("dropfx");
+        let mut wal =
+            WriteAheadLog::new(Box::new(FileLog::open(&path, FsyncPolicy::Always).unwrap()));
+        let mut boundaries = vec![0usize];
+        for r in records() {
+            wal.append(&r).unwrap();
+            boundaries.push(wal.bytes_appended() as usize);
+        }
+        wal.drop_prefix(boundaries[3], 3).unwrap();
+        drop(wal);
+        let wal = WriteAheadLog::new(Box::new(FileLog::open(&path, FsyncPolicy::Always).unwrap()));
+        assert_eq!(wal.replay().unwrap().records, records()[3..].to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_n_batches_writes_and_syncs() {
+        let (file, handle) = FaultyFile::new(FaultSpec::default());
+        let mut log = FileLog::with_raw(Box::new(file), FsyncPolicy::EveryN(3)).unwrap();
+        log.append(b"aaaa").unwrap();
+        log.append(b"bbbb").unwrap();
+        assert_eq!(log.pending_bytes(), 8, "two records pending, no commit");
+        assert_eq!(handle.writes(), 0);
+        log.append(b"cccc").unwrap();
+        assert_eq!(log.pending_bytes(), 0, "third record triggers the commit");
+        assert_eq!(handle.writes(), 1, "one batched write for three records");
+        assert_eq!(handle.syncs(), 1, "one fsync for three records");
+        assert_eq!(handle.durable_bytes(), b"aaaabbbbcccc");
+        // contents() always shows the logical log, durable or pending.
+        log.append(b"dddd").unwrap();
+        assert_eq!(log.contents().unwrap(), b"aaaabbbbccccdddd");
+        assert_eq!(handle.durable_bytes(), b"aaaabbbbcccc");
+    }
+
+    #[test]
+    fn every_t_commits_on_the_clock() {
+        let (file, handle) = FaultyFile::new(FaultSpec::default());
+        let mut log = FileLog::with_raw(
+            Box::new(file),
+            FsyncPolicy::EveryT(SimDuration::from_millis(10)),
+        )
+        .unwrap();
+        log.append(b"aaaa").unwrap();
+        log.advance_clock(SimDuration::from_millis(4)).unwrap();
+        assert_eq!(log.pending_bytes(), 4, "interval not yet elapsed");
+        log.advance_clock(SimDuration::from_millis(6)).unwrap();
+        assert_eq!(log.pending_bytes(), 0, "interval elapsed: committed");
+        assert_eq!(handle.durable_bytes(), b"aaaa");
+        // The next append within a fresh window stays pending again.
+        log.append(b"bbbb").unwrap();
+        assert_eq!(log.pending_bytes(), 4);
+        // ...and an append after the window commits the batch inline.
+        log.advance_clock(SimDuration::from_millis(3)).unwrap();
+        log.append(b"cccc").unwrap();
+        log.advance_clock(SimDuration::from_millis(9)).unwrap();
+        assert_eq!(log.pending_bytes(), 0);
+        assert_eq!(handle.durable_bytes(), b"aaaabbbbcccc");
+    }
+
+    #[test]
+    fn sync_forces_the_pending_batch_down() {
+        let (file, handle) = FaultyFile::new(FaultSpec::default());
+        let mut log = FileLog::with_raw(Box::new(file), FsyncPolicy::EveryN(100)).unwrap();
+        log.append(b"aaaa").unwrap();
+        assert_eq!(handle.synced_len(), 0);
+        log.sync().unwrap();
+        assert_eq!(handle.durable_bytes(), b"aaaa");
+        assert_eq!(log.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn a_short_write_is_rolled_back_by_the_wal_handle() {
+        let (file, _handle) = FaultyFile::new(FaultSpec {
+            short_write: Some((1, 5)),
+            ..FaultSpec::default()
+        });
+        let mut wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(file), FsyncPolicy::Always).unwrap(),
+        ));
+        let recs = records();
+        wal.append(&recs[0]).unwrap();
+        assert!(matches!(wal.append(&recs[1]), Err(WalError::Backend(_))));
+        // The handle rolled the partial frame back; the log keeps working.
+        wal.append(&recs[2]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records, vec![recs[0].clone(), recs[2].clone()]);
+    }
+
+    #[test]
+    fn a_failed_fsync_surfaces_and_the_record_is_rolled_back() {
+        let (file, handle) = FaultyFile::new(FaultSpec {
+            sync_fault: Some((1, SyncFault::Fail)),
+            ..FaultSpec::default()
+        });
+        let mut wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(file), FsyncPolicy::Always).unwrap(),
+        ));
+        let recs = records();
+        wal.append(&recs[0]).unwrap();
+        assert!(matches!(wal.append(&recs[1]), Err(WalError::Backend(_))));
+        wal.append(&recs[2]).unwrap();
+        let replay = wal.replay().unwrap();
+        assert!(!replay.torn_tail);
+        assert_eq!(replay.records, vec![recs[0].clone(), recs[2].clone()]);
+        // Everything surviving in the log is durable again.
+        assert_eq!(handle.durable_bytes(), wal.contents().unwrap());
+    }
+
+    #[test]
+    fn a_lying_fsync_leaves_the_record_vulnerable_to_power_loss() {
+        let (file, handle) = FaultyFile::new(FaultSpec {
+            sync_fault: Some((1, SyncFault::Lie)),
+            ..FaultSpec::default()
+        });
+        let mut wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(file), FsyncPolicy::Always).unwrap(),
+        ));
+        let recs = records();
+        wal.append(&recs[0]).unwrap();
+        wal.append(&recs[1]).unwrap(); // "fsynced" — a lie
+        let durable = handle.durable_bytes();
+        // Power loss now: only the honestly-synced prefix survives, and it
+        // replays cleanly to the first record.
+        let (survivor, _h) = FaultyFile::with_contents(durable, FaultSpec::default());
+        let wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(survivor), FsyncPolicy::Always).unwrap(),
+        ));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, vec![recs[0].clone()]);
+        assert!(!replay.torn_tail);
+    }
+
+    #[test]
+    fn power_loss_between_write_and_fsync_keeps_the_durable_prefix_bit_exact() {
+        // Crash at the second raw write with 7 torn bytes surviving past
+        // the durable mark: replay gets record 0 intact plus a torn tail.
+        let (file, handle) = FaultyFile::new(FaultSpec {
+            crash_on_write: Some((1, 7)),
+            ..FaultSpec::default()
+        });
+        let mut wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(file), FsyncPolicy::Always).unwrap(),
+        ));
+        let recs = records();
+        wal.append(&recs[0]).unwrap();
+        assert_eq!(wal.append(&recs[1]), Err(WalError::Crashed));
+        let (survivor, _h) =
+            FaultyFile::with_contents(handle.accepted_bytes(), FaultSpec::default());
+        let wal = WriteAheadLog::new(Box::new(
+            FileLog::with_raw(Box::new(survivor), FsyncPolicy::Always).unwrap(),
+        ));
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records, vec![recs[0].clone()]);
+        assert!(replay.torn_tail, "7 orphan bytes form a torn tail");
+    }
+
+    #[test]
+    fn crash_during_drop_prefix_keeps_old_or_new_log_never_a_hybrid() {
+        for new_survives in [false, true] {
+            let (file, handle) = FaultyFile::new(FaultSpec {
+                crash_on_replace: Some((0, new_survives)),
+                ..FaultSpec::default()
+            });
+            let mut wal = WriteAheadLog::new(Box::new(
+                FileLog::with_raw(Box::new(file), FsyncPolicy::Always).unwrap(),
+            ));
+            let mut boundaries = vec![0usize];
+            for r in records() {
+                wal.append(&r).unwrap();
+                boundaries.push(wal.bytes_appended() as usize);
+            }
+            assert_eq!(wal.drop_prefix(boundaries[2], 2), Err(WalError::Crashed));
+            let (survivor, _h) =
+                FaultyFile::with_contents(handle.accepted_bytes(), FaultSpec::default());
+            let wal = WriteAheadLog::new(Box::new(
+                FileLog::with_raw(Box::new(survivor), FsyncPolicy::Always).unwrap(),
+            ));
+            let replay = wal.replay().unwrap();
+            let expect = if new_survives {
+                records()[2..].to_vec()
+            } else {
+                records()
+            };
+            assert_eq!(replay.records, expect, "new_survives={new_survives}");
+            assert!(!replay.torn_tail);
+        }
+    }
+
+    #[test]
+    fn process_crash_loses_the_group_commit_buffer_but_not_committed_bytes() {
+        let (file, _handle) = FaultyFile::new(FaultSpec::default());
+        let mut log = FileLog::with_raw(Box::new(file), FsyncPolicy::EveryN(4)).unwrap();
+        log.append(b"aaaa").unwrap();
+        log.append(b"bbbb").unwrap();
+        log.append(b"cccc").unwrap();
+        log.append(b"dddd").unwrap(); // commit
+        log.append(b"eeee").unwrap(); // pending in user space
+        log.on_writer_crash();
+        assert_eq!(log.contents().unwrap(), b"aaaabbbbccccdddd");
+        assert_eq!(log.pending_bytes(), 0);
+    }
+}
