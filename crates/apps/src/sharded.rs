@@ -100,9 +100,16 @@ impl ShardedRain {
 
     /// If the elected leader has a converged view change ready, run the
     /// whole two-phase handover for it — transfers, cutover, epoch bump —
-    /// and report the new epoch. `Ok(None)` when nothing changed.
+    /// and report the new epoch. With no view change pending, units left
+    /// stranded by an earlier handover (their source was down at transfer
+    /// time) are re-planned the moment their shard is reachable again —
+    /// convergence does not wait for the *next* membership change.
+    /// `Ok(None)` when nothing changed.
     pub fn reconcile(&mut self) -> Result<Option<u64>, ClusterError> {
         let Some(members) = self.control.poll_transition() else {
+            if self.cluster.pending_replan() {
+                return self.cluster.replan_skipped();
+            }
             return Ok(None);
         };
         self.cluster.begin_handover(&members)?;
@@ -184,6 +191,56 @@ mod tests {
         }
         assert_eq!(committed, Some(2), "the join must commit epoch 2");
         assert!(rain.cluster().stats().groups_moved > 0);
+        for i in 0..30 {
+            assert_eq!(
+                rain.retrieve(&format!("doc-{i:02}")).unwrap(),
+                [i as u8; 700]
+            );
+        }
+    }
+
+    /// Regression: units whose source shard was down at transfer time used
+    /// to stay stranded on their out-of-view owner until the *next*
+    /// membership change. [`ShardedRain::reconcile`] now re-homes them as
+    /// soon as the shard's data plane is reachable again — even when the
+    /// control plane reports no view change at all.
+    #[test]
+    fn stranded_units_converge_without_another_membership_change() {
+        let mut rain = ShardedRain::with_defaults(3, 3, 91).unwrap();
+        settle(&mut rain, 3);
+        for i in 0..30 {
+            rain.store(&format!("doc-{i:02}"), &[i as u8; 700]).unwrap();
+        }
+        rain.cluster_mut().flush_all();
+
+        // Shard 2 crashes; the leader commits the shrunken view while the
+        // dead shard's outbound units can only be skipped.
+        rain.crash(2);
+        let mut committed = None;
+        for _ in 0..600 {
+            rain.tick(SimDuration::from_millis(100));
+            if let Some(epoch) = rain.reconcile().unwrap() {
+                committed = Some(epoch);
+                break;
+            }
+        }
+        assert_eq!(committed, Some(2), "the crash must commit epoch 2");
+        assert!(
+            rain.cluster().pending_replan(),
+            "units stranded on the dead shard leave a pending replan"
+        );
+
+        // The machine comes back and its coordinator is reachable for
+        // transfers, but it is NOT re-admitted to membership: the control
+        // plane has no view change to report.
+        rain.cluster_mut().recover_shard(2);
+        assert_eq!(
+            rain.reconcile().unwrap(),
+            Some(3),
+            "reconcile re-homes stranded units without a membership change"
+        );
+        assert!(!rain.cluster().pending_replan());
+        assert!(rain.cluster().stats().handover_replanned > 0);
         for i in 0..30 {
             assert_eq!(
                 rain.retrieve(&format!("doc-{i:02}")).unwrap(),

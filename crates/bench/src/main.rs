@@ -51,9 +51,12 @@ use rain_codes::{
 };
 use rain_obs::{render_spans, Recorder, Registry, VirtualClock};
 use rain_sim::{Fault, FaultPlan, NodeId, SimDuration, SimTime};
+use std::path::Path;
+
 use rain_storage::{
     builtin_scenarios, run_scenario_observed, ChaosTransport, DistributedStore, FaultPolicy,
-    FaultSpec, FaultyFile, FileLog, FsyncPolicy, GroupConfig, SelectionPolicy, WriteAheadLog,
+    FaultSpec, FaultyFile, FileLog, FsyncPolicy, GroupConfig, LogBackend, SelectionPolicy,
+    WriteAheadLog,
 };
 
 /// Kernel speedups below this factor fail the run (release builds only).
@@ -1025,7 +1028,7 @@ fn recovery_bench_config(checkpoint_every: u64, fsync: FsyncPolicy) -> GroupConf
     .with_checkpoint_every(checkpoint_every)
 }
 
-/// Recovery economics of the file-backed WAL. Two tables:
+/// Recovery economics of the file-backed WAL. Three tables:
 ///
 /// * **replay** — recovery time and replayed record count as the workload
 ///   history grows, with and without checkpoint truncation. The record
@@ -1035,9 +1038,16 @@ fn recovery_bench_config(checkpoint_every: u64, fsync: FsyncPolicy) -> GroupConf
 /// * **fsync_policy** — store wall-time under each [`FsyncPolicy`] on a
 ///   real file, plus the deterministic fsync/write-batch counts from an
 ///   identical run against the simulated file.
+/// * **truncation** — the byte cost of checkpoint truncation in both
+///   on-disk layouts. The single-file layout drops a prefix by rewriting
+///   the surviving log through a temp file + rename, so its rewritten
+///   byte count grows with the live log; the segmented layout unlinks
+///   whole sealed segments and rewrites only its fixed 20-byte manifest.
+///   Both counts are measured off disk and asserted: segmented stays
+///   constant as the log grows, single-file does not.
 ///
 /// Wall-times are informational (the baseline diff gates only the `codes`
-/// rows); the record/sync counts are the load-bearing numbers.
+/// rows); the record/sync/byte counts are the load-bearing numbers.
 fn bench_recovery(smoke: bool) -> Json {
     let code: Arc<dyn ErasureCode> = Arc::new(BCode::table_1a());
     let dir = std::env::temp_dir().join(format!("rain-bench-recovery-{}", std::process::id()));
@@ -1170,11 +1180,128 @@ fn bench_recovery(smoke: bool) -> Json {
             ("write_batches", Json::Int(handle.writes() as i64)),
         ]));
     }
+    let truncation_rows = bench_truncation(&dir, smoke);
+
     let _ = std::fs::remove_dir_all(&dir);
     Json::obj(vec![
         ("replay", Json::Arr(replay_rows)),
         ("fsync_policy", Json::Arr(policy_rows)),
+        ("truncation", Json::Arr(truncation_rows)),
     ])
+}
+
+/// The `truncation` table of [`bench_recovery`]: append `records` frames,
+/// then drop the first half of the log — once against a single file, once
+/// against a segmented directory — and report what each layout had to
+/// rewrite to do it. The rewritten byte counts come straight off disk
+/// (surviving file size vs manifest size), so they are deterministic and
+/// asserted: the segmented manifest rewrite is a constant 20 bytes at
+/// every log size, while the single-file rewrite grows with the log.
+fn bench_truncation(dir: &Path, smoke: bool) -> Vec<Json> {
+    const RECORD_BYTES: usize = 128;
+    const SEGMENT_BYTES: usize = 4096;
+    let record: Vec<u8> = (0..RECORD_BYTES).map(|i| (i * 31 + 7) as u8).collect();
+    let lengths: &[usize] = if smoke {
+        &[256, 1024]
+    } else {
+        &[256, 1024, 4096]
+    };
+
+    println!("\ntruncation    records   dropped KiB  rewritten B  segs before/after  drop ms");
+    let mut rows = Vec::new();
+    for &records in lengths {
+        let drop_len = (records / 2) * RECORD_BYTES;
+
+        // Single file: the prefix drop rewrites the whole surviving log
+        // through a temp file + rename.
+        let path = dir.join(format!("trunc-{records}.wal"));
+        let _ = std::fs::remove_file(&path);
+        let mut single = FileLog::open(&path, FsyncPolicy::EveryN(64)).expect("open trunc wal");
+        for _ in 0..records {
+            single.append(&record).unwrap();
+        }
+        single.sync().unwrap();
+        let started = std::time::Instant::now();
+        single.drop_prefix(drop_len).unwrap();
+        let single_ms = started.elapsed().as_secs_f64() * 1e3;
+        let single_rewritten = std::fs::metadata(&path).expect("trunc wal survives").len();
+        assert_eq!(
+            single_rewritten as usize,
+            records * RECORD_BYTES - drop_len,
+            "a single-file prefix drop rewrites exactly the surviving log"
+        );
+
+        // Segmented: the same drop unlinks whole sealed segments and
+        // rewrites only the fixed-size manifest.
+        let seg_dir = dir.join(format!("trunc-{records}.wal.d"));
+        let _ = std::fs::remove_dir_all(&seg_dir);
+        let mut segmented =
+            FileLog::open_segmented(&seg_dir, FsyncPolicy::EveryN(64), SEGMENT_BYTES)
+                .expect("open trunc segments");
+        for _ in 0..records {
+            segmented.append(&record).unwrap();
+        }
+        segmented.sync().unwrap();
+        let segs_before = count_segments(&seg_dir);
+        let started = std::time::Instant::now();
+        segmented.drop_prefix(drop_len).unwrap();
+        let segmented_ms = started.elapsed().as_secs_f64() * 1e3;
+        let segs_after = count_segments(&seg_dir);
+        let manifest_rewritten = std::fs::metadata(seg_dir.join("wal.manifest"))
+            .expect("manifest survives")
+            .len();
+        assert_eq!(
+            manifest_rewritten, 20,
+            "a segmented prefix drop rewrites only the 20-byte manifest, at every log size"
+        );
+        assert!(
+            segs_after < segs_before,
+            "the drop must unlink sealed segments ({segs_before} -> {segs_after})"
+        );
+
+        for (layout, rewritten, segs, ms) in [
+            ("single-file", single_rewritten, (1usize, 1usize), single_ms),
+            (
+                "segmented",
+                manifest_rewritten,
+                (segs_before, segs_after),
+                segmented_ms,
+            ),
+        ] {
+            println!(
+                "{:<12}  {:>7}  {:>12.1}  {:>11}  {:>8} / {:<5}  {:>7.3}",
+                layout,
+                records,
+                drop_len as f64 / 1024.0,
+                rewritten,
+                segs.0,
+                segs.1,
+                ms
+            );
+            rows.push(Json::obj(vec![
+                ("layout", Json::Str(layout.into())),
+                ("records", Json::Int(records as i64)),
+                ("record_bytes", Json::Int(RECORD_BYTES as i64)),
+                ("dropped_bytes", Json::Int(drop_len as i64)),
+                ("bytes_rewritten", Json::Int(rewritten as i64)),
+                ("segments_before", Json::Int(segs.0 as i64)),
+                ("segments_after", Json::Int(segs.1 as i64)),
+                ("drop_ms", Json::Num(ms)),
+            ]));
+        }
+    }
+    rows
+}
+
+/// Count the `wal.NNNNNN.seg` files in a segmented log directory.
+fn count_segments(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .expect("read segment dir")
+        .filter(|e| {
+            e.as_ref()
+                .is_ok_and(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        })
+        .count()
 }
 
 /// Enforce the coding-group wins (release builds only, same rationale as

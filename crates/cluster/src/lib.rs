@@ -11,6 +11,10 @@
 //! * [`control`] — the [`ControlPlane`]: `rain-membership`'s token ring
 //!   detects joins/crashes, `rain-election` picks the leader that alone may
 //!   commit a view change;
+//! * [`metalog`] — the cluster [`MetaLog`]: directory, committed view,
+//!   and handover state as checksummed write-ahead records, so
+//!   [`ClusterStore::recover_from_disk`] can rebuild the whole cluster
+//!   after a power loss;
 //! * [`store`] — the [`ClusterStore`] data plane: epoch-stamped routing
 //!   over many coordinators, with two-phase **group-granularity**
 //!   rebalancing (a sealed coding group moves as one unit for one symbol
@@ -26,15 +30,19 @@
 #![warn(missing_docs)]
 
 pub mod control;
+pub mod metalog;
 pub mod ring;
 pub mod scenario;
 pub mod store;
 pub mod view;
 
 pub use control::ControlPlane;
+pub use metalog::{MetaLog, MetaRecord, MetaReplay, MetaState, MetaUnit, PendingHandover};
 pub use ring::{fnv1a, HashRing, ShardId};
 pub use scenario::{
     builtin_churn_specs, run_churn_scenario, run_churn_scenario_observed, ChurnReport, ChurnSpec,
 };
-pub use store::{ClusterError, ClusterRead, ClusterStats, ClusterStore};
+pub use store::{
+    ClusterError, ClusterRead, ClusterRecoveryReport, ClusterStats, ClusterStore, ClusterSurvivors,
+};
 pub use view::MembershipView;

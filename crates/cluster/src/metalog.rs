@@ -1,0 +1,815 @@
+//! The cluster **metalog**: cluster-level control state as a write-ahead
+//! log of checksummed records.
+//!
+//! PR 8 left the cluster's routing brain — the key directory, the committed
+//! [`MembershipView`], handover dual overrides, and per-shard placement
+//! keys — as plain in-memory maps, so a full cluster restart could replay
+//! every per-shard WAL and still not know *where anything lives*. The
+//! metalog closes that gap with the same machinery the shard stores use:
+//! each record is framed by [`rain_storage::write_frame`] (length +
+//! header/payload CRCs) on any [`LogBackend`], so a torn tail at the end of
+//! the file is tolerated and cut, while damage anywhere else is an honest
+//! [`WalError::Corrupt`].
+//!
+//! ## Record ordering discipline
+//!
+//! Every record is appended **before** the in-memory mutation it describes
+//! (log-then-apply), with two deliberate exceptions that make replay safe
+//! without cross-log transactions:
+//!
+//! * [`MetaRecord::DirPut`] is logged *after* the owning shard's store
+//!   succeeded (the shard WAL already protects the bytes) and *before* the
+//!   directory is updated. A crash between the two leaves a durable object
+//!   with no directory entry; recovery **adopts** it back.
+//! * [`MetaRecord::DirDel`] is logged *after* the shard-level delete
+//!   succeeded. Logging it first would let a crash resurrect the key: the
+//!   directory would forget the object while the shard still serves it.
+//!
+//! A handover writes [`MetaRecord::HandoverPrepare`] before any transfer,
+//! [`MetaRecord::UnitLanded`] after each import is shard-durable, and a
+//! single [`MetaRecord::ViewCommit`] before the cutover mutations — replay
+//! redoes the cutover deterministically from the reconstructed handover
+//! state, and a prepare with no matching commit rolls back exactly like
+//! [`crate::ClusterStore::abort_handover`].
+//!
+//! [`MetaRecord::Checkpoint`] snapshots the whole control state; retention
+//! is two checkpoints deep, mirroring the shard stores: the prefix before
+//! the *previous* checkpoint is dropped, so a torn newest checkpoint falls
+//! back to a complete older one.
+
+use std::collections::BTreeMap;
+
+use rain_storage::{scan_frames, write_frame, GroupId, LogBackend, WalError};
+
+use crate::ring::ShardId;
+use crate::view::MembershipView;
+
+/// What one transferred placement unit was (mirrors the cluster store's
+/// private `UnitKind`, plus the id the destination assigned to a group).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaUnit {
+    /// A sealed coding group: its id at the source and at the destination.
+    Group {
+        /// The group's id at the source shard.
+        gid: GroupId,
+        /// The id the destination shard assigned on import.
+        new_gid: GroupId,
+    },
+    /// An individually placed object.
+    Whole {
+        /// The object's key.
+        name: String,
+    },
+}
+
+/// One cluster-control mutation, as logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaRecord {
+    /// A membership view became committed (genesis included): the epoch,
+    /// the member set, and the ring's vnode count — everything needed to
+    /// rebuild the ring deterministically via [`MembershipView::restore`].
+    /// Logged **before** the cutover mutations it authorises.
+    ViewCommit {
+        /// The committed epoch.
+        epoch: u64,
+        /// The committed member shards, sorted.
+        members: Vec<ShardId>,
+        /// Ring points per shard.
+        vnodes: usize,
+    },
+    /// `key` is (about to be) directory-owned by `shard`. Logged after the
+    /// shard-level store succeeded.
+    DirPut {
+        /// The object key.
+        key: String,
+        /// Its authoritative owner.
+        shard: ShardId,
+    },
+    /// `key` was deleted everywhere. Logged after the shard-level delete
+    /// succeeded, before the directory forgets the key.
+    DirDel {
+        /// The deleted key.
+        key: String,
+    },
+    /// Group `gid` on `shard` routes by placement key `pkey`.
+    PkeyAssign {
+        /// The shard holding the group.
+        shard: ShardId,
+        /// The group id at that shard.
+        gid: GroupId,
+        /// The placement key the ring routes the group by.
+        pkey: String,
+    },
+    /// A two-phase handover toward a view over `members` began. Everything
+    /// after this record and before the matching [`MetaRecord::ViewCommit`]
+    /// / [`MetaRecord::HandoverAbort`] is transition state.
+    HandoverPrepare {
+        /// The target member set.
+        members: Vec<ShardId>,
+    },
+    /// One planned unit transfer landed: the unit now also exists at `to`
+    /// (shard-durable there), carrying `members` object keys.
+    UnitLanded {
+        /// The exporting shard.
+        from: ShardId,
+        /// The importing shard.
+        to: ShardId,
+        /// What moved.
+        unit: MetaUnit,
+        /// The object keys riding in the unit.
+        members: Vec<String>,
+    },
+    /// `key` was dual-written during the transition and must collapse onto
+    /// `shard` at commit (the freshest copy's home).
+    DualOverride {
+        /// The overwritten key.
+        key: String,
+        /// The shard whose copy wins at commit.
+        shard: ShardId,
+    },
+    /// The in-flight handover was abandoned; the committed view stays
+    /// authoritative. Also appended by recovery itself when it finds a
+    /// prepare with no commit.
+    HandoverAbort,
+    /// A full snapshot of the committed control state. Replay restarts
+    /// from the newest complete checkpoint; older records become dead
+    /// weight and are dropped (two-checkpoint retention).
+    Checkpoint {
+        /// The committed epoch.
+        epoch: u64,
+        /// The committed member shards, sorted.
+        members: Vec<ShardId>,
+        /// Ring points per shard.
+        vnodes: usize,
+        /// Every directory entry, sorted by key.
+        directory: Vec<(String, ShardId)>,
+        /// Every placement-key assignment, sorted by (shard, gid).
+        pkeys: Vec<(ShardId, GroupId, String)>,
+    },
+}
+
+const TAG_VIEW_COMMIT: u8 = 1;
+const TAG_DIR_PUT: u8 = 2;
+const TAG_DIR_DEL: u8 = 3;
+const TAG_PKEY_ASSIGN: u8 = 4;
+const TAG_HANDOVER_PREPARE: u8 = 5;
+const TAG_UNIT_LANDED: u8 = 6;
+const TAG_DUAL_OVERRIDE: u8 = 7;
+const TAG_HANDOVER_ABORT: u8 = 8;
+const TAG_CHECKPOINT: u8 = 9;
+
+const UNIT_GROUP: u8 = 0;
+const UNIT_WHOLE: u8 = 1;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_shards(out: &mut Vec<u8>, shards: &[ShardId]) {
+    out.extend_from_slice(&(shards.len() as u32).to_le_bytes());
+    for &s in shards {
+        out.extend_from_slice(&(s as u64).to_le_bytes());
+    }
+}
+
+/// Sequential reader over a record payload; every getter returns `None` on
+/// underrun so a damaged payload surfaces as a decode failure, never a
+/// panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    fn shard(&mut self) -> Option<ShardId> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    fn shards(&mut self) -> Option<Vec<ShardId>> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(self.shard()?);
+        }
+        Some(out)
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+impl MetaRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            MetaRecord::ViewCommit {
+                epoch,
+                members,
+                vnodes,
+            } => {
+                out.push(TAG_VIEW_COMMIT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&(*vnodes as u64).to_le_bytes());
+                put_shards(out, members);
+            }
+            MetaRecord::DirPut { key, shard } => {
+                out.push(TAG_DIR_PUT);
+                out.extend_from_slice(&(*shard as u64).to_le_bytes());
+                put_str(out, key);
+            }
+            MetaRecord::DirDel { key } => {
+                out.push(TAG_DIR_DEL);
+                put_str(out, key);
+            }
+            MetaRecord::PkeyAssign { shard, gid, pkey } => {
+                out.push(TAG_PKEY_ASSIGN);
+                out.extend_from_slice(&(*shard as u64).to_le_bytes());
+                out.extend_from_slice(&gid.to_le_bytes());
+                put_str(out, pkey);
+            }
+            MetaRecord::HandoverPrepare { members } => {
+                out.push(TAG_HANDOVER_PREPARE);
+                put_shards(out, members);
+            }
+            MetaRecord::UnitLanded {
+                from,
+                to,
+                unit,
+                members,
+            } => {
+                out.push(TAG_UNIT_LANDED);
+                out.extend_from_slice(&(*from as u64).to_le_bytes());
+                out.extend_from_slice(&(*to as u64).to_le_bytes());
+                match unit {
+                    MetaUnit::Group { gid, new_gid } => {
+                        out.push(UNIT_GROUP);
+                        out.extend_from_slice(&gid.to_le_bytes());
+                        out.extend_from_slice(&new_gid.to_le_bytes());
+                    }
+                    MetaUnit::Whole { name } => {
+                        out.push(UNIT_WHOLE);
+                        put_str(out, name);
+                    }
+                }
+                out.extend_from_slice(&(members.len() as u32).to_le_bytes());
+                for m in members {
+                    put_str(out, m);
+                }
+            }
+            MetaRecord::DualOverride { key, shard } => {
+                out.push(TAG_DUAL_OVERRIDE);
+                out.extend_from_slice(&(*shard as u64).to_le_bytes());
+                put_str(out, key);
+            }
+            MetaRecord::HandoverAbort => out.push(TAG_HANDOVER_ABORT),
+            MetaRecord::Checkpoint {
+                epoch,
+                members,
+                vnodes,
+                directory,
+                pkeys,
+            } => {
+                out.push(TAG_CHECKPOINT);
+                out.extend_from_slice(&epoch.to_le_bytes());
+                out.extend_from_slice(&(*vnodes as u64).to_le_bytes());
+                put_shards(out, members);
+                out.extend_from_slice(&(directory.len() as u32).to_le_bytes());
+                for (key, shard) in directory {
+                    out.extend_from_slice(&(*shard as u64).to_le_bytes());
+                    put_str(out, key);
+                }
+                out.extend_from_slice(&(pkeys.len() as u32).to_le_bytes());
+                for (shard, gid, pkey) in pkeys {
+                    out.extend_from_slice(&(*shard as u64).to_le_bytes());
+                    out.extend_from_slice(&gid.to_le_bytes());
+                    put_str(out, pkey);
+                }
+            }
+        }
+    }
+
+    fn decode(payload: &[u8]) -> Option<MetaRecord> {
+        let mut c = Cursor {
+            buf: payload,
+            pos: 0,
+        };
+        let record = match c.u8()? {
+            TAG_VIEW_COMMIT => {
+                let epoch = c.u64()?;
+                let vnodes = usize::try_from(c.u64()?).ok()?;
+                let members = c.shards()?;
+                MetaRecord::ViewCommit {
+                    epoch,
+                    members,
+                    vnodes,
+                }
+            }
+            TAG_DIR_PUT => MetaRecord::DirPut {
+                shard: c.shard()?,
+                key: c.str()?,
+            },
+            TAG_DIR_DEL => MetaRecord::DirDel { key: c.str()? },
+            TAG_PKEY_ASSIGN => MetaRecord::PkeyAssign {
+                shard: c.shard()?,
+                gid: c.u64()?,
+                pkey: c.str()?,
+            },
+            TAG_HANDOVER_PREPARE => MetaRecord::HandoverPrepare {
+                members: c.shards()?,
+            },
+            TAG_UNIT_LANDED => {
+                let from = c.shard()?;
+                let to = c.shard()?;
+                let unit = match c.u8()? {
+                    UNIT_GROUP => MetaUnit::Group {
+                        gid: c.u64()?,
+                        new_gid: c.u64()?,
+                    },
+                    UNIT_WHOLE => MetaUnit::Whole { name: c.str()? },
+                    _ => return None,
+                };
+                let n = c.u32()? as usize;
+                let mut members = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    members.push(c.str()?);
+                }
+                MetaRecord::UnitLanded {
+                    from,
+                    to,
+                    unit,
+                    members,
+                }
+            }
+            TAG_DUAL_OVERRIDE => MetaRecord::DualOverride {
+                shard: c.shard()?,
+                key: c.str()?,
+            },
+            TAG_HANDOVER_ABORT => MetaRecord::HandoverAbort,
+            TAG_CHECKPOINT => {
+                let epoch = c.u64()?;
+                let vnodes = usize::try_from(c.u64()?).ok()?;
+                let members = c.shards()?;
+                let n = c.u32()? as usize;
+                let mut directory = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let shard = c.shard()?;
+                    directory.push((c.str()?, shard));
+                }
+                let n = c.u32()? as usize;
+                let mut pkeys = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let shard = c.shard()?;
+                    let gid = c.u64()?;
+                    pkeys.push((shard, gid, c.str()?));
+                }
+                MetaRecord::Checkpoint {
+                    epoch,
+                    members,
+                    vnodes,
+                    directory,
+                    pkeys,
+                }
+            }
+            _ => return None,
+        };
+        c.finished().then_some(record)
+    }
+}
+
+/// What [`MetaLog::replay`] found on disk.
+#[derive(Debug)]
+pub struct MetaReplay {
+    /// The decoded records, in log order, with their byte offsets.
+    pub records: Vec<(usize, MetaRecord)>,
+    /// True if the log ended in a partial frame (cut before reuse).
+    pub torn_tail: bool,
+    /// Bytes consumed by the complete frames.
+    pub bytes_replayed: usize,
+}
+
+/// The cluster's control-state write-ahead log.
+///
+/// Thin framing/codec layer over any [`LogBackend`] — typically a
+/// [`rain_storage::FileLog`] (single-file or segmented) under a real
+/// cluster, a [`rain_storage::MemLog`] in tests.
+#[derive(Debug)]
+pub struct MetaLog {
+    backend: Box<dyn LogBackend>,
+    frame: Vec<u8>,
+    /// Records appended through this handle.
+    appended: u64,
+    /// Records appended since the newest checkpoint record.
+    since_ckpt: u64,
+    /// Byte offset of the newest checkpoint; the *next* checkpoint drops
+    /// the prefix before this one (two-checkpoint retention).
+    ckpt_offset: Option<u64>,
+    /// The log's current logical length — tracked so appends never have to
+    /// re-read the backend. [`MetaLog::replay`] resynchronises it.
+    len: u64,
+}
+
+impl MetaLog {
+    /// Wrap a backend. The log's existing contents are left untouched;
+    /// replay them first when restarting (see [`MetaLog::replay`]).
+    pub fn new(backend: Box<dyn LogBackend>) -> Self {
+        MetaLog {
+            backend,
+            frame: Vec::new(),
+            appended: 0,
+            since_ckpt: 0,
+            ckpt_offset: None,
+            len: 0,
+        }
+    }
+
+    /// Append one record (framed, checksummed). Durability follows the
+    /// backend's fsync policy, exactly as shard WAL appends do.
+    pub fn append(&mut self, record: &MetaRecord) -> Result<(), WalError> {
+        self.frame.clear();
+        let mut payload = Vec::new();
+        record.encode(&mut payload);
+        let offset = self.len;
+        write_frame(&mut self.frame, &payload);
+        self.backend.append(&self.frame)?;
+        self.len += self.frame.len() as u64;
+        self.appended += 1;
+        if matches!(record, MetaRecord::Checkpoint { .. }) {
+            let prev = self.ckpt_offset.replace(offset);
+            self.since_ckpt = 0;
+            if let Some(prev) = prev {
+                // Two-checkpoint retention: everything before the
+                // *previous* checkpoint is dead weight. O(1) whole-segment
+                // deletion on a segmented backend.
+                self.backend.drop_prefix(prev as usize)?;
+                self.len -= prev;
+                if let Some(off) = &mut self.ckpt_offset {
+                    *off -= prev;
+                }
+            }
+        } else {
+            self.since_ckpt += 1;
+        }
+        Ok(())
+    }
+
+    /// Force pending appends durable (group commit).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        self.backend.sync()
+    }
+
+    /// Advance the backend's virtual clock (interval fsync policies).
+    pub fn advance_clock(&mut self, by: rain_sim::SimDuration) -> Result<(), WalError> {
+        self.backend.advance_clock(by)
+    }
+
+    /// Records appended through this handle.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Records appended since the newest checkpoint.
+    pub fn since_checkpoint(&self) -> u64 {
+        self.since_ckpt
+    }
+
+    /// Decode every complete frame, tolerating a torn final frame only,
+    /// and cut the torn tail so post-recovery appends extend a clean log.
+    /// A checksum-valid frame that does not decode is corruption, not a
+    /// torn tail.
+    pub fn replay(&mut self) -> Result<MetaReplay, WalError> {
+        let buf = self.backend.contents()?;
+        let scan = scan_frames(&buf)?;
+        let mut records = Vec::with_capacity(scan.frames.len());
+        for (offset, payload) in &scan.frames {
+            let record = MetaRecord::decode(&buf[payload.clone()])
+                .ok_or(WalError::Corrupt { offset: *offset })?;
+            if matches!(record, MetaRecord::Checkpoint { .. }) {
+                self.ckpt_offset = Some(*offset as u64);
+            }
+            records.push((*offset, record));
+        }
+        if scan.torn_tail {
+            self.backend.truncate(scan.bytes_scanned)?;
+        }
+        self.len = scan.bytes_scanned as u64;
+        Ok(MetaReplay {
+            records,
+            torn_tail: scan.torn_tail,
+            bytes_replayed: scan.bytes_scanned,
+        })
+    }
+}
+
+/// The committed control state a metalog replay reconstructs, plus the
+/// transition state of a handover that was in flight at the crash.
+#[derive(Debug, Default)]
+pub struct MetaState {
+    /// The committed view, if any `ViewCommit`/`Checkpoint` was found.
+    pub view: Option<MembershipView>,
+    /// The authoritative key directory.
+    pub directory: BTreeMap<String, ShardId>,
+    /// Placement keys per (shard, group).
+    pub pkeys: BTreeMap<(ShardId, GroupId), String>,
+    /// A prepare-logged handover with no matching commit/abort: its target
+    /// member set, landed units, and dual overrides. Recovery rolls it
+    /// back.
+    pub pending: Option<PendingHandover>,
+}
+
+/// Transition state reconstructed from records between a
+/// `HandoverPrepare` and its (missing) commit.
+#[derive(Debug, Default)]
+pub struct PendingHandover {
+    /// The target member set.
+    pub members: Vec<ShardId>,
+    /// Landed transfers: (from, to, unit, member keys).
+    pub landed: Vec<(ShardId, ShardId, MetaUnit, Vec<String>)>,
+    /// Dual overrides accumulated during the transition.
+    pub dual: BTreeMap<String, ShardId>,
+}
+
+impl MetaState {
+    /// Fold a replayed record stream into the control state it describes.
+    /// `ViewCommit` *applies* the pending handover's cutover (directory
+    /// repoints, dual collapse, pkey cleanup) exactly as
+    /// [`crate::ClusterStore::commit_handover`] would have — a crash after
+    /// the commit record but before the in-memory mutations redoes them
+    /// deterministically.
+    pub fn fold(records: &[(usize, MetaRecord)]) -> MetaState {
+        let mut st = MetaState::default();
+        for (_, record) in records {
+            match record {
+                MetaRecord::Checkpoint {
+                    epoch,
+                    members,
+                    vnodes,
+                    directory,
+                    pkeys,
+                } => {
+                    st = MetaState::default();
+                    st.view = Some(MembershipView::restore(*epoch, members, *vnodes));
+                    st.directory = directory.iter().cloned().collect();
+                    st.pkeys = pkeys
+                        .iter()
+                        .map(|(s, g, p)| ((*s, *g), p.clone()))
+                        .collect();
+                }
+                MetaRecord::ViewCommit {
+                    epoch,
+                    members,
+                    vnodes,
+                } => {
+                    let committed = MembershipView::restore(*epoch, members, *vnodes);
+                    if let Some(pending) = st.pending.take() {
+                        st.apply_cutover(&pending);
+                    }
+                    st.view = Some(committed);
+                }
+                MetaRecord::DirPut { key, shard } => {
+                    st.directory.insert(key.clone(), *shard);
+                }
+                MetaRecord::DirDel { key } => {
+                    st.directory.remove(key);
+                    if let Some(p) = &mut st.pending {
+                        p.dual.remove(key);
+                    }
+                }
+                MetaRecord::PkeyAssign { shard, gid, pkey } => {
+                    st.pkeys.insert((*shard, *gid), pkey.clone());
+                }
+                MetaRecord::HandoverPrepare { members } => {
+                    st.pending = Some(PendingHandover {
+                        members: members.clone(),
+                        ..PendingHandover::default()
+                    });
+                }
+                MetaRecord::UnitLanded {
+                    from,
+                    to,
+                    unit,
+                    members,
+                } => {
+                    if let Some(p) = &mut st.pending {
+                        p.landed.push((*from, *to, unit.clone(), members.clone()));
+                    }
+                }
+                MetaRecord::DualOverride { key, shard } => {
+                    if let Some(p) = &mut st.pending {
+                        p.dual.insert(key.clone(), *shard);
+                    }
+                }
+                MetaRecord::HandoverAbort => {
+                    // Rollback needs no directory change: the committed
+                    // view stayed authoritative, and the stray copies the
+                    // transition created are swept at the shard level.
+                    if let Some(p) = st.pending.take() {
+                        for (_, to, unit, _) in &p.landed {
+                            if let MetaUnit::Group { new_gid, .. } = unit {
+                                st.pkeys.remove(&(*to, *new_gid));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        st
+    }
+
+    /// Redo the cutover a `ViewCommit` record authorised: landed units'
+    /// member keys repoint from source to destination, dual-written keys
+    /// collapse onto their override shard, and the source side's pkeys are
+    /// dropped.
+    fn apply_cutover(&mut self, pending: &PendingHandover) {
+        for (from, to, unit, members) in &pending.landed {
+            for m in members {
+                if self.directory.get(m) == Some(from) {
+                    self.directory.insert(m.clone(), *to);
+                }
+            }
+            if let MetaUnit::Group { gid, .. } = unit {
+                self.pkeys.remove(&(*from, *gid));
+            }
+        }
+        for (key, t) in &pending.dual {
+            if self.directory.contains_key(key) {
+                self.directory.insert(key.clone(), *t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rain_storage::MemLog;
+
+    fn sample_records() -> Vec<MetaRecord> {
+        vec![
+            MetaRecord::ViewCommit {
+                epoch: 1,
+                members: vec![0, 1, 2],
+                vnodes: 8,
+            },
+            MetaRecord::DirPut {
+                key: "obj-1".into(),
+                shard: 2,
+            },
+            MetaRecord::PkeyAssign {
+                shard: 2,
+                gid: 7,
+                pkey: "unit/2/7#3".into(),
+            },
+            MetaRecord::HandoverPrepare {
+                members: vec![0, 1, 2, 3],
+            },
+            MetaRecord::UnitLanded {
+                from: 2,
+                to: 3,
+                unit: MetaUnit::Group { gid: 7, new_gid: 0 },
+                members: vec!["obj-1".into()],
+            },
+            MetaRecord::DualOverride {
+                key: "obj-1".into(),
+                shard: 3,
+            },
+            MetaRecord::HandoverAbort,
+            MetaRecord::DirDel {
+                key: "obj-1".into(),
+            },
+            MetaRecord::Checkpoint {
+                epoch: 4,
+                members: vec![1, 2],
+                vnodes: 8,
+                directory: vec![("a".into(), 1), ("b".into(), 2)],
+                pkeys: vec![(1, 3, "unit/1/3#0".into())],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_record_round_trips_through_the_codec() {
+        for record in sample_records() {
+            let mut payload = Vec::new();
+            record.encode(&mut payload);
+            assert_eq!(MetaRecord::decode(&payload), Some(record));
+        }
+    }
+
+    #[test]
+    fn replay_returns_what_was_appended_and_cuts_a_torn_tail() {
+        let mut log = MetaLog::new(Box::new(MemLog::new()));
+        for record in sample_records() {
+            log.append(&record).unwrap();
+        }
+        let replay = log.replay().unwrap();
+        assert!(!replay.torn_tail);
+        let got: Vec<MetaRecord> = replay.records.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(got, sample_records());
+    }
+
+    #[test]
+    fn fold_applies_commit_and_rolls_back_unfinished_handovers() {
+        let records: Vec<(usize, MetaRecord)> = vec![
+            MetaRecord::ViewCommit {
+                epoch: 1,
+                members: vec![0, 1],
+                vnodes: 8,
+            },
+            MetaRecord::DirPut {
+                key: "k".into(),
+                shard: 0,
+            },
+            MetaRecord::HandoverPrepare {
+                members: vec![0, 1, 2],
+            },
+            MetaRecord::UnitLanded {
+                from: 0,
+                to: 2,
+                unit: MetaUnit::Whole { name: "k".into() },
+                members: vec!["k".into()],
+            },
+            MetaRecord::ViewCommit {
+                epoch: 2,
+                members: vec![0, 1, 2],
+                vnodes: 8,
+            },
+        ]
+        .into_iter()
+        .enumerate()
+        .collect();
+        let st = MetaState::fold(&records);
+        assert_eq!(st.view.as_ref().unwrap().epoch(), 2);
+        assert_eq!(st.directory.get("k"), Some(&2), "commit repoints");
+        assert!(st.pending.is_none());
+
+        // Same prefix, but the commit never made it to the log: the landed
+        // unit must be reported as pending so recovery rolls it back.
+        let st = MetaState::fold(&records[..4]);
+        assert_eq!(st.view.as_ref().unwrap().epoch(), 1);
+        assert_eq!(st.directory.get("k"), Some(&0), "no repoint without commit");
+        let pending = st.pending.expect("prepare without commit is pending");
+        assert_eq!(pending.landed.len(), 1);
+    }
+
+    #[test]
+    fn a_checkpoint_resets_state_and_drops_the_stale_prefix() {
+        let mut log = MetaLog::new(Box::new(MemLog::new()));
+        log.append(&MetaRecord::ViewCommit {
+            epoch: 1,
+            members: vec![0],
+            vnodes: 4,
+        })
+        .unwrap();
+        for i in 0..10 {
+            log.append(&MetaRecord::DirPut {
+                key: format!("k{i}"),
+                shard: 0,
+            })
+            .unwrap();
+        }
+        let ckpt = MetaRecord::Checkpoint {
+            epoch: 1,
+            members: vec![0],
+            vnodes: 4,
+            directory: (0..10).map(|i| (format!("k{i}"), 0)).collect(),
+            pkeys: vec![],
+        };
+        log.append(&ckpt).unwrap();
+        log.append(&ckpt).unwrap();
+        // The prefix before the first checkpoint is gone; replay starts at
+        // a checkpoint and still reconstructs every key.
+        let replay = log.replay().unwrap();
+        assert!(
+            matches!(replay.records[0].1, MetaRecord::Checkpoint { .. }),
+            "pre-checkpoint records must have been dropped"
+        );
+        let st = MetaState::fold(&replay.records);
+        assert_eq!(st.directory.len(), 10);
+        assert_eq!(st.view.unwrap().epoch(), 1);
+    }
+}

@@ -50,14 +50,19 @@ use rain_codes::{build_code, CodeSpec};
 use rain_obs::{span, Recorder, Registry, VirtualClock};
 use rain_sim::{NodeId, SimDuration};
 use rain_storage::wal::file::FileLog;
-use rain_storage::wal::{MemLog, WriteAheadLog};
+use rain_storage::wal::{MemLog, WalError, WriteAheadLog};
 use rain_storage::{
     DistributedStore, GroupConfig, GroupId, RecoveryReport, RetrieveReport, SelectionPolicy,
-    StorageError,
+    StorageError, SurvivingNodes,
 };
 
+use crate::metalog::{MetaLog, MetaRecord, MetaUnit};
 use crate::ring::ShardId;
 use crate::view::MembershipView;
+
+fn wal_err(e: WalError) -> ClusterError {
+    ClusterError::Storage(StorageError::Wal(e))
+}
 
 /// Errors surfaced by the cluster routing layer.
 #[derive(Debug)]
@@ -148,6 +153,61 @@ pub struct ClusterStats {
     pub future_stamped_reads: u64,
     /// Writes applied to both the old and new owner during a handover.
     pub dual_writes: u64,
+    /// Units re-homed by a replan of previously skipped transfers
+    /// ([`ClusterStore::replan_skipped`]).
+    pub handover_replanned: u64,
+}
+
+/// What survives a full-cluster power loss: each shard's node fabric (the
+/// machines holding installed symbols). Produced by [`ClusterStore::crash`],
+/// consumed by [`ClusterStore::recover_from_disk`] — every coordinator's
+/// in-memory state (directory, view, handover, object tables) is gone and
+/// must come back from the on-disk logs.
+#[derive(Debug)]
+pub struct ClusterSurvivors {
+    nodes: BTreeMap<ShardId, SurvivingNodes>,
+}
+
+impl ClusterSurvivors {
+    /// The shards with surviving node fabrics, sorted.
+    pub fn shards(&self) -> Vec<ShardId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Drop one shard's surviving nodes — models a machine that never came
+    /// back from the outage. Its keys recover as honestly unavailable.
+    pub fn lose_shard(&mut self, shard: ShardId) -> bool {
+        self.nodes.remove(&shard).is_some()
+    }
+}
+
+/// What [`ClusterStore::recover_from_disk`] found and did, for assertions
+/// and operator visibility.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ClusterRecoveryReport {
+    /// Complete metalog records replayed from `cluster.meta`.
+    pub meta_records_replayed: usize,
+    /// True if the metalog ended in a partially written record (tolerated:
+    /// replay stops at the last complete record).
+    pub meta_torn_tail: bool,
+    /// True if the crash interrupted a prepared-but-uncommitted handover,
+    /// which recovery rolled back exactly like
+    /// [`ClusterStore::abort_handover`].
+    pub handover_rolled_back: bool,
+    /// Per-shard WAL replay reports for every shard that had survivors.
+    pub shard_reports: BTreeMap<ShardId, RecoveryReport>,
+    /// Durable copies deleted because the directory credits a different
+    /// shard — leftovers of rolled-back or crash-interrupted transfers.
+    pub strays_evicted: u64,
+    /// Durable objects the directory never learned (the shard committed,
+    /// the crash ate the `DirPut`), re-adopted into the directory.
+    pub adopted: u64,
+    /// Directory entries dropped because the recovered owner lost the
+    /// bytes (un-synced WAL tail); those keys read as honestly unknown.
+    pub directory_dropped: u64,
+    /// True if recovered state still references shards outside the
+    /// committed view — [`ClusterStore::replan_skipped`] will re-home them.
+    pub pending_replan: bool,
 }
 
 /// What one placement unit is.
@@ -202,10 +262,23 @@ pub struct ClusterStore {
     registry: Option<Registry>,
     clock: Option<Arc<VirtualClock>>,
     /// When set, each shard's WAL is the file `shard-<id>.wal` in this
-    /// directory (synced per [`GroupConfig::fsync`]) instead of an
-    /// in-memory log, and [`ClusterStore::restart_shard_from_disk`] can
-    /// rebuild a shard coordinator purely from its on-disk log.
+    /// directory (synced per [`GroupConfig::fsync`]; a directory of
+    /// `wal.NNNNNN.seg` segments instead when
+    /// [`GroupConfig::segment_bytes`] is non-zero), the cluster's control
+    /// state is write-ahead logged to `cluster.meta` alongside them, and
+    /// [`ClusterStore::restart_shard_from_disk`] /
+    /// [`ClusterStore::recover_from_disk`] can rebuild a shard — or the
+    /// whole cluster — purely from disk.
     wal_dir: Option<std::path::PathBuf>,
+    /// The cluster metalog (see [`crate::metalog`]): directory mutations,
+    /// handover phases, and epoch bumps are appended here **before** they
+    /// are applied. `None` without a WAL directory.
+    meta: Option<MetaLog>,
+    /// True while some placement unit is known to sit away from where the
+    /// committed ring wants it — a transfer was skipped (shard down), or a
+    /// departed member still holds directory-owned keys. Cleared when a
+    /// [`ClusterStore::replan_skipped`] pass lands everything.
+    pending_replan: bool,
 }
 
 impl ClusterStore {
@@ -256,18 +329,68 @@ impl ClusterStore {
             registry: None,
             clock: None,
             wal_dir,
+            meta: None,
+            pending_replan: false,
         };
+        if cluster.wal_dir.is_some() {
+            let mut meta = MetaLog::new(cluster.open_meta_backend()?);
+            // The genesis view is the first committed fact: a restart must
+            // know the member set and vnode count before anything else.
+            meta.append(&MetaRecord::ViewCommit {
+                epoch: cluster.view.epoch(),
+                members: cluster.view.members().to_vec(),
+                vnodes: cluster.view.ring().vnodes(),
+            })
+            .map_err(wal_err)?;
+            cluster.meta = Some(meta);
+        }
         for &s in cluster.view.members().to_vec().iter() {
             cluster.ensure_shard(s)?;
         }
         Ok(cluster)
     }
 
-    /// The on-disk WAL path for shard `s`, when file-backed.
+    /// Open the metalog's backing log in the WAL directory: the single
+    /// file `cluster.meta`, or a `cluster.meta.d/` segment directory when
+    /// [`GroupConfig::segment_bytes`] asks for O(1) truncation.
+    fn open_meta_backend(&self) -> Result<Box<dyn rain_storage::LogBackend>, ClusterError> {
+        let dir = self.wal_dir.as_ref().expect("caller checked wal_dir");
+        let log = if self.config.segment_bytes > 0 {
+            FileLog::open_segmented(
+                dir.join("cluster.meta.d"),
+                self.config.fsync,
+                self.config.segment_bytes,
+            )
+        } else {
+            FileLog::open(dir.join("cluster.meta"), self.config.fsync)
+        }
+        .map_err(wal_err)?;
+        Ok(Box::new(log))
+    }
+
+    /// The on-disk WAL path for shard `s`, when file-backed: the file
+    /// `shard-<s>.wal`, or the segment directory `shard-<s>.wal.d` when
+    /// [`GroupConfig::segment_bytes`] is non-zero.
     fn shard_wal_path(&self, s: ShardId) -> Option<std::path::PathBuf> {
-        self.wal_dir
-            .as_ref()
-            .map(|d| d.join(format!("shard-{s}.wal")))
+        self.wal_dir.as_ref().map(|d| {
+            if self.config.segment_bytes > 0 {
+                d.join(format!("shard-{s}.wal.d"))
+            } else {
+                d.join(format!("shard-{s}.wal"))
+            }
+        })
+    }
+
+    /// Open (creating if absent) shard `s`'s on-disk log, honouring the
+    /// single-file vs segmented layout choice.
+    fn open_shard_log(&self, s: ShardId) -> Result<FileLog, ClusterError> {
+        let path = self.shard_wal_path(s).expect("caller checked wal_dir");
+        if self.config.segment_bytes > 0 {
+            FileLog::open_segmented(path, self.config.fsync, self.config.segment_bytes)
+        } else {
+            FileLog::open(path, self.config.fsync)
+        }
+        .map_err(wal_err)
     }
 
     fn ensure_shard(&mut self, s: ShardId) -> Result<(), ClusterError> {
@@ -275,9 +398,11 @@ impl ClusterStore {
             return Ok(());
         }
         let code = build_code(self.spec).map_err(StorageError::from)?;
-        let mut store = match self.shard_wal_path(s) {
-            Some(path) => DistributedStore::with_wal_file(code, self.config, path)?,
-            None => DistributedStore::with_wal(code, self.config, Box::new(MemLog::new())),
+        let mut store = if self.wal_dir.is_some() {
+            let log = self.open_shard_log(s)?;
+            DistributedStore::with_wal(code, self.config, Box::new(log))
+        } else {
+            DistributedStore::with_wal(code, self.config, Box::new(MemLog::new()))
         };
         if let Some(reg) = &self.registry {
             store.attach_registry(reg);
@@ -296,17 +421,16 @@ impl ClusterStore {
     /// Errors if the cluster was not built with
     /// [`ClusterStore::with_wal_dir`] or the shard does not exist.
     pub fn restart_shard_from_disk(&mut self, s: ShardId) -> Result<RecoveryReport, ClusterError> {
-        let path = self.shard_wal_path(s).ok_or_else(|| {
-            ClusterError::Storage(StorageError::Recovery {
+        if self.wal_dir.is_none() {
+            return Err(ClusterError::Storage(StorageError::Recovery {
                 reason: "restart_from_disk needs a file-backed cluster (with_wal_dir)".to_string(),
-            })
-        })?;
+            }));
+        }
         let store = self.shards.remove(&s).ok_or(ClusterError::ShardDown(s))?;
         // The returned in-memory WAL handle is dropped on the floor:
         // recovery must read the log back from the filesystem.
         let (nodes, _discarded) = store.crash();
-        let reopen = |e| ClusterError::Storage(StorageError::Wal(e));
-        let file = FileLog::open(&path, self.config.fsync).map_err(reopen)?;
+        let file = self.open_shard_log(s)?;
         let code = build_code(self.spec).map_err(StorageError::from)?;
         let (mut rebuilt, report) =
             DistributedStore::recover(code, self.config, nodes, WriteAheadLog::new(Box::new(file)))
@@ -332,6 +456,53 @@ impl ClusterStore {
             store.attach_registry(registry);
         }
         self.publish_gauges();
+    }
+
+    /// Append one metalog record (a no-op without a WAL directory), then
+    /// auto-checkpoint the control state if the
+    /// [`GroupConfig::checkpoint_every`] interval has elapsed. Checkpoints
+    /// are only taken between handovers: transition records must stay in
+    /// the log until their commit or abort is durable.
+    fn meta_append(&mut self, record: MetaRecord) -> Result<(), ClusterError> {
+        let Some(meta) = &mut self.meta else {
+            return Ok(());
+        };
+        meta.append(&record).map_err(wal_err)?;
+        let every = self.config.checkpoint_every;
+        if every > 0 && self.handover.is_none() && meta.since_checkpoint() >= every {
+            let ckpt = self.meta_checkpoint_record();
+            self.meta
+                .as_mut()
+                .expect("checked above")
+                .append(&ckpt)
+                .map_err(wal_err)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the committed control state into a checkpoint record:
+    /// view, directory, and pkey assignments, each sorted so the record is
+    /// deterministic.
+    fn meta_checkpoint_record(&self) -> MetaRecord {
+        let mut directory: Vec<(String, ShardId)> = self
+            .directory
+            .iter()
+            .map(|(k, &s)| (k.clone(), s))
+            .collect();
+        directory.sort();
+        let mut pkeys: Vec<(ShardId, GroupId, String)> = self
+            .pkeys
+            .iter()
+            .map(|(&(s, g), p)| (s, g, p.clone()))
+            .collect();
+        pkeys.sort();
+        MetaRecord::Checkpoint {
+            epoch: self.view.epoch(),
+            members: self.view.members().to_vec(),
+            vnodes: self.view.ring().vnodes(),
+            directory,
+            pkeys,
+        }
     }
 
     /// The committed epoch.
@@ -400,6 +571,12 @@ impl ClusterStore {
                 store.advance_time(step);
             }
         }
+        if let Some(meta) = &mut self.meta {
+            // Interval fsync policies batch metalog appends exactly like
+            // shard WAL appends; a failed interval commit keeps its bytes
+            // pending and the next append or sync retries.
+            let _ = meta.advance_clock(step);
+        }
         if let Some(clock) = &self.clock {
             clock.advance_micros(step.as_micros());
         }
@@ -436,39 +613,70 @@ impl ClusterStore {
             .get_mut(&primary)
             .expect("directory names a shard")
             .store(key, data)?;
+        if self.directory.get(key) != Some(&primary) {
+            // The bytes are shard-durable; record the ownership *before*
+            // the directory learns it. A crash between the two leaves a
+            // durable object with no entry — recovery adopts it back.
+            self.meta_append(MetaRecord::DirPut {
+                key: key.to_string(),
+                shard: primary,
+            })?;
+        }
         self.directory.insert(key.to_string(), primary);
-        if let Some(h) = &mut self.handover {
-            let target_owner = h.target.owner_of(key);
-            if let Some(t) = target_owner {
-                let stale_secondary = h
-                    .moved
-                    .get(key)
-                    .copied()
-                    .filter(|&d| d != t && d != primary);
-                if t != primary && self.up.get(&t).copied().unwrap_or(false) {
-                    self.shards
-                        .get_mut(&t)
-                        .expect("target view members have shards")
-                        .store(key, data)?;
-                    h.dual.insert(key.to_string(), t);
-                    self.stats.dual_writes += 1;
-                } else if t != primary {
-                    // The target-view owner is down, so the fresh bytes
-                    // exist only at the committed owner. Point the dual
-                    // override there: commit must collapse the key onto
-                    // this copy, not onto a transferred unit's
-                    // pre-overwrite snapshot (nor onto a dual copy an
-                    // earlier overwrite left at `t`).
-                    h.dual.insert(key.to_string(), primary);
-                } else {
-                    // The key stays home under the target view, but an
-                    // already-transferred unit may hold a now-stale copy of
-                    // it elsewhere; the dual override at commit clears it.
-                    if stale_secondary.is_some() {
-                        h.dual.insert(key.to_string(), t);
+        // During a handover, decide where the write must additionally land
+        // (dual-log) and which copy must win at commit (dual override).
+        let (dual_store, dual_override) = match &self.handover {
+            Some(h) => match h.target.owner_of(key) {
+                Some(t) => {
+                    let stale_secondary = h
+                        .moved
+                        .get(key)
+                        .copied()
+                        .filter(|&d| d != t && d != primary);
+                    if t != primary && self.up.get(&t).copied().unwrap_or(false) {
+                        (Some(t), Some(t))
+                    } else if t != primary {
+                        // The target-view owner is down, so the fresh bytes
+                        // exist only at the committed owner. Point the dual
+                        // override there: commit must collapse the key onto
+                        // this copy, not onto a transferred unit's
+                        // pre-overwrite snapshot (nor onto a dual copy an
+                        // earlier overwrite left at `t`).
+                        (None, Some(primary))
+                    } else if stale_secondary.is_some() {
+                        // The key stays home under the target view, but an
+                        // already-transferred unit may hold a now-stale
+                        // copy of it elsewhere; the dual override at commit
+                        // clears it.
+                        (None, Some(t))
+                    } else {
+                        (None, None)
                     }
                 }
+                None => (None, None),
+            },
+            None => (None, None),
+        };
+        if let Some(t) = dual_store {
+            self.shards
+                .get_mut(&t)
+                .expect("target view members have shards")
+                .store(key, data)?;
+            self.stats.dual_writes += 1;
+        }
+        if let Some(winner) = dual_override {
+            let h = self.handover.as_ref().expect("override implies handover");
+            if h.dual.get(key) != Some(&winner) {
+                self.meta_append(MetaRecord::DualOverride {
+                    key: key.to_string(),
+                    shard: winner,
+                })?;
             }
+            self.handover
+                .as_mut()
+                .expect("override implies handover")
+                .dual
+                .insert(key.to_string(), winner);
         }
         Ok(())
     }
@@ -573,6 +781,12 @@ impl ClusterStore {
             .get_mut(&primary)
             .expect("directory names a shard")
             .delete(key)?;
+        // Logged *after* the shard-level delete: logging first would let a
+        // crash resurrect the key (directory forgets it while the shard
+        // still serves it), logging after merely re-deletes at recovery.
+        self.meta_append(MetaRecord::DirDel {
+            key: key.to_string(),
+        })?;
         self.directory.remove(key);
         let mut extra: Vec<ShardId> = Vec::new();
         if let Some(h) = &mut self.handover {
@@ -651,6 +865,7 @@ impl ClusterStore {
         }
         self.flush_all();
         let mut moves = Vec::new();
+        let mut new_pkeys: Vec<(ShardId, GroupId, String)> = Vec::new();
         let shard_ids: Vec<ShardId> = self.shards.keys().copied().collect();
         for s in shard_ids {
             if !self.up[&s] {
@@ -663,6 +878,7 @@ impl ClusterStore {
                     None => {
                         let p = Self::probe_pkey(&self.view, s, &format!("unit/{s}/{gid}"));
                         self.pkeys.insert((s, gid), p.clone());
+                        new_pkeys.push((s, gid, p.clone()));
                         p
                     }
                 };
@@ -688,6 +904,21 @@ impl ClusterStore {
                 }
             }
         }
+        // Probed placement keys are deterministic in the committed view,
+        // so logging them after the in-memory insert is safe: a crash here
+        // re-probes the identical keys. The prepare record is the durable
+        // transition marker — everything between it and the matching
+        // commit/abort rolls back at recovery.
+        for (s, gid, pkey) in new_pkeys {
+            self.meta_append(MetaRecord::PkeyAssign {
+                shard: s,
+                gid,
+                pkey,
+            })?;
+        }
+        self.meta_append(MetaRecord::HandoverPrepare {
+            members: target.members().to_vec(),
+        })?;
         let planned = moves.len();
         let mut span = span!(
             self.recorder,
@@ -759,13 +990,9 @@ impl ClusterStore {
                 let members: Vec<String> = export.members.iter().map(|(n, _)| n.clone()).collect();
                 span.field("objects", members.len() as u64);
                 span.field("symbols", symbols);
-                let h = self.handover.as_mut().expect("checked above");
+                let h = self.handover.as_ref().expect("checked above");
                 let pkey = Self::probe_pkey(&h.target, mv.to, &format!("unit/{}/{new_gid}", mv.to));
-                self.pkeys.insert((mv.to, new_gid), pkey);
-                for m in &members {
-                    h.moved.insert(m.clone(), mv.to);
-                }
-                (members, Some(new_gid), symbols)
+                (members, Some(new_gid), symbols, Some(pkey))
             }
             UnitKind::Whole { name } => {
                 let bytes = match self
@@ -795,14 +1022,43 @@ impl ClusterStore {
                 self.stats.wholes_moved += 1;
                 self.stats.symbols_transferred += symbols;
                 span.field("symbols", symbols);
-                let h = self.handover.as_mut().expect("checked above");
-                h.moved.insert(name.clone(), mv.to);
-                (vec![name.clone()], None, symbols)
+                (vec![name.clone()], None, symbols, None)
             }
         };
+        let (members, new_gid, symbols, pkey) = landed;
+        // The unit is shard-durable at the destination; record the landing
+        // (and the imported group's placement key) before the in-memory
+        // bookkeeping. A crash in between leaves a stray destination copy
+        // the recovery sweep evicts — exactly the abort semantics.
+        if let (Some(gid_new), Some(p)) = (new_gid, &pkey) {
+            self.meta_append(MetaRecord::PkeyAssign {
+                shard: mv.to,
+                gid: gid_new,
+                pkey: p.clone(),
+            })?;
+        }
+        let unit = match &mv.kind {
+            UnitKind::Group { gid } => MetaUnit::Group {
+                gid: *gid,
+                new_gid: new_gid.expect("landed groups carry their id"),
+            },
+            UnitKind::Whole { name } => MetaUnit::Whole { name: name.clone() },
+        };
+        self.meta_append(MetaRecord::UnitLanded {
+            from: mv.from,
+            to: mv.to,
+            unit,
+            members: members.clone(),
+        })?;
+        if let (Some(gid_new), Some(p)) = (new_gid, pkey) {
+            self.pkeys.insert((mv.to, gid_new), p);
+        }
         let h = self.handover.as_mut().expect("checked above");
-        h.moves[idx].landed = Some((landed.0, landed.1));
-        Ok(Some(landed.2))
+        for m in &members {
+            h.moved.insert(m.clone(), mv.to);
+        }
+        h.moves[idx].landed = Some((members, new_gid));
+        Ok(Some(symbols))
     }
 
     /// Cut over to the target view: finish remaining transfers, evict old
@@ -814,6 +1070,18 @@ impl ClusterStore {
             return Err(ClusterError::NoHandover);
         }
         while self.transfer_next()?.is_some() {}
+        // The single commit record, logged before any cutover mutation: a
+        // crash anywhere past this point replays the record and redoes the
+        // cutover deterministically from the logged transition state.
+        let commit_record = {
+            let target = &self.handover.as_ref().expect("checked above").target;
+            MetaRecord::ViewCommit {
+                epoch: target.epoch(),
+                members: target.members().to_vec(),
+                vnodes: target.ring().vnodes(),
+            }
+        };
+        self.meta_append(commit_record)?;
         let h = self.handover.take().expect("checked above");
         let mut span = span!(
             self.recorder,
@@ -902,6 +1170,11 @@ impl ClusterStore {
         drop(span);
         self.view = h.target;
         self.stats.epoch_commits += 1;
+        // Anything that did not land — a skipped transfer, or keys still
+        // directory-owned by a shard outside the new view — is pending
+        // replacement work for [`ClusterStore::replan_skipped`].
+        self.pending_replan = h.moves.iter().any(|mv| mv.landed.is_none())
+            || self.directory.values().any(|s| !self.view.contains(*s));
         self.publish_gauges();
         Ok(self.view.epoch())
     }
@@ -911,7 +1184,15 @@ impl ClusterStore {
     /// view authoritative. Used when the transition was overtaken — e.g.
     /// the joining shard crashed mid-transfer.
     pub fn abort_handover(&mut self) -> Result<(), ClusterError> {
-        let h = self.handover.take().ok_or(ClusterError::NoHandover)?;
+        if self.handover.is_none() {
+            return Err(ClusterError::NoHandover);
+        }
+        // Logged before the rollback evictions: replay of a prepare
+        // followed by an abort reconstructs no transition state, and the
+        // stray copies (if the evictions below never ran) fall to the
+        // recovery sweep.
+        self.meta_append(MetaRecord::HandoverAbort)?;
+        let h = self.handover.take().expect("checked above");
         let _span = span!(
             self.recorder,
             "cluster.handover.abort",
@@ -964,6 +1245,291 @@ impl ClusterStore {
         Ok(())
     }
 
+    /// True while some placement unit is known to sit away from where the
+    /// committed ring wants it — a handover skipped its transfer (source
+    /// or destination down), or a departed member still holds
+    /// directory-owned keys. [`ClusterStore::replan_skipped`] clears it.
+    pub fn pending_replan(&self) -> bool {
+        self.pending_replan
+    }
+
+    /// Re-plan units stranded by skipped handover transfers, even though
+    /// the converged membership equals the committed view: runs a full
+    /// two-phase handover toward the *current* member set, which re-homes
+    /// every misplaced unit the planner can reach. Returns the new epoch
+    /// when at least one unit landed, `Ok(None)` when there was nothing to
+    /// do or nothing could move yet (stranded shards still down — the
+    /// pending flag stays set and a later call retries).
+    ///
+    /// Units successfully re-homed are counted in
+    /// [`ClusterStats::handover_replanned`] (`cluster.handover.replanned`).
+    pub fn replan_skipped(&mut self) -> Result<Option<u64>, ClusterError> {
+        if !self.pending_replan || self.handover.is_some() {
+            return Ok(None);
+        }
+        let members: Vec<ShardId> = self.view.members().to_vec();
+        let planned = self.begin_handover(&members)?;
+        if planned == 0 {
+            // Nothing is reachable to move (the stranded shard is still
+            // down, so its units were not even planned). Roll back without
+            // an epoch bump and keep the flag for a later attempt.
+            self.abort_handover()?;
+            // Keep the flag while anything could still be stranded out of
+            // the planner's sight: keys owned outside the view, or an
+            // in-view shard that is down (its units were not planned).
+            self.pending_replan = self.directory.values().any(|s| !self.view.contains(*s))
+                || self.view.members().iter().any(|&s| !self.shard_up(s));
+            return Ok(None);
+        }
+        while self.transfer_next()?.is_some() {}
+        let landed = self
+            .handover
+            .as_ref()
+            .expect("begin_handover installed it")
+            .moves
+            .iter()
+            .filter(|mv| mv.landed.is_some())
+            .count() as u64;
+        if landed == 0 {
+            // Every planned move skipped again; no epoch bump for nothing.
+            self.abort_handover()?;
+            return Ok(None);
+        }
+        self.stats.handover_replanned += landed;
+        let epoch = self.commit_handover()?;
+        Ok(Some(epoch))
+    }
+
+    /// Simulate a full-cluster power loss: every coordinator's memory —
+    /// the directory, view, handover state, every shard's object table and
+    /// log handle — is gone. What survives is each shard's node fabric
+    /// (separate machines holding installed symbols) and whatever the
+    /// on-disk logs had accepted; batched, un-synced log tails are lost
+    /// with the writers. Feed the survivors to
+    /// [`ClusterStore::recover_from_disk`].
+    pub fn crash(self) -> ClusterSurvivors {
+        let mut nodes = BTreeMap::new();
+        for (s, store) in self.shards {
+            // Each shard's in-memory WAL handle is dropped on the floor —
+            // recovery must read the logs back from the filesystem.
+            let (surviving, _discarded) = store.crash();
+            nodes.insert(s, surviving);
+        }
+        ClusterSurvivors { nodes }
+    }
+
+    /// Rebuild a whole cluster from its WAL directory after a power loss:
+    ///
+    /// 1. **Metalog replay** — the committed view, directory, and pkey
+    ///    assignments are folded back from `dir/cluster.meta`; a
+    ///    prepare-logged handover with no commit is rolled back (an abort
+    ///    record is appended), and a logged commit whose cutover mutations
+    ///    never ran is redone deterministically.
+    /// 2. **Per-shard replay** — every surviving shard coordinator is
+    ///    rebuilt from its own on-disk log against its node fabric, exactly
+    ///    like [`ClusterStore::restart_shard_from_disk`]. A shard with no
+    ///    survivors comes back *down* (its keys read as honest
+    ///    [`ClusterError::ShardDown`]).
+    /// 3. **Reconciliation sweep** — cross-log drift from the crash point
+    ///    is healed: copies on shards the directory does not credit are
+    ///    evicted (rollback/commit-redo strays), durable objects the
+    ///    directory never learned are adopted back, and directory entries
+    ///    whose recovered owner lost the bytes are dropped (the loss is
+    ///    surfaced, never served wrong).
+    ///
+    /// Every acked object comes back bit-exact or honestly unavailable.
+    pub fn recover_from_disk(
+        spec: CodeSpec,
+        config: GroupConfig,
+        dir: impl Into<std::path::PathBuf>,
+        survivors: ClusterSurvivors,
+    ) -> Result<(Self, ClusterRecoveryReport), ClusterError> {
+        let dir = dir.into();
+        let mut cluster = ClusterStore {
+            spec,
+            config,
+            shards: BTreeMap::new(),
+            up: BTreeMap::new(),
+            view: MembershipView::genesis(&[0], 1), // replaced below
+            directory: HashMap::new(),
+            pkeys: HashMap::new(),
+            handover: None,
+            stats: ClusterStats::default(),
+            recorder: Recorder::disabled(),
+            registry: None,
+            clock: None,
+            wal_dir: Some(dir),
+            meta: None,
+            pending_replan: false,
+        };
+        // 1. Metalog replay.
+        let mut meta = MetaLog::new(cluster.open_meta_backend()?);
+        let replay = meta.replay().map_err(wal_err)?;
+        let mut report = ClusterRecoveryReport {
+            meta_records_replayed: replay.records.len(),
+            meta_torn_tail: replay.torn_tail,
+            ..ClusterRecoveryReport::default()
+        };
+        let state = crate::metalog::MetaState::fold(&replay.records);
+        let Some(view) = state.view else {
+            return Err(ClusterError::Storage(StorageError::Recovery {
+                reason: "metalog holds no committed view".to_string(),
+            }));
+        };
+        cluster.view = view;
+        cluster.directory = state.directory.into_iter().collect();
+        cluster.pkeys = state
+            .pkeys
+            .iter()
+            .map(|(&(s, g), p)| ((s, g), p.clone()))
+            .collect();
+        if let Some(pending) = &state.pending {
+            // Prepare without commit: the transition rolls back exactly
+            // like an abort. Imported copies are already invisible (the
+            // directory never repointed) and fall to the sweep below; the
+            // abort record keeps the *next* replay from reconstructing the
+            // same dangling transition.
+            report.handover_rolled_back = true;
+            for (_, to, unit, _) in &pending.landed {
+                if let MetaUnit::Group { new_gid, .. } = unit {
+                    cluster.pkeys.remove(&(*to, *new_gid));
+                }
+            }
+            meta.append(&MetaRecord::HandoverAbort).map_err(wal_err)?;
+        }
+        cluster.meta = Some(meta);
+        // 2. Per-shard replay against the surviving node fabrics.
+        for (s, nodes) in survivors.nodes {
+            let file = cluster.open_shard_log(s)?;
+            let code = build_code(cluster.spec).map_err(StorageError::from)?;
+            let (store, shard_report) = DistributedStore::recover(
+                code,
+                cluster.config,
+                nodes,
+                WriteAheadLog::new(Box::new(file)),
+            )
+            .map_err(ClusterError::Storage)?;
+            cluster.shards.insert(s, store);
+            cluster.up.insert(s, true);
+            report.shard_reports.insert(s, shard_report);
+        }
+        // Shards the control state references but nothing survived of:
+        // they exist (so routing can name them) but come back down.
+        let referenced: Vec<ShardId> = cluster
+            .view
+            .members()
+            .iter()
+            .copied()
+            .chain(cluster.directory.values().copied())
+            .collect();
+        for s in referenced {
+            if !cluster.shards.contains_key(&s) {
+                let code = build_code(cluster.spec).map_err(StorageError::from)?;
+                let store =
+                    DistributedStore::with_wal(code, cluster.config, Box::new(MemLog::new()));
+                cluster.shards.insert(s, store);
+                cluster.up.insert(s, false);
+            }
+        }
+        // 3. Reconciliation sweep over the recovered shards.
+        cluster.reconcile_after_restart(&mut report)?;
+        cluster.pending_replan = cluster
+            .directory
+            .values()
+            .any(|s| !cluster.view.contains(*s));
+        report.pending_replan = cluster.pending_replan;
+        Ok((cluster, report))
+    }
+
+    /// Heal cross-log drift after a full restart. The shard WALs and the
+    /// metalog are separate logs with no cross-log transaction, so a crash
+    /// can leave them one record apart in either direction; each case has
+    /// exactly one safe resolution:
+    ///
+    /// * object durable on a shard, directory credits a *different* shard
+    ///   — a rollback or commit-redo stray (un-evicted old copy, dual
+    ///   copy, transferred snapshot). Evict it; the credited copy rules.
+    /// * object durable on a shard, directory has *no* entry — the shard
+    ///   store committed but the `DirPut` never became durable. Adopt it:
+    ///   the write was acked only after the shard made it durable.
+    /// * directory entry whose recovered owner lacks the object — the
+    ///   shard lost its un-synced WAL tail in the crash (or a logged
+    ///   delete's `DirDel` was lost). Drop the entry; the key reads as
+    ///   honestly unknown instead of dangling.
+    fn reconcile_after_restart(
+        &mut self,
+        report: &mut ClusterRecoveryReport,
+    ) -> Result<(), ClusterError> {
+        // Who actually holds what, among recovered (up) shards.
+        let mut holders: BTreeMap<String, Vec<ShardId>> = BTreeMap::new();
+        for (&s, store) in &self.shards {
+            if !self.up[&s] {
+                continue;
+            }
+            for name in store.object_names() {
+                holders.entry(name.to_string()).or_default().push(s);
+            }
+        }
+        for (name, at) in &holders {
+            match self.directory.get(name) {
+                Some(owner) => {
+                    for &s in at {
+                        if s != *owner {
+                            match self.shards.get_mut(&s).expect("holder exists").delete(name) {
+                                Ok(()) | Err(StorageError::UnknownObject { .. }) => {
+                                    report.strays_evicted += 1;
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Adopt: prefer the committed ring's pick if it holds a
+                    // copy (an interrupted dual write can leave two), drop
+                    // the rest.
+                    let keep = self
+                        .view
+                        .owner_of(name)
+                        .filter(|o| at.contains(o))
+                        .unwrap_or(at[0]);
+                    self.meta_append(MetaRecord::DirPut {
+                        key: name.clone(),
+                        shard: keep,
+                    })?;
+                    self.directory.insert(name.clone(), keep);
+                    report.adopted += 1;
+                    for &s in at {
+                        if s != keep {
+                            match self.shards.get_mut(&s).expect("holder exists").delete(name) {
+                                Ok(()) | Err(StorageError::UnknownObject { .. }) => {
+                                    report.strays_evicted += 1;
+                                }
+                                Err(e) => return Err(e.into()),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Directory entries whose recovered owner lost the bytes.
+        let dropped: Vec<String> = self
+            .directory
+            .iter()
+            .filter(|(name, &owner)| {
+                self.up.get(&owner).copied().unwrap_or(false)
+                    && holders.get(*name).is_none_or(|at| !at.contains(&owner))
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        for name in dropped {
+            self.meta_append(MetaRecord::DirDel { key: name.clone() })?;
+            self.directory.remove(&name);
+            report.directory_dropped += 1;
+        }
+        Ok(())
+    }
+
     /// Publish the cluster gauges: `cluster.epoch`, per-shard object
     /// counts, and the [`ClusterStats`] totals. No-op without a registry.
     pub fn publish_gauges(&self) {
@@ -997,6 +1563,10 @@ impl ClusterStore {
             .set(self.stats.future_stamped_reads as i64);
         reg.gauge("cluster.dual_writes")
             .set(self.stats.dual_writes as i64);
+        reg.gauge("cluster.handover.replanned")
+            .set(self.stats.handover_replanned as i64);
+        reg.gauge("cluster.handover.pending_replan")
+            .set(i64::from(self.pending_replan));
     }
 }
 
@@ -1277,6 +1847,48 @@ mod tests {
 
         cs.recover_shard(2);
         assert_bit_exact(&mut cs, 40, &HashMap::new());
+    }
+
+    /// Regression: units skipped during a handover used to stay stranded on
+    /// their out-of-view owner until the *next* membership change happened
+    /// to re-plan them. [`ClusterStore::replan_skipped`] re-homes them as
+    /// soon as their source is reachable, with no membership change.
+    #[test]
+    fn replan_rehomes_stranded_units_without_a_membership_change() {
+        let mut cs = cluster(&[0, 1, 2]);
+        seed(&mut cs, 40);
+        cs.begin_handover(&[0, 1]).unwrap();
+        cs.fail_shard(2);
+        while cs.transfer_next().unwrap().is_some() {}
+        cs.commit_handover().unwrap();
+        assert_eq!(cs.epoch(), 2);
+        assert!(
+            cs.pending_replan(),
+            "skipped units must leave a pending replan, not vanish"
+        );
+
+        // While the stranded source is still down, a replan is a no-op:
+        // the units stay put (and read honestly) instead of churning
+        // epochs on transfers that can only skip again.
+        assert_eq!(cs.replan_skipped().unwrap(), None);
+        assert!(
+            cs.pending_replan(),
+            "still stranded while the source is down"
+        );
+
+        // The moment the source returns, a replan re-homes every stranded
+        // unit into the committed member set — no membership change.
+        cs.recover_shard(2);
+        let epoch = cs.replan_skipped().unwrap().expect("replan must commit");
+        assert_eq!(epoch, 3);
+        assert!(!cs.pending_replan());
+        assert!(cs.stats().handover_replanned > 0);
+        assert_single_homed(&cs);
+        assert_bit_exact(&mut cs, 40, &HashMap::new());
+
+        // Converged: further replans are no-ops, no epoch churn.
+        assert_eq!(cs.replan_skipped().unwrap(), None);
+        assert_eq!(cs.epoch(), 3);
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl MembershipView {
         self.ring.lookup(key)
     }
 
+    /// Rebuild a committed view from its logged parts (epoch, member set,
+    /// vnode count). The ring construction is deterministic, so a view
+    /// restored from a metalog record routes exactly as the view that was
+    /// logged.
+    pub fn restore(epoch: u64, members: &[ShardId], vnodes: usize) -> Self {
+        MembershipView {
+            epoch,
+            ring: HashRing::new(members, vnodes),
+        }
+    }
+
     /// The committed successor of this view: the next epoch over a new
     /// member set (same vnode count).
     pub fn successor(&self, members: &[ShardId]) -> MembershipView {

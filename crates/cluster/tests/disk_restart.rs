@@ -49,6 +49,14 @@ fn churned_cluster(
     let config = config()
         .with_fsync(fsync)
         .with_checkpoint_every(checkpoint_every);
+    churned_cluster_cfg(dir, config)
+}
+
+/// Same churn, caller-supplied [`GroupConfig`] (segmented layouts etc.).
+fn churned_cluster_cfg(
+    dir: &std::path::Path,
+    config: GroupConfig,
+) -> (ClusterStore, HashMap<String, Vec<u8>>) {
     let members: Vec<ShardId> = vec![0, 1, 2];
     let mut cluster = ClusterStore::with_wal_dir(spec(), config, &members, 8, dir).unwrap();
     let mut acked: HashMap<String, Vec<u8>> = HashMap::new();
@@ -218,4 +226,236 @@ fn relaxed_fsync_may_lose_the_unsynced_tail_but_never_serves_wrong_bytes() {
     assert_eq!(exact, acked.len());
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&dir2);
+}
+
+// ---- full-cluster restart: metalog + every shard WAL -----------------------
+
+#[test]
+fn the_whole_cluster_recovers_from_disk_after_a_power_loss() {
+    let dir = wal_dir("full");
+    let config = config().with_fsync(FsyncPolicy::Always);
+    let (cluster, acked) = churned_cluster(&dir, FsyncPolicy::Always, 0);
+    let committed_epoch = cluster.epoch();
+    assert_eq!(committed_epoch, 2, "the churn committed one rebalance");
+
+    // Power loss: every coordinator's memory is gone — directory, view,
+    // handover, object tables. Only the node fabrics and the files remain.
+    let survivors = cluster.crash();
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+
+    assert_eq!(
+        cluster.epoch(),
+        committed_epoch,
+        "the committed view is back"
+    );
+    assert!(!report.meta_torn_tail, "Always-sync writes whole frames");
+    assert!(!report.handover_rolled_back, "no handover was in flight");
+    assert_eq!(report.shard_reports.len(), 4);
+    assert_eq!(report.adopted, 0, "nothing un-synced under Always");
+    assert_eq!(report.directory_dropped, 0);
+    assert!(!report.pending_replan);
+
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(wrong.is_empty(), "wrong bytes after recovery: {wrong:?}");
+    assert_eq!(unavailable, 0, "fully synced cluster loses nothing");
+    assert_eq!(exact, acked.len());
+
+    // The recovered cluster keeps serving writes at the committed epoch.
+    let epoch = cluster.epoch();
+    cluster.store("post-recovery", &[3u8; 80], epoch).unwrap();
+    assert_eq!(
+        cluster
+            .retrieve("post-recovery", SelectionPolicy::FirstK, epoch)
+            .unwrap()
+            .bytes,
+        vec![3u8; 80]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metalog_checkpoints_compact_the_log_and_recover_identically() {
+    let dir = wal_dir("ckpt");
+    let config = config()
+        .with_fsync(FsyncPolicy::Always)
+        .with_checkpoint_every(4);
+    let (cluster, acked) = churned_cluster(&dir, FsyncPolicy::Always, 4);
+    let epoch = cluster.epoch();
+    let survivors = cluster.crash();
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+
+    assert_eq!(cluster.epoch(), epoch);
+    assert!(
+        report.meta_records_replayed > 0,
+        "a checkpointed metalog still replays its retained suffix"
+    );
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(wrong.is_empty(), "wrong bytes after recovery: {wrong:?}");
+    assert_eq!(unavailable, 0);
+    assert_eq!(exact, acked.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_crash_between_prepare_and_commit_rolls_the_handover_back() {
+    let dir = wal_dir("midhand");
+    let config = config().with_fsync(FsyncPolicy::Always);
+    let members: Vec<ShardId> = vec![0, 1, 2];
+    let mut cluster = ClusterStore::with_wal_dir(spec(), config, &members, 8, &dir).unwrap();
+    let mut acked = HashMap::new();
+    let epoch = cluster.epoch();
+    for i in 0..20u32 {
+        let data = payload(i, 24 + (i as usize % 40));
+        let key = format!("obj-{i}");
+        cluster.store(&key, &data, epoch).unwrap();
+        acked.insert(key, data);
+    }
+    cluster.flush_all();
+
+    // Prepare a rebalance onto a joining shard and land *some* units, but
+    // crash before the commit: the prepare and every landed unit are in the
+    // metalog, the view commit is not.
+    cluster.begin_handover(&[0, 1, 2, 3]).unwrap();
+    cluster.transfer_next().unwrap();
+    cluster.transfer_next().unwrap();
+    let survivors = cluster.crash();
+
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+    assert!(
+        report.handover_rolled_back,
+        "a prepared-but-uncommitted handover must roll back"
+    );
+    assert_eq!(cluster.epoch(), epoch, "the epoch never advanced");
+    assert!(
+        report.strays_evicted > 0,
+        "the joiner's half-transferred copies are swept"
+    );
+
+    // Every acked object still reads bit-exact from its *old* owner: the
+    // sources evict nothing before the commit.
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(wrong.is_empty(), "wrong bytes after rollback: {wrong:?}");
+    assert_eq!(unavailable, 0);
+    assert_eq!(exact, acked.len());
+
+    // And the transition can be re-run to completion afterwards.
+    cluster.begin_handover(&[0, 1, 2, 3]).unwrap();
+    while cluster.transfer_next().unwrap().is_some() {}
+    cluster.commit_handover().unwrap();
+    let (exact, _, wrong) = sweep(&mut cluster, &acked);
+    assert!(wrong.is_empty());
+    assert_eq!(exact, acked.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_shard_whose_machines_never_return_recovers_honestly_dark() {
+    let dir = wal_dir("lost");
+    let config = config().with_fsync(FsyncPolicy::Always);
+    let (cluster, acked) = churned_cluster(&dir, FsyncPolicy::Always, 0);
+    let mut survivors = cluster.crash();
+    assert!(survivors.lose_shard(1), "shard 1 had survivors to lose");
+
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+    assert_eq!(report.shard_reports.len(), 3, "three shards replayed");
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(
+        wrong.is_empty(),
+        "wrong bytes after partial recovery: {wrong:?}"
+    );
+    assert_eq!(
+        exact + unavailable,
+        acked.len(),
+        "every read is bit-exact or honestly unavailable"
+    );
+    assert!(
+        unavailable > 0,
+        "the lost shard's keys must go dark, not resolve wrongly"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_torn_final_metalog_record_is_tolerated() {
+    let dir = wal_dir("torn-meta");
+    let config = config().with_fsync(FsyncPolicy::Always);
+    let (cluster, acked) = churned_cluster(&dir, FsyncPolicy::Always, 0);
+    let epoch = cluster.epoch();
+    let survivors = cluster.crash();
+
+    // Model a power loss mid-append: a partial frame at the metalog tail.
+    let meta_path = dir.join("cluster.meta");
+    let mut bytes = std::fs::read(&meta_path).unwrap();
+    bytes.extend_from_slice(&[0x55, 0xAA, 0x01]);
+    std::fs::write(&meta_path, &bytes).unwrap();
+
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+    assert!(report.meta_torn_tail, "the partial frame is detected");
+    assert_eq!(cluster.epoch(), epoch);
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(wrong.is_empty(), "wrong bytes after torn tail: {wrong:?}");
+    assert_eq!(unavailable, 0);
+    assert_eq!(exact, acked.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn relaxed_fsync_cluster_recovery_is_honest_about_unsynced_tails() {
+    let dir = wal_dir("full-relaxed");
+    let config = config().with_fsync(FsyncPolicy::EveryN(4));
+    let (cluster, acked) = churned_cluster(&dir, FsyncPolicy::EveryN(4), 0);
+    let survivors = cluster.crash();
+    let (mut cluster, _report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(
+        wrong.is_empty(),
+        "wrong bytes after relaxed recovery: {wrong:?}"
+    );
+    assert_eq!(
+        exact + unavailable,
+        acked.len(),
+        "unsynced tails may be lost but never misread"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_segmented_cluster_recovers_from_its_segment_directories() {
+    let dir = wal_dir("segmented");
+    let config = config().with_fsync(FsyncPolicy::Always).with_segments(256);
+    let (cluster, acked) = churned_cluster_cfg(&dir, config);
+    let epoch = cluster.epoch();
+
+    // The logs really are segment directories, not flat files.
+    assert!(dir.join("cluster.meta.d").is_dir(), "metalog is segmented");
+    assert!(
+        dir.join("shard-0.wal.d").is_dir(),
+        "shard WALs are segmented"
+    );
+    let segs = std::fs::read_dir(dir.join("shard-0.wal.d"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".seg"))
+        .count();
+    assert!(segs >= 2, "the churn rotated at least one sealed segment");
+
+    let survivors = cluster.crash();
+    let (mut cluster, report) =
+        ClusterStore::recover_from_disk(spec(), config, &dir, survivors).unwrap();
+    assert_eq!(cluster.epoch(), epoch);
+    assert!(!report.meta_torn_tail);
+    let (exact, unavailable, wrong) = sweep(&mut cluster, &acked);
+    assert!(
+        wrong.is_empty(),
+        "wrong bytes after segmented recovery: {wrong:?}"
+    );
+    assert_eq!(unavailable, 0);
+    assert_eq!(exact, acked.len());
+    let _ = std::fs::remove_dir_all(&dir);
 }

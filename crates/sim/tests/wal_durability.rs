@@ -32,8 +32,8 @@ use proptest::prelude::*;
 use rain_codes::BCode;
 use rain_sim::SimDuration;
 use rain_storage::{
-    DistributedStore, FaultSpec, FaultyFile, FileLog, FsyncPolicy, GroupConfig, MemLog,
-    SelectionPolicy, StorageError, SyncFault, WalError, WriteAheadLog,
+    DistributedStore, FaultSpec, FaultyFile, FaultySegFs, FileLog, FsyncPolicy, GroupConfig,
+    MemLog, SegmentedFile, SelectionPolicy, StorageError, SyncFault, WalError, WriteAheadLog,
 };
 
 fn code() -> Arc<BCode> {
@@ -147,7 +147,27 @@ fn drive_file(
 ) -> (FileOutcome, rain_storage::FaultyHandle) {
     let (file, handle) = FaultyFile::new(faults);
     let log = FileLog::with_raw(Box::new(file), policy).expect("fresh faulty file");
-    let mut store = DistributedStore::with_wal(code(), config(), Box::new(log));
+    let store = DistributedStore::with_wal(code(), config(), Box::new(log));
+    (drive_ops(store, ops, tick), handle)
+}
+
+/// The segmented twin of [`drive_file`]: same ops, same fault plan, but the
+/// log rotates sealed segment files in a [`FaultySegFs`] directory.
+fn drive_segmented(
+    ops: &[Op],
+    policy: FsyncPolicy,
+    faults: FaultSpec,
+    tick: SimDuration,
+    segment_bytes: usize,
+) -> (FileOutcome, rain_storage::FaultySegHandle) {
+    let (fs, handle) = FaultySegFs::new(faults);
+    let seg = SegmentedFile::open(Box::new(fs), segment_bytes).expect("fresh segment dir");
+    let log = FileLog::with_raw(Box::new(seg), policy).expect("fresh segmented log");
+    let store = DistributedStore::with_wal(code(), config(), Box::new(log));
+    (drive_ops(store, ops, tick), handle)
+}
+
+fn drive_ops(mut store: DistributedStore, ops: &[Op], tick: SimDuration) -> FileOutcome {
     let mut oracle = Oracle::default();
     let mut version = 0u64;
     let mut in_flight = None;
@@ -198,14 +218,11 @@ fn drive_file(
             oracle.mark_durable();
         }
     }
-    (
-        FileOutcome {
-            store,
-            oracle,
-            in_flight,
-        },
-        handle,
-    )
+    FileOutcome {
+        store,
+        oracle,
+        in_flight,
+    }
 }
 
 /// Drive into the crash, rebuild a log over the survivor image (what the
@@ -231,7 +248,42 @@ fn check_file_recovery(
     ));
     let (mut rec, _report) = DistributedStore::recover(code(), config(), nodes, wal)
         .map_err(|e| format!("recovery failed: {e}"))?;
+    check_against_oracle(&mut rec, &oracle, &in_flight, trust_floor)
+}
 
+/// The segmented twin of [`check_file_recovery`]: crash under the fault
+/// plan, remount the survivor segment directory, recover, check the oracle.
+fn check_segmented_recovery(
+    ops: &[Op],
+    policy: FsyncPolicy,
+    faults: FaultSpec,
+    tick: SimDuration,
+    segment_bytes: usize,
+) -> Result<(), String> {
+    let (outcome, handle) = drive_segmented(ops, policy, faults, tick, segment_bytes);
+    let FileOutcome {
+        store,
+        oracle,
+        in_flight,
+    } = outcome;
+    let (nodes, _discarded) = store.crash();
+    let (survivor, _h) = FaultySegFs::with_files(handle.accepted_files(), FaultSpec::default());
+    let seg = SegmentedFile::open(Box::new(survivor), segment_bytes)
+        .map_err(|e| format!("remount: {e}"))?;
+    let wal = WriteAheadLog::new(Box::new(
+        FileLog::with_raw(Box::new(seg), policy).map_err(|e| format!("reopen: {e}"))?,
+    ));
+    let (mut rec, _report) = DistributedStore::recover(code(), config(), nodes, wal)
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    check_against_oracle(&mut rec, &oracle, &in_flight, true)
+}
+
+fn check_against_oracle(
+    rec: &mut DistributedStore,
+    oracle: &Oracle,
+    in_flight: &Option<(String, State)>,
+    trust_floor: bool,
+) -> Result<(), String> {
     for name in oracle.hist.keys() {
         let got = match rec.retrieve(name, SelectionPolicy::FirstK) {
             Ok((bytes, _)) => Some(bytes),
@@ -339,6 +391,71 @@ fn file_crash_sweep_under_every_t() {
     sweep_policy(
         FsyncPolicy::EveryT(SimDuration::from_millis(5)),
         SimDuration::from_millis(2),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Segmented log: power loss at and across rotation points.
+
+/// Sweep power loss at **every segment-filesystem write** of the workload ×
+/// torn-byte survivals, with segments small enough that the sweep crosses
+/// many rotation points (a crash can land on the rotation seal, on the
+/// first write into a fresh segment, or mid-frame in either).
+fn sweep_segmented_policy(policy: FsyncPolicy, tick: SimDuration, segment_bytes: usize) {
+    let ops = workload();
+    let (dry, dry_handle) =
+        drive_segmented(&ops, policy, FaultSpec::default(), tick, segment_bytes);
+    assert!(dry.in_flight.is_none(), "dry run must complete");
+    drop(dry);
+    let rotated = dry_handle
+        .accepted_files()
+        .keys()
+        .filter(|n| n.ends_with(".seg"))
+        .count();
+    assert!(
+        rotated >= 3,
+        "the sweep must cross rotation points: only {rotated} segments"
+    );
+    let writes = dry_handle.writes();
+    for w in 0..=writes {
+        for torn in [0usize, 1, 9] {
+            let faults = FaultSpec {
+                crash_on_write: Some((w, torn)),
+                ..FaultSpec::default()
+            };
+            check_segmented_recovery(&ops, policy, faults, tick, segment_bytes).unwrap_or_else(
+                |e| {
+                    panic!(
+                        "policy {policy:?}, segment_bytes {segment_bytes}, \
+                         power loss at write {w}/{writes}, torn {torn}: {e}"
+                    )
+                },
+            );
+        }
+    }
+}
+
+/// Satellite: segment-rotation crash sweep under `Always`.
+#[test]
+fn segmented_crash_sweep_under_always() {
+    sweep_segmented_policy(FsyncPolicy::Always, SimDuration(0), 128);
+}
+
+/// Satellite: segment-rotation crash sweep under `EveryN(3)` — batched
+/// commits can span a rotation, so one batch's bytes may straddle the
+/// sealed segment and the fresh one.
+#[test]
+fn segmented_crash_sweep_under_every_n() {
+    sweep_segmented_policy(FsyncPolicy::EveryN(3), SimDuration(0), 128);
+}
+
+/// Satellite: segment-rotation crash sweep under `EveryT(5ms)`.
+#[test]
+fn segmented_crash_sweep_under_every_t() {
+    sweep_segmented_policy(
+        FsyncPolicy::EveryT(SimDuration::from_millis(5)),
+        SimDuration::from_millis(2),
+        128,
     );
 }
 
@@ -592,6 +709,102 @@ proptest! {
                 min_ops.len(),
                 min_ckpts,
                 min_ops
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segmented vs single-file recovery equivalence.
+
+/// Drive `ops` faultlessly under `Always`, crash, remount, recover, and
+/// report (object map, records replayed) — the recovery fingerprint.
+fn survivor_fingerprint(
+    ops: &[Op],
+    segment_bytes: Option<usize>,
+) -> Result<(BTreeMap<String, Vec<u8>>, usize), String> {
+    let policy = FsyncPolicy::Always;
+    let (outcome, wal) = match segment_bytes {
+        None => {
+            let (outcome, handle) = drive_file(ops, policy, FaultSpec::default(), SimDuration(0));
+            let (survivor, _h) =
+                FaultyFile::with_contents(handle.accepted_bytes(), FaultSpec::default());
+            let log = FileLog::with_raw(Box::new(survivor), policy)
+                .map_err(|e| format!("reopen: {e}"))?;
+            (outcome, WriteAheadLog::new(Box::new(log)))
+        }
+        Some(bytes) => {
+            let (outcome, handle) =
+                drive_segmented(ops, policy, FaultSpec::default(), SimDuration(0), bytes);
+            let (survivor, _h) =
+                FaultySegFs::with_files(handle.accepted_files(), FaultSpec::default());
+            let seg = SegmentedFile::open(Box::new(survivor), bytes)
+                .map_err(|e| format!("remount: {e}"))?;
+            let log =
+                FileLog::with_raw(Box::new(seg), policy).map_err(|e| format!("reopen: {e}"))?;
+            (outcome, WriteAheadLog::new(Box::new(log)))
+        }
+    };
+    if outcome.in_flight.is_some() {
+        return Err("faultless drive must complete".to_string());
+    }
+    let (nodes, _discarded) = outcome.store.crash();
+    let (mut rec, report) = DistributedStore::recover(code(), config(), nodes, wal)
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    let names: Vec<String> = rec.object_names().map(String::from).collect();
+    let mut map = BTreeMap::new();
+    for name in names {
+        let (bytes, _) = rec
+            .retrieve(&name, SelectionPolicy::FirstK)
+            .map_err(|e| format!("{name} unreadable after recovery: {e}"))?;
+        map.insert(name, bytes);
+    }
+    Ok((map, report.records_replayed))
+}
+
+/// Regression (found by the fingerprint property below): a whole-object
+/// store whose symbols a later applied op removed used to skip its
+/// grouped-predecessor tombstone during replay. The open group replayed
+/// fuller than the live run's, capacity-sealed at a different append, and
+/// recovery failed with "log appends to group after it sealed" — on a log
+/// written and recovered under the *same* config.
+#[test]
+fn superseded_whole_store_replays_its_open_group_tombstone() {
+    use Op::*;
+    let ops = vec![
+        Store { name: 1, len: 22 }, // grouped: sole member of group 0
+        Store { name: 1, len: 77 }, // whole overwrite: live run resets group 0
+        Store { name: 7, len: 1 },
+        Store { name: 1, len: 14 }, // grouped again: the whole symbols vanish
+        Store { name: 0, len: 60 },
+        Store { name: 0, len: 57 },
+        Store { name: 4, len: 14 }, // live seals here; buggy replay sealed earlier
+        Store { name: 0, len: 51 },
+    ];
+    survivor_fingerprint(&ops, None).unwrap_or_else(|e| panic!("single-file: {e}"));
+    survivor_fingerprint(&ops, Some(128)).unwrap_or_else(|e| panic!("segmented: {e}"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Satellite: for any workload, recovery from a segmented log is
+    /// fingerprint-identical to recovery from the single-file layout —
+    /// same objects, same bytes, same record count — at segment sizes from
+    /// "almost every frame rotates" to "nothing rotates".
+    #[test]
+    fn segmented_recovery_prop_matches_single_file(
+        ops in proptest::collection::vec(OpStrategy, 4..32),
+    ) {
+        let single = survivor_fingerprint(&ops, None)
+            .unwrap_or_else(|e| panic!("single-file fingerprint: {e}\nops: {ops:#?}"));
+        for segment_bytes in [48usize, 128, 4096] {
+            let segmented = survivor_fingerprint(&ops, Some(segment_bytes))
+                .unwrap_or_else(|e| panic!("segmented({segment_bytes}) fingerprint: {e}"));
+            prop_assert!(
+                segmented == single,
+                "segment_bytes {segment_bytes} diverged from single-file: \
+                 {segmented:?} vs {single:?}"
             );
         }
     }

@@ -77,6 +77,13 @@ pub struct GroupConfig {
     /// ([`crate::DistributedStore::checkpoint`]), keeping replay O(live
     /// state). `0` disables auto-checkpoints (explicit calls still work).
     pub checkpoint_every: u64,
+    /// Segment size for file-backed logs opened through
+    /// [`crate::DistributedStore::with_wal_segments`] (and the cluster's
+    /// per-shard WAL directories): the log rotates sealed `wal.NNNNNN.seg`
+    /// files of roughly this many bytes, so checkpoint truncation deletes
+    /// whole segments in O(1) instead of rewriting the live log. `0` keeps
+    /// the single-file layout with rewrite-based truncation.
+    pub segment_bytes: usize,
 }
 
 impl GroupConfig {
@@ -89,6 +96,7 @@ impl GroupConfig {
             durability: Durability::Volatile,
             fsync: FsyncPolicy::Always,
             checkpoint_every: 0,
+            segment_bytes: 0,
         }
     }
 
@@ -102,6 +110,7 @@ impl GroupConfig {
             durability: Durability::Volatile,
             fsync: FsyncPolicy::Always,
             checkpoint_every: 0,
+            segment_bytes: 0,
         }
     }
 
@@ -124,6 +133,13 @@ impl GroupConfig {
     /// checkpoint intervals).
     pub fn with_checkpoint_every(mut self, records: u64) -> Self {
         self.checkpoint_every = records;
+        self
+    }
+
+    /// The same configuration with segmented file-backed logs rotating at
+    /// roughly `bytes` per segment (`0` keeps the single-file layout).
+    pub fn with_segments(mut self, bytes: usize) -> Self {
+        self.segment_bytes = bytes;
         self
     }
 }

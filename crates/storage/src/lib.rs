@@ -49,9 +49,10 @@ pub use transport::{
     TransportError, TransportOp, TransportStats,
 };
 pub use wal::file::{
-    FaultSpec, FaultyFile, FaultyHandle, FileLog, FsyncPolicy, RawLogFile, StdFsFile, SyncFault,
+    FaultSpec, FaultyFile, FaultyHandle, FaultySegFs, FaultySegHandle, FileLog, FsyncPolicy,
+    RawLogFile, SegmentFs, SegmentedFile, StdFsFile, StdSegFs, SyncFault,
 };
 pub use wal::{
-    CheckpointPlacement, CheckpointState, CrashFuse, GroupSnapshot, LogBackend, MemLog, WalError,
-    WalRecord, WriteAheadLog,
+    scan_frames, write_frame, CheckpointPlacement, CheckpointState, CrashFuse, FrameScan,
+    GroupSnapshot, LogBackend, MemLog, WalError, WalRecord, WriteAheadLog,
 };

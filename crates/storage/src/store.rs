@@ -374,6 +374,12 @@ pub struct DistributedStore {
     /// Mutations are appended here **before** they are applied; `None`
     /// while a recovery replays (replayed ops must not be re-logged).
     wal: Option<WriteAheadLog>,
+    /// Terminal log-device failure observed outside a caller-visible
+    /// operation (an [`FsyncPolicy::EveryT`](crate::FsyncPolicy) interval
+    /// commit inside [`DistributedStore::advance_time`]). Latched so the
+    /// next [`log`](Self::log) / [`DistributedStore::sync_wal`] fails
+    /// instead of acking writes a dead device will never persist.
+    wal_failed: Option<WalError>,
     /// Byte offset / record index of the newest restorable checkpoint in
     /// the current log, if any. The *next* checkpoint drops everything
     /// before this mark (two-checkpoint retention: a torn or rotted newest
@@ -879,6 +885,28 @@ impl DistributedStore {
         Ok(Self::with_wal(code, config, Box::new(file)))
     }
 
+    /// Create a store whose write-ahead log is a *segmented* directory at
+    /// `dir`: sealed `wal.NNNNNN.seg` files of roughly
+    /// `config.segment_bytes` bytes each (64 KiB if the knob is `0`), so
+    /// checkpoint truncation unlinks whole segments instead of rewriting
+    /// the log. Like [`DistributedStore::with_wal_file`], this appends
+    /// after existing contents without replaying them — recover through
+    /// [`DistributedStore::recover`] to reuse a previous run's log.
+    pub fn with_wal_segments(
+        code: Arc<dyn ErasureCode>,
+        config: GroupConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Self, StorageError> {
+        let seg = if config.segment_bytes > 0 {
+            config.segment_bytes
+        } else {
+            64 * 1024
+        };
+        let file = crate::wal::file::FileLog::open_segmented(dir, config.fsync, seg)
+            .map_err(StorageError::Wal)?;
+        Ok(Self::with_wal(code, config, Box::new(file)))
+    }
+
     /// The common constructor core: no log attached.
     fn bare(code: Arc<dyn ErasureCode>, config: GroupConfig) -> Self {
         let n = code.n();
@@ -901,6 +929,7 @@ impl DistributedStore {
             next_group_id: 0,
             decode_cache: GroupDecodeCache::default(),
             wal: None,
+            wal_failed: None,
             ckpt_mark: None,
             records_since_ckpt: 0,
             checkpoints_taken: 0,
@@ -1127,6 +1156,9 @@ impl DistributedStore {
             .gauge("storage.wal.bytes")
             .set(stats.wal_bytes as i64);
         registry
+            .gauge("storage.wal.failed")
+            .set(i64::from(self.wal_failed.is_some()));
+        registry
             .gauge("storage.pending.installs")
             .set(stats.pending_installs as i64);
         registry
@@ -1177,10 +1209,22 @@ impl DistributedStore {
     pub fn advance_time(&mut self, by: SimDuration) {
         self.advance_transport(by);
         if let Some(wal) = &mut self.wal {
-            // A failed interval commit keeps its bytes pending; the next
-            // append, sync, or tick retries, so the error needs no surface
-            // here (pending_bytes stays honest either way).
-            let _ = wal.advance_clock(by);
+            match wal.advance_clock(by) {
+                // A transient failed interval commit keeps its bytes
+                // pending; the next append, sync, or tick retries, so the
+                // error needs no surface here (pending_bytes stays honest
+                // either way).
+                Ok(()) | Err(WalError::Backend(_)) | Err(WalError::Corrupt { .. }) => {}
+                // A dead device never comes back: without a latch the
+                // store would ack every in-window append forever while
+                // nothing reaches disk. Remember the failure and fail the
+                // next caller-visible log operation instead.
+                Err(err @ WalError::Crashed) => {
+                    if self.wal_failed.is_none() {
+                        self.wal_failed = Some(err);
+                    }
+                }
+            }
             if wal.pending_bytes() == 0 {
                 self.group_bytes_durable = self.group_bytes_logged;
             }
@@ -1257,6 +1301,9 @@ impl DistributedStore {
         if self.wal.is_none() {
             return Ok(());
         }
+        if let Some(err) = &self.wal_failed {
+            return Err(StorageError::Wal(err.clone()));
+        }
         // Auto-checkpoint fires *before* the record that trips the
         // interval: the snapshot describes the applied state, which at
         // this point does not yet include `record`'s mutation, and the
@@ -1293,6 +1340,11 @@ impl DistributedStore {
     /// [`FsyncPolicy`](crate::wal::file::FsyncPolicy) this
     /// is the caller's "make everything acked so far crash-proof" lever.
     pub fn sync_wal(&mut self) -> Result<(), StorageError> {
+        if let Some(err) = &self.wal_failed {
+            if self.wal.is_some() {
+                return Err(StorageError::Wal(err.clone()));
+            }
+        }
         if let Some(wal) = &mut self.wal {
             wal.sync()?;
             if wal.pending_bytes() == 0 {
@@ -1300,6 +1352,14 @@ impl DistributedStore {
             }
         }
         Ok(())
+    }
+
+    /// The terminal log-device failure latched by a background interval
+    /// commit (see [`DistributedStore::advance_time`]), if any. While set,
+    /// every append and [`DistributedStore::sync_wal`] fails with it; the
+    /// `storage.wal.failed` gauge mirrors it as `0`/`1`.
+    pub fn wal_failed(&self) -> Option<&WalError> {
+        self.wal_failed.as_ref()
     }
 
     /// Durability barrier before destroying node-resident state that
@@ -2579,18 +2639,20 @@ impl DistributedStore {
             }
             WalRecord::StoreWhole { object } => {
                 // The record carries no data — the bytes live in the node
-                // symbols. If no node holds a symbol, the crash landed
-                // between the log append and the installs: the op was never
-                // acked and is dropped, leaving any predecessor intact.
-                if !self.nodes.iter().any(|n| n.symbols.contains_key(object)) {
-                    // For the final record, no symbols means the crash hit
-                    // between the append and the installs: a true in-doubt
-                    // discard. For any earlier record it means a later
-                    // *applied* op removed them — a benign supersession
-                    // whose later record re-establishes the truth.
-                    if last {
-                        report.in_doubt_discarded += 1;
-                    }
+                // symbols. If no node holds a symbol and this is the final
+                // record, the crash landed between the log append and the
+                // installs: the op was never acked and is dropped, leaving
+                // any predecessor intact. For any earlier record, absent
+                // symbols mean a later *applied* op removed them — a benign
+                // supersession whose later record re-establishes the final
+                // placement. That op itself WAS applied by the live run,
+                // though, so its open-group side effect — tombstoning a
+                // grouped predecessor — must still be redone below:
+                // skipping it leaves the open group fuller than the live
+                // run's, and replay then capacity-seals it at a different
+                // append than the live run did.
+                if last && !self.nodes.iter().any(|n| n.symbols.contains_key(object)) {
+                    report.in_doubt_discarded += 1;
                     return Ok(());
                 }
                 if let Some(&Placement::Grouped { group, span }) = self.objects.get(object) {
@@ -3542,6 +3604,49 @@ mod tests {
         assert!(stats.wal_bytes > 64, "frames carry the grouped bytes");
         s.flush().unwrap();
         assert_eq!(s.group_stats().bytes_at_risk, 0, "sealed = erasure-coded");
+    }
+
+    #[test]
+    fn a_dead_device_during_an_interval_commit_latches_instead_of_acking_forever() {
+        use crate::wal::file::{FaultSpec, FaultyFile, FileLog, FsyncPolicy};
+        // EveryT acks appends without an fsync and commits on a later
+        // clock tick. Power is lost at that background commit (write call
+        // 0): before the latch, `advance_time` swallowed the error and —
+        // because a failed commit still resets the interval clock — every
+        // in-window append kept acking against a dead device.
+        let cfg = grouped_config()
+            .logged()
+            .with_fsync(FsyncPolicy::EveryT(SimDuration::from_millis(10)));
+        let (file, handle) = FaultyFile::new(FaultSpec {
+            crash_on_write: Some((0, 0)),
+            ..FaultSpec::default()
+        });
+        let log = FileLog::with_raw(Box::new(file), cfg.fsync).unwrap();
+        let mut s = DistributedStore::with_wal(Arc::new(BCode::table_1a()), cfg, Box::new(log));
+        s.store("a", &[1u8; 40]).unwrap();
+        assert!(s.wal_failed().is_none());
+
+        s.advance_time(SimDuration::from_millis(11));
+        assert_eq!(s.wal_failed(), Some(&WalError::Crashed), "failure latched");
+        assert_eq!(
+            handle.durable_bytes(),
+            b"",
+            "nothing ever reached the device"
+        );
+
+        // Still inside the new commit window, so without the latch this
+        // append would ack silently with zero durability.
+        let err = s.store("b", &[2u8; 40]).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Wal(WalError::Crashed)),
+            "append surfaces the latched failure, got {err:?}"
+        );
+        let err = s.sync_wal().unwrap_err();
+        assert!(matches!(err, StorageError::Wal(WalError::Crashed)));
+        assert!(
+            s.retrieve("a", SelectionPolicy::FirstK).is_ok(),
+            "reads still serve what the coordinator holds"
+        );
     }
 
     #[test]

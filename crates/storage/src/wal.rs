@@ -765,6 +765,104 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Patch the frame header (payload length + header CRC + payload CRC) into
+/// a buffer whose first [`HEADER_LEN`] bytes were reserved and whose
+/// payload follows them. Shared by the record hot path (which serializes
+/// in place) and [`write_frame`].
+fn seal_frame(frame: &mut [u8]) {
+    let payload_len = ((frame.len() - HEADER_LEN) as u32).to_le_bytes();
+    let header_crc = crc32(&payload_len);
+    let payload_crc = crc32(&frame[HEADER_LEN..]);
+    frame[0..4].copy_from_slice(&payload_len);
+    frame[4..8].copy_from_slice(&header_crc.to_le_bytes());
+    frame[8..12].copy_from_slice(&payload_crc.to_le_bytes());
+}
+
+/// Frame one opaque payload onto `out` in the WAL's checksummed frame
+/// format (`[len][crc32(len)][crc32(payload)][payload]`). Other logs — the
+/// cluster metalog — reuse the storage WAL's framing and torn-tail
+/// machinery through this and [`scan_frames`] instead of inventing their
+/// own.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; HEADER_LEN]);
+    out.extend_from_slice(payload);
+    seal_frame(&mut out[start..]);
+}
+
+/// The frame-layer view of a log buffer: which byte ranges hold
+/// checksum-valid payloads, before any record decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameScan {
+    /// `(frame start offset, payload byte range)` per checksum-valid
+    /// frame, in log order.
+    pub frames: Vec<(usize, std::ops::Range<usize>)>,
+    /// True if the buffer ended in a partial frame.
+    pub torn_tail: bool,
+    /// Bytes consumed by the complete frames (the torn tail, if any,
+    /// starts here).
+    pub bytes_scanned: usize,
+}
+
+/// Walk a raw log buffer frame by frame, separating torn tails from
+/// corruption exactly as [`WriteAheadLog::replay`] does: an incomplete
+/// final frame (short header, short payload, or a checksum-failed *final*
+/// payload) is a tolerated torn tail; a bad header checksum or a damaged
+/// payload with more bytes after it is [`WalError::Corrupt`]. Record
+/// decoding is the caller's layer — a checksum-valid payload that fails to
+/// decode must be treated as corruption, never silently dropped.
+pub fn scan_frames(buf: &[u8]) -> Result<FrameScan, WalError> {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < HEADER_LEN {
+            // Incomplete header: torn mid-write.
+            return Ok(FrameScan {
+                frames,
+                torn_tail: true,
+                bytes_scanned: pos,
+            });
+        }
+        let len_bytes: [u8; 4] = buf[pos..pos + 4].try_into().expect("4 bytes");
+        let header_crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let payload_crc = u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
+        if crc32(&len_bytes) != header_crc {
+            // Any prefix of a real frame that covers the header covers it
+            // *completely and validly* — a bad header checksum is damage,
+            // not a torn write, wherever it sits.
+            return Err(WalError::Corrupt { offset: pos });
+        }
+        let frame_end = pos + HEADER_LEN + u32::from_le_bytes(len_bytes) as usize;
+        if frame_end > buf.len() {
+            // Trustworthy length, short payload: torn mid-write.
+            return Ok(FrameScan {
+                frames,
+                torn_tail: true,
+                bytes_scanned: pos,
+            });
+        }
+        if crc32(&buf[pos + HEADER_LEN..frame_end]) != payload_crc {
+            if frame_end == buf.len() {
+                // Checksum-failed final payload: indistinguishable from a
+                // torn write on a backend that preallocates — tolerated.
+                return Ok(FrameScan {
+                    frames,
+                    torn_tail: true,
+                    bytes_scanned: pos,
+                });
+            }
+            return Err(WalError::Corrupt { offset: pos });
+        }
+        frames.push((pos, pos + HEADER_LEN..frame_end));
+        pos = frame_end;
+    }
+    Ok(FrameScan {
+        frames,
+        torn_tail: false,
+        bytes_scanned: pos,
+    })
+}
+
 /// The result of replaying a log: the decodable records plus whether the
 /// tail was torn (a final frame truncated mid-write — tolerated, the log is
 /// simply shorter than the writer hoped).
@@ -895,12 +993,7 @@ impl WriteAheadLog {
         self.frame.clear();
         self.frame.extend_from_slice(&[0u8; HEADER_LEN]); // patched below
         record.encode(&mut self.frame);
-        let payload_len = ((self.frame.len() - HEADER_LEN) as u32).to_le_bytes();
-        let header_crc = crc32(&payload_len);
-        let payload_crc = crc32(&self.frame[HEADER_LEN..]);
-        self.frame[0..4].copy_from_slice(&payload_len);
-        self.frame[4..8].copy_from_slice(&header_crc.to_le_bytes());
-        self.frame[8..12].copy_from_slice(&payload_crc.to_le_bytes());
+        seal_frame(&mut self.frame);
         if self.poisoned {
             return Err(WalError::Backend(
                 "log poisoned by an unrollable append failure".to_string(),
@@ -940,76 +1033,25 @@ impl WriteAheadLog {
     /// silently truncating the replay at that point.
     pub fn replay(&self) -> Result<Replay, WalError> {
         let buf = self.backend.contents()?;
-        let mut records = Vec::new();
-        let mut offsets = Vec::new();
-        let mut pos = 0usize;
-        while pos < buf.len() {
-            let remaining = buf.len() - pos;
-            if remaining < HEADER_LEN {
-                // Incomplete header: torn mid-write.
-                return Ok(Replay {
-                    records,
-                    offsets,
-                    torn_tail: true,
-                    bytes_replayed: pos,
-                });
-            }
-            let len_bytes: [u8; 4] = buf[pos..pos + 4].try_into().expect("4 bytes");
-            let header_crc = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
-            let payload_crc =
-                u32::from_le_bytes(buf[pos + 8..pos + 12].try_into().expect("4 bytes"));
-            if crc32(&len_bytes) != header_crc {
-                // Any prefix of a real frame that covers the header covers
-                // it *completely and validly* — a bad header checksum is
-                // damage, not a torn write, wherever it sits.
-                return Err(WalError::Corrupt { offset: pos });
-            }
-            let frame_end = pos + HEADER_LEN + u32::from_le_bytes(len_bytes) as usize;
-            if frame_end > buf.len() {
-                // Trustworthy length, short payload: torn mid-write.
-                return Ok(Replay {
-                    records,
-                    offsets,
-                    torn_tail: true,
-                    bytes_replayed: pos,
-                });
-            }
-            let payload = &buf[pos + HEADER_LEN..frame_end];
-            let valid = crc32(payload) == payload_crc;
-            let record = if valid {
-                WalRecord::decode(payload)
-            } else {
-                None
-            };
-            match record {
-                Some(r) => {
-                    records.push(r);
-                    offsets.push(pos);
-                }
-                None if !valid && frame_end == buf.len() => {
-                    // Checksum-failed final payload: indistinguishable from
-                    // a torn write on a backend that preallocates,
-                    // tolerated. A checksum-VALID payload that fails to
-                    // decode can never be a torn write (a short payload is
-                    // caught above), so that case falls through to Corrupt
-                    // even at the tail — silently truncating a durable,
-                    // checksummed record would be data loss.
-                    return Ok(Replay {
-                        records,
-                        offsets,
-                        torn_tail: true,
-                        bytes_replayed: pos,
-                    });
-                }
-                None => return Err(WalError::Corrupt { offset: pos }),
-            }
-            pos = frame_end;
+        let scan = scan_frames(&buf)?;
+        let mut records = Vec::with_capacity(scan.frames.len());
+        let mut offsets = Vec::with_capacity(scan.frames.len());
+        for (offset, payload) in &scan.frames {
+            // A checksum-VALID payload that fails to decode can never be a
+            // torn write (short payloads are torn tails at the frame
+            // layer), so decode failure is corruption even at the tail —
+            // silently truncating a durable, checksummed record would be
+            // data loss.
+            let record = WalRecord::decode(&buf[payload.clone()])
+                .ok_or(WalError::Corrupt { offset: *offset })?;
+            records.push(record);
+            offsets.push(*offset);
         }
         Ok(Replay {
             records,
             offsets,
-            torn_tail: false,
-            bytes_replayed: pos,
+            torn_tail: scan.torn_tail,
+            bytes_replayed: scan.bytes_scanned,
         })
     }
 }
